@@ -1,0 +1,53 @@
+"""Ablation: area-model parameter sweeps (Table II evaluation ranges) and
+the splitter-disable option ("if a manager only emits single-word
+transactions, the granular burst splitter can be disabled ... to reduce
+the area footprint")."""
+
+import pytest
+
+from conftest import emit
+from repro.area import realm_unit_area, system_area
+from repro.realm import RealmUnitParams
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    rows = []
+    for addr in (32, 64):
+        for pending in (2, 8, 16):
+            for depth in (4, 16, 64):
+                params = RealmUnitParams(
+                    addr_width=addr, max_pending=pending,
+                    write_buffer_depth=depth,
+                )
+                rows.append(
+                    (addr, pending, depth, realm_unit_area(params) / 1000)
+                )
+    return rows
+
+
+def test_area_parameter_sweep(benchmark, sweep_rows):
+    benchmark.pedantic(
+        lambda: system_area(RealmUnitParams(), 3), rounds=1, iterations=1
+    )
+    lines = [f"{'addr':>5} {'pending':>8} {'depth':>6} {'area [kGE]':>11}"]
+    for addr, pending, depth, kge in sweep_rows:
+        lines.append(f"{addr:>5} {pending:>8} {depth:>6} {kge:>11.1f}")
+
+    # Splitter-disable ablation.
+    full = realm_unit_area(RealmUnitParams()) / 1000
+    no_split = realm_unit_area(RealmUnitParams(splitter_present=False)) / 1000
+    lines += [
+        "",
+        f"unit with splitter    : {full:.1f} kGE",
+        f"unit without splitter : {no_split:.1f} kGE "
+        f"({100 * (1 - no_split / full):.0f}% smaller)",
+    ]
+    emit("Ablation — area model sweep + splitter disable", lines)
+
+    # Monotonicity in each parameter.
+    by_key = {(a, p, d): kge for a, p, d, kge in sweep_rows}
+    assert by_key[(64, 8, 16)] > by_key[(32, 8, 16)]
+    assert by_key[(64, 16, 16)] > by_key[(64, 2, 16)]
+    assert by_key[(64, 8, 64)] > by_key[(64, 8, 4)]
+    assert no_split < full * 0.6

@@ -1,0 +1,72 @@
+"""Figure 6a: core performance and worst-case access latency under DSA DMA
+contention at varying transfer fragmentation (256 beats down to 1).
+
+Paper result: without reservation the core achieves < 0.7 % of its
+single-source performance with >= 264-cycle accesses; fragmentation 1
+restores 68.2 % with < 10-cycle accesses.  We reproduce the shape: a
+collapse in the uncontrolled case and a monotone recovery toward
+near-baseline as fragments shrink.
+"""
+
+import pytest
+
+from conftest import emit
+
+FRAGMENTATIONS = (256, 128, 64, 32, 16, 8, 4, 2, 1)
+
+
+@pytest.fixture(scope="module")
+def fig6a_rows(experiment):
+    baseline = experiment.run_single_source()
+    rows = [
+        (
+            "single-source",
+            100.0,
+            baseline.latency.maximum,
+            baseline.latency.mean,
+        )
+    ]
+    nores = experiment.run_without_reservation()
+    rows.append(
+        (
+            "without-reservation",
+            nores.perf_percent,
+            nores.worst_case_latency,
+            nores.latency.mean,
+        )
+    )
+    for result in experiment.sweep_fragmentation(FRAGMENTATIONS):
+        rows.append(
+            (
+                result.label,
+                result.perf_percent,
+                result.worst_case_latency,
+                result.latency.mean,
+            )
+        )
+    return rows
+
+
+def test_fig6a_fragmentation_sweep(benchmark, experiment, fig6a_rows):
+    benchmark.pedantic(
+        lambda: experiment.run(fragmentation=1), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'configuration':<22} {'perf [%]':>9} {'worst lat':>10} {'mean lat':>9}"
+    ]
+    for label, perf, worst, mean in fig6a_rows:
+        lines.append(f"{label:<22} {perf:>9.1f} {worst:>10d} {mean:>9.1f}")
+    emit("Figure 6a — performance vs. burst fragmentation", lines)
+
+    by_label = {r[0]: r for r in fig6a_rows}
+    # Uncontrolled contention collapses performance (paper: 0.7 %).
+    assert by_label["without-reservation"][1] < 30.0
+    # ...with at least one full 256-beat burst of added latency (paper: 264).
+    assert by_label["without-reservation"][2] > 250
+    # Fragmentation restores most of the performance (paper: 68.2 %).
+    assert by_label["frag=1"][1] > 60.0
+    # ...and the worst-case latency falls dramatically (paper: < 10).
+    assert by_label["frag=1"][2] < 20
+    # Monotone trend across the sweep.
+    perfs = [by_label[f"frag={f}"][1] for f in FRAGMENTATIONS]
+    assert perfs == sorted(perfs), "finer fragments must not hurt the core"

@@ -1,0 +1,58 @@
+"""Figure 6b: core performance vs. budget imbalance between the core and
+the DSA DMA (fragmentation 1, period 1000 cycles, DMA budget 8 KiB -> 1.6
+KiB in equal steps).
+
+Paper result: near-ideal core performance (> 95 %) when distributing the
+available bandwidth in favor of the core; the worst-case access latency
+falls to (below) the single-source level.
+"""
+
+import pytest
+
+from conftest import emit
+
+RATIOS = (1, 2, 3, 4, 5)
+PERIOD = 1000
+FULL_BUDGET = 8192
+
+
+@pytest.fixture(scope="module")
+def fig6b_rows(experiment):
+    baseline = experiment.run_single_source()
+    rows = [("single-source", 100.0, baseline.latency.maximum,
+             baseline.latency.mean)]
+    for result in experiment.sweep_budget(
+        ratios=RATIOS, period=PERIOD, full_budget=FULL_BUDGET
+    ):
+        rows.append(
+            (result.label, result.perf_percent, result.worst_case_latency,
+             result.latency.mean)
+        )
+    return rows
+
+
+def test_fig6b_budget_imbalance(benchmark, experiment, fig6b_rows):
+    benchmark.pedantic(
+        lambda: experiment.run(
+            fragmentation=1, core_budget=FULL_BUDGET,
+            dma_budget=FULL_BUDGET // 5, period=PERIOD,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{'configuration':<16} {'perf [%]':>9} {'worst lat':>10} {'mean lat':>9}"
+    ]
+    for label, perf, worst, mean in fig6b_rows:
+        lines.append(f"{label:<16} {perf:>9.1f} {worst:>10d} {mean:>9.1f}")
+    emit("Figure 6b — performance vs. budget imbalance (DMA 1/1 .. 1/5)",
+         lines)
+
+    by_label = {r[0]: r for r in fig6b_rows}
+    perfs = [by_label[f"dma=1/{k}"][1] for k in RATIOS]
+    # Shrinking the DMA budget monotonically helps the core...
+    assert all(b >= a - 0.5 for a, b in zip(perfs, perfs[1:]))
+    # ...reaching near-ideal performance (paper: > 95 %).
+    assert perfs[-1] > 93.0
+    # Mean latency approaches the single-source level.
+    assert by_label["dma=1/5"][3] < by_label["dma=1/1"][3] + 0.1

@@ -1,0 +1,54 @@
+"""Table II: area contributions of AXI-REALM's sub-blocks as a function of
+its parameterization (GE at 1 GHz, GF12, typical corner).
+
+Prints the transcribed coefficient table and evaluates the model across
+the parameter ranges the paper swept (address/data width 32-64 bit,
+pending 2-16, storage 256-8192 bit).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.area import TABLE_II, area_breakdown, realm_unit_area
+from repro.realm import RealmUnitParams
+
+
+def test_table2_coefficients(benchmark):
+    breakdown = benchmark.pedantic(
+        area_breakdown, args=(RealmUnitParams(),), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'sub-block':<26} {'group':<8} {'scope':<16} {'const':>8} "
+        f"{'addr':>6} {'data':>6} {'pend':>7} {'store':>7}"
+    ]
+    for b in TABLE_II:
+        lines.append(
+            f"{b.name:<26} {b.group:<8} {b.scope:<16} {b.const:>8.1f} "
+            f"{b.per_addr_bit:>6.1f} {b.per_data_bit:>6.1f} "
+            f"{b.per_pending:>7.1f} {b.per_storage_elem:>7.1f}"
+        )
+    lines.append("")
+    lines.append("Evaluated at the Table I configuration (GE per instance):")
+    for name, ge in breakdown.items():
+        lines.append(f"  {name:<26} {ge:>10.1f}")
+    emit("Table II — AXI-REALM area model coefficients", lines)
+
+    # Paper evaluation ranges: the model must respond to every parameter.
+    sweep = []
+    for addr in (32, 48, 64):
+        for pending in (2, 8, 16):
+            for depth in (4, 16, 128):
+                params = RealmUnitParams(
+                    addr_width=addr, max_pending=pending,
+                    write_buffer_depth=depth,
+                )
+                sweep.append((addr, pending, depth, realm_unit_area(params)))
+    areas = [row[-1] for row in sweep]
+    assert all(a > 0 for a in areas)
+    assert len(set(areas)) == len(areas), "every configuration is distinct"
+
+    # One Table-I unit is ~28 kGE (a third of the published 83.6 kGE).
+    from repro.area import TABLE_I_PARAMS
+
+    one = realm_unit_area(TABLE_I_PARAMS) / 1000
+    assert 22 < one < 34

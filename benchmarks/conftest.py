@@ -1,0 +1,36 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper.  The
+pytest-benchmark plugin times the underlying simulation; the printed rows
+are the reproduction artefact (compare against EXPERIMENTS.md).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ContentionExperiment
+
+# One shared experiment configuration so every figure uses the same
+# workload, as in the paper.
+N_ACCESSES = 100
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    exp = ContentionExperiment(n_accesses=N_ACCESSES)
+    exp.run_single_source()
+    return exp
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a reproduction block (visible with -s and in tee'd output)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+    for line in lines:
+        print(line)
+    print(bar)

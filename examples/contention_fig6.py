@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure 6 on the Cheshire-like SoC.
+
+A CVA6-class core runs a Susan-like memory-intense trace while a DSA DMA
+double-buffers 256-beat bursts between the LLC and the SPM — the paper's
+worst-case interference.  Sweeps (a) the REALM fragmentation size and
+(b) the core/DMA budget imbalance, printing the same series the paper
+plots, with ASCII bars.
+
+Run:  python examples/contention_fig6.py
+"""
+
+from repro.analysis import ContentionExperiment
+
+
+def bar(pct: float, width: int = 40) -> str:
+    filled = int(round(pct / 100 * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    exp = ContentionExperiment(n_accesses=100)
+    baseline = exp.run_single_source()
+    print(f"single-source baseline: {baseline.execution_cycles} cycles, "
+          f"worst access latency {baseline.latency.maximum}")
+
+    print("\nFigure 6a — fragmentation sweep (equal budgets, long period)")
+    print(f"{'config':<22}{'perf':>7}  {'':40}  worst lat")
+    nores = exp.run_without_reservation()
+    print(f"{'without reservation':<22}{nores.perf_percent:>6.1f}%  "
+          f"{bar(nores.perf_percent)}  {nores.worst_case_latency}")
+    for result in exp.sweep_fragmentation((256, 64, 16, 4, 1)):
+        print(f"{result.label:<22}{result.perf_percent:>6.1f}%  "
+              f"{bar(result.perf_percent)}  {result.worst_case_latency}")
+
+    print("\nFigure 6b — budget imbalance (fragmentation 1, period 1000)")
+    print(f"{'config':<22}{'perf':>7}  {'':40}  worst lat")
+    for result in exp.sweep_budget():
+        print(f"{result.label:<22}{result.perf_percent:>6.1f}%  "
+              f"{bar(result.perf_percent)}  {result.worst_case_latency}")
+
+    print("\npaper reference: 0.7% uncontrolled -> 68.2% at fragmentation 1"
+          " -> >95% with budget in favor of the core;"
+          " worst-case latency 264 -> <10 -> <8 cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Denial-of-service mitigation demo (paper Section III-A, write buffer).
+
+A malicious manager reserves the interconnect's W channel by winning AW
+arbitration and never delivering its write data.  On a bare crossbar this
+starves every other manager's writes forever.  With a REALM unit in front
+of the attacker, the poisoned transaction never reaches the interconnect:
+the write buffer only forwards bursts whose data is fully buffered.
+
+The demo also shows the isolation path: the operator cuts the attacker
+off entirely through the configuration register file (bus-guard
+protected), then verifies the system is clean.
+
+Run:  python examples/dos_mitigation.py
+"""
+
+from repro.axi import AxiBundle
+from repro.interconnect import AddressMap, AxiCrossbar
+from repro.mem import SramMemory
+from repro.realm import RealmRegisterFile, RealmUnit, RealmUnitParams
+from repro.realm import register_file as rf
+from repro.sim import Simulator
+from repro.traffic import ManagerDriver, StallingWriter
+
+
+def build(protected: bool):
+    sim = Simulator()
+    attacker_up = AxiBundle(sim, "attacker")
+    victim_port = AxiBundle(sim, "victim")
+    realm = None
+    if protected:
+        attacker_down = AxiBundle(sim, "attacker.down")
+        realm = sim.add(RealmUnit(attacker_up, attacker_down,
+                                  RealmUnitParams(), name="realm.attacker"))
+        ports = [attacker_down, victim_port]
+    else:
+        ports = [attacker_up, victim_port]
+    mem_port = AxiBundle(sim, "mem")
+    amap = AddressMap()
+    amap.add_range(0x0, 0x10000, port=0, name="sram")
+    sim.add(AxiCrossbar(ports, [mem_port], amap))
+    sim.add(SramMemory(mem_port, base=0, size=0x10000))
+    sim.add(StallingWriter(attacker_up, beats=256))
+    victim = sim.add(ManagerDriver(victim_port, name="victim"))
+    return sim, victim, realm
+
+
+def main() -> None:
+    print("=== attack on a bare crossbar ===")
+    sim, victim, _ = build(protected=False)
+    sim.run(20)
+    op = victim.write(0x100, b"critical")
+    sim.run(2000)
+    print(f"victim write completed: {op.done}   <- denial of service\n")
+
+    print("=== attack with REALM in front of the attacker ===")
+    sim, victim, realm = build(protected=True)
+    sim.run(20)
+    op = victim.write(0x100, b"critical")
+    sim.run(2000)
+    print(f"victim write completed: {op.done} "
+          f"(latency {op.latency} cycles)")
+    print(f"attacker bursts forwarded downstream: "
+          f"{realm.write_buffer.bursts_forwarded} "
+          f"(poisoned AW held in the write buffer)\n")
+
+    print("=== operator response: isolate the attacker via config bus ===")
+    regfile = RealmRegisterFile([realm])
+    OPERATOR_TID = 0x10
+    regfile.write(0x0, OPERATOR_TID, tid=OPERATOR_TID)  # claim the guard
+    ctrl = rf.unit_base(0) + rf.CTRL
+    current = regfile.read(ctrl, tid=OPERATOR_TID)
+    regfile.write(ctrl, current | rf.CTRL_USER_ISOLATE, tid=OPERATOR_TID)
+    sim.run(50)
+    print(f"attacker isolation mode: {realm.isolation.mode.value} "
+          "(the poisoned write can never complete, so the unit reports "
+          "'draining' forever — itself a diagnostic that this manager "
+          "is misbehaving; no new transactions are admitted)")
+    op2 = victim.write(0x200, b"all-clear")
+    sim.run(100)
+    print(f"victim still served while attacker is cut off: {op2.done}")
+
+
+if __name__ == "__main__":
+    main()

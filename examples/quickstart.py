@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: put a REALM unit in front of a manager and watch it work.
+
+Builds the smallest meaningful system::
+
+    driver --> REALM unit --> SRAM
+
+then demonstrates the three core features of the paper in ~40 lines of
+API: burst fragmentation, budget/period regulation, and traffic
+monitoring.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.axi import AxiBundle
+from repro.mem import SramMemory
+from repro.realm import RealmUnit, RealmUnitParams, RegionConfig
+from repro.sim import Simulator
+from repro.traffic import ManagerDriver
+
+
+def main() -> None:
+    sim = Simulator()
+    mgr_side = AxiBundle(sim, "manager")
+    mem_side = AxiBundle(sim, "memory")
+
+    realm = sim.add(
+        RealmUnit(mgr_side, mem_side, RealmUnitParams(n_regions=1))
+    )
+    sram = sim.add(SramMemory(mem_side, base=0x0, size=64 * 1024))
+    driver = sim.add(ManagerDriver(mgr_side))
+
+    # --- 1. burst fragmentation ---------------------------------------
+    realm.set_granularity(4)  # split bursts into 4-beat fragments
+    driver.write(0x1000, bytes(range(128)), beats=16)
+    op = driver.read(0x1000, beats=16)
+    sim.run_until(lambda: driver.idle, max_cycles=10_000, what="driver")
+    assert op.rdata == bytes(range(128))
+    print("fragmentation: 16-beat burst served as", sram.reads_served,
+          "fragments; data intact")
+
+    # --- 2. budget/period regulation ----------------------------------
+    realm.configure_region(
+        0,
+        RegionConfig(base=0x0, size=64 * 1024,
+                     budget_bytes=64, period_cycles=400),
+    )
+    sim.run(5)  # let the reconfiguration drain + apply
+    ops = [driver.read(i * 8) for i in range(10)]  # 80 B > 64 B budget
+    sim.run_until(lambda: driver.idle, max_cycles=10_000, what="driver")
+    first_period = sum(1 for o in ops if o.done_cycle < sim.cycle - 400)
+    print(f"regulation: 10 reads of 8 B against a 64 B/400-cycle budget -> "
+          f"{first_period} served in the first period, rest after replenish")
+
+    # --- 3. monitoring -------------------------------------------------
+    snap = realm.region_snapshot(0)
+    print(f"monitoring: region moved {snap.total_bytes} B total, "
+          f"{snap.txn_count} transactions, "
+          f"avg latency {snap.latency_avg:.1f} cycles, "
+          f"max {snap.latency_max}, stalled {snap.stall_cycles} cycles")
+    print(f"unit status: isolated={realm.isolated}, "
+          f"outstanding={realm.outstanding}")
+
+
+if __name__ == "__main__":
+    main()

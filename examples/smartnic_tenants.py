@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Multi-tenant SmartNIC use case (paper conclusion).
+
+"Thanks to AXI-REALM's modularity, use cases beyond real-time embedded
+computing could be targeted: AXI-REALM could be used in multi-tenant
+smart NICs to enforce guarantees on shared resource usages."
+
+This example models a NIC-style system: four tenant DMA engines share one
+packet-buffer memory through a crossbar.  Tenant 0 has paid for a
+guaranteed 50% share; tenants 1-3 are best-effort, and tenant 3
+misbehaves (it tries to hog the full link).  One REALM unit per tenant
+enforces the SLA and exposes per-tenant accounting.
+
+Run:  python examples/smartnic_tenants.py
+"""
+
+from repro.axi import AxiBundle
+from repro.interconnect import AddressMap, AxiCrossbar
+from repro.mem import SramMemory
+from repro.realm import RealmUnit, RealmUnitParams, RegionConfig
+from repro.sim import Simulator
+from repro.traffic import BandwidthHog
+
+PACKET_BUF_SIZE = 0x40000
+PERIOD = 2000
+LINK_BYTES_PER_CYCLE = 8  # 64-bit port, one beat per cycle
+# SLA: tenant 0 gets 50%; the rest get 12.5% each (25% headroom unused).
+SLA_SHARES = {0: 0.50, 1: 0.125, 2: 0.125, 3: 0.125}
+
+
+def main() -> None:
+    sim = Simulator()
+    tenant_ports = []
+    xbar_ports = []
+    realm_units = []
+    for tenant in range(4):
+        up = AxiBundle(sim, f"tenant{tenant}")
+        down = AxiBundle(sim, f"tenant{tenant}.down")
+        unit = sim.add(
+            RealmUnit(up, down, RealmUnitParams(n_regions=1),
+                      name=f"realm.t{tenant}")
+        )
+        budget = int(SLA_SHARES[tenant] * LINK_BYTES_PER_CYCLE * PERIOD)
+        unit.set_granularity(8)  # NIC-friendly 64 B fragments
+        unit.configure_region(
+            0, RegionConfig(base=0, size=PACKET_BUF_SIZE,
+                            budget_bytes=budget, period_cycles=PERIOD)
+        )
+        tenant_ports.append(up)
+        xbar_ports.append(down)
+        realm_units.append(unit)
+
+    buf_port = AxiBundle(sim, "pktbuf", capacity=4)
+    amap = AddressMap()
+    amap.add_range(0x0, PACKET_BUF_SIZE, port=0, name="pktbuf")
+    sim.add(AxiCrossbar(xbar_ports, [buf_port], amap))
+    sim.add(SramMemory(buf_port, base=0, size=PACKET_BUF_SIZE))
+
+    # Every tenant tries to read as fast as it can; tenant 3 is greedy
+    # (deep outstanding queue), modelling a misbehaving VM.
+    engines = []
+    for tenant, port in enumerate(tenant_ports):
+        engines.append(sim.add(BandwidthHog(
+            port, target_base=tenant * 0x10000, window=0x10000,
+            beats=64, max_outstanding=8 if tenant == 3 else 2,
+            name=f"dma.t{tenant}",
+        )))
+
+    horizon = 10 * PERIOD
+    sim.run(horizon)
+
+    print(f"{'tenant':<8} {'SLA share':>10} {'achieved':>10} "
+          f"{'bytes moved':>12} {'stall cycles':>13}")
+    print("-" * 58)
+    total_capacity = LINK_BYTES_PER_CYCLE * horizon
+    for tenant, (engine, unit) in enumerate(zip(engines, realm_units)):
+        achieved = engine.bytes_stolen / total_capacity
+        snap = unit.region_snapshot(0)
+        print(f"t{tenant:<7} {SLA_SHARES[tenant]:>9.1%} {achieved:>9.1%} "
+              f"{engine.bytes_stolen:>12} {snap.stall_cycles:>13}")
+
+    premium = engines[0].bytes_stolen
+    greedy = engines[3].bytes_stolen
+    print(f"\npremium tenant got {premium / greedy:.1f}x the greedy "
+          "tenant's bandwidth — the SLA held despite the hog's deep "
+          "outstanding queue.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Analysis: statistics, interference monitoring, experiment runners."""
+
+from repro.analysis.advisor import (
+    BudgetAdvisor,
+    BudgetPlan,
+    ManagerObservation,
+)
+from repro.analysis.experiment import ContentionExperiment, ContentionResult
+from repro.analysis.interference import (
+    InterferenceMatrix,
+    SystemInterferenceMonitor,
+)
+from repro.analysis.stats import (
+    LatencyStats,
+    bytes_per_cycle,
+    percentile,
+    performance_percent,
+)
+
+__all__ = [
+    "BudgetAdvisor",
+    "BudgetPlan",
+    "ContentionExperiment",
+    "ContentionResult",
+    "ManagerObservation",
+    "InterferenceMatrix",
+    "LatencyStats",
+    "SystemInterferenceMonitor",
+    "bytes_per_cycle",
+    "percentile",
+    "performance_percent",
+]

@@ -1,0 +1,125 @@
+"""Budget/period selection from monitoring data.
+
+The paper motivates the M&R unit's statistics with "optimal budget and
+period selection": an operator (or hypervisor) observes each manager's
+demand and interference and derives reservation parameters.  This module
+implements that step as a small, testable policy:
+
+1. observe per-manager demand (bytes/cycle) and latency from the
+   bookkeeping snapshots;
+2. translate criticality weights into guaranteed link shares;
+3. emit per-manager ``RegionConfig`` budgets for a chosen period, leaving
+   headroom so transient bursts do not immediately isolate a manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.realm.bookkeeping import BookkeepingSnapshot
+from repro.realm.regions import RegionConfig
+
+
+@dataclass(frozen=True)
+class ManagerObservation:
+    """What the advisor knows about one manager."""
+
+    name: str
+    snapshot: BookkeepingSnapshot
+    weight: float = 1.0  # criticality weight (relative share)
+
+    @property
+    def demand(self) -> float:
+        """Observed bandwidth demand in bytes/cycle."""
+        return self.snapshot.bandwidth
+
+
+@dataclass(frozen=True)
+class BudgetPlan:
+    """Advisor output for one manager."""
+
+    name: str
+    budget_bytes: int
+    share: float  # guaranteed fraction of the link
+    saturated: bool  # True if observed demand exceeds the granted share
+
+    def region(self, base: int, size: int, period: int) -> RegionConfig:
+        return RegionConfig(base=base, size=size,
+                            budget_bytes=self.budget_bytes,
+                            period_cycles=period)
+
+
+class BudgetAdvisor:
+    """Derives per-manager budgets from observations.
+
+    *link_bytes_per_cycle* is the capacity of the regulated subordinate
+    (e.g. 8 for a 64-bit port moving one beat per cycle); *headroom*
+    inflates each grant so that ordinary jitter does not trip isolation.
+    """
+
+    def __init__(self, link_bytes_per_cycle: float = 8.0,
+                 headroom: float = 1.25) -> None:
+        if link_bytes_per_cycle <= 0:
+            raise ValueError("link capacity must be positive")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1.0")
+        self.link_bytes_per_cycle = link_bytes_per_cycle
+        self.headroom = headroom
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        observations: list[ManagerObservation],
+        period_cycles: int,
+    ) -> list[BudgetPlan]:
+        """Guaranteed-share plan: weights decide the split of the link."""
+        if period_cycles <= 0:
+            raise ValueError("period must be positive")
+        if not observations:
+            return []
+        total_weight = sum(max(0.0, o.weight) for o in observations)
+        if total_weight <= 0:
+            raise ValueError("at least one observation needs positive weight")
+        capacity = self.link_bytes_per_cycle * period_cycles
+        plans = []
+        for obs in observations:
+            share = max(0.0, obs.weight) / total_weight
+            granted = share * capacity
+            demand_bytes = obs.demand * period_cycles * self.headroom
+            # Grant the smaller of fair share and (inflated) demand; the
+            # remainder is implicitly available to others via arbitration.
+            budget = int(min(granted, max(demand_bytes, 1.0)))
+            plans.append(
+                BudgetPlan(
+                    name=obs.name,
+                    budget_bytes=max(budget, 1),
+                    share=share,
+                    saturated=obs.demand * period_cycles > granted,
+                )
+            )
+        return plans
+
+    # ------------------------------------------------------------------
+    def suggest_period(
+        self,
+        worst_case_latency_target: int,
+        fragment_beats: int,
+        beat_bytes: int = 8,
+    ) -> int:
+        """Shortest reasonable period for a latency target.
+
+        A manager that exhausts its budget waits at most one period for
+        replenishment, so the period bounds the regulation-induced
+        worst-case latency.  The period must still be long enough that a
+        useful number of fragments fit; we require at least 8 fragments
+        of budget per period.
+        """
+        if worst_case_latency_target <= 0:
+            raise ValueError("latency target must be positive")
+        min_period = 8 * fragment_beats
+        return max(min_period, worst_case_latency_target)
+
+    def utilization(self, observations: list[ManagerObservation]) -> float:
+        """Total observed demand as a fraction of link capacity."""
+        demand = sum(o.demand for o in observations)
+        return demand / self.link_bytes_per_cycle

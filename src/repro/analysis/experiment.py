@@ -1,0 +1,225 @@
+"""Experiment runners for the paper's functional evaluation (Figure 6).
+
+:class:`ContentionExperiment` builds the Cheshire-like SoC, puts a
+Susan-like trace on the core and the worst-case double-buffering burst
+pattern on the DSA DMA, and measures the core's execution time and access
+latency under a given REALM configuration.  Both Figure 6a (fragmentation
+sweep) and Figure 6b (budget-imbalance sweep) are parameter sweeps over
+:meth:`ContentionExperiment.run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.stats import LatencyStats, performance_percent
+from repro.realm.regions import RegionConfig, UNLIMITED
+from repro.sim.kernel import Simulator
+from repro.soc.cheshire import DRAM_BASE, SPM_BASE, CheshireConfig, CheshireSoC
+from repro.traffic.core_model import CoreModel
+from repro.traffic.dma import DmaEngine
+from repro.traffic.patterns import susan_like_trace
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Outcome of one contention run."""
+
+    label: str
+    execution_cycles: int
+    perf_percent: float  # relative to the single-source baseline
+    latency: LatencyStats
+    dma_bytes: int
+    sim_cycles: int
+
+    @property
+    def worst_case_latency(self) -> int:
+        return self.latency.maximum
+
+
+@dataclass
+class ContentionExperiment:
+    """Reusable Figure-6 test bench."""
+
+    n_accesses: int = 150
+    gap_mean: int = 1
+    # CVA6's L1 refills are two 64-bit beats (128-bit cache lines).
+    core_beats: int = 2
+    core_footprint: int = 16 * 1024
+    dma_window: int = 16 * 1024
+    dma_burst_beats: int = 256
+    seed: int = 42
+    max_cycles: int = 2_000_000
+    soc_config: Optional[CheshireConfig] = None
+    _baseline_cycles: Optional[int] = field(default=None, repr=False)
+
+    # Core working set and DMA source window live in LLC-cached DRAM at
+    # disjoint offsets; the DMA destination is the SPM (Figure 5).
+    @property
+    def core_base(self) -> int:
+        return DRAM_BASE
+
+    @property
+    def dma_src_base(self) -> int:
+        return DRAM_BASE + self.core_footprint
+
+    # ------------------------------------------------------------------
+    def _build(self, with_dma: bool):
+        sim = Simulator()
+        soc = CheshireSoC(sim, self.soc_config or CheshireConfig())
+        trace = susan_like_trace(
+            n_accesses=self.n_accesses,
+            base=self.core_base,
+            footprint=self.core_footprint,
+            gap_mean=self.gap_mean,
+            beats=self.core_beats,
+            seed=self.seed,
+        )
+        core = sim.add(CoreModel(soc.core_port, trace, name="cva6"))
+        dma = None
+        if with_dma:
+            dma = sim.add(
+                DmaEngine(
+                    soc.dma_port,
+                    src_base=self.dma_src_base,
+                    src_size=self.dma_window,
+                    dst_base=SPM_BASE,
+                    dst_size=self.dma_window,
+                    burst_beats=self.dma_burst_beats,
+                    name="dsa_dma",
+                )
+            )
+        # Hot LLC, as in the paper's measurement phase.
+        soc.warm_llc(self.core_base, self.core_footprint)
+        soc.warm_llc(self.dma_src_base, self.dma_window)
+        return sim, soc, core, dma
+
+    def _configure_realm(
+        self,
+        soc: CheshireSoC,
+        fragmentation: int,
+        core_budget: int,
+        dma_budget: int,
+        period: int,
+        regulation: bool,
+        throttle: bool = False,
+    ) -> None:
+        llc_region_size = soc.config.dram_size
+        plans = {
+            "core": core_budget,
+            "dma": dma_budget,
+        }
+        for name, budget in plans.items():
+            unit = soc.realm_units.get(name)
+            if unit is None:
+                continue
+            unit.set_regulation_enabled(regulation)
+            unit.set_throttle_enabled(throttle)
+            unit.set_granularity(fragmentation)
+            unit.configure_region(
+                0,
+                RegionConfig(
+                    base=DRAM_BASE,
+                    size=llc_region_size,
+                    budget_bytes=budget,
+                    period_cycles=period,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def run_single_source(self) -> ContentionResult:
+        """Core alone (grey dashed baseline of Figure 6)."""
+        sim, soc, core, _ = self._build(with_dma=False)
+        self._configure_realm(
+            soc, fragmentation=256, core_budget=UNLIMITED,
+            dma_budget=UNLIMITED, period=UNLIMITED, regulation=False,
+        )
+        sim.run_until(lambda: core.done, max_cycles=self.max_cycles,
+                      what="single-source core run")
+        self._baseline_cycles = core.execution_cycles
+        return ContentionResult(
+            label="single-source",
+            execution_cycles=core.execution_cycles,
+            perf_percent=100.0,
+            latency=LatencyStats.from_samples(core.latencies),
+            dma_bytes=0,
+            sim_cycles=sim.cycle,
+        )
+
+    def run(
+        self,
+        fragmentation: int = 256,
+        core_budget: int = UNLIMITED,
+        dma_budget: int = UNLIMITED,
+        period: int = UNLIMITED,
+        regulation: bool = True,
+        throttle: bool = False,
+        label: str = "",
+    ) -> ContentionResult:
+        """One contended run under the given REALM configuration."""
+        if self._baseline_cycles is None:
+            self.run_single_source()
+        sim, soc, core, dma = self._build(with_dma=True)
+        self._configure_realm(
+            soc, fragmentation, core_budget, dma_budget, period, regulation,
+            throttle,
+        )
+        sim.run_until(lambda: core.done, max_cycles=self.max_cycles,
+                      what=f"core run ({label or fragmentation})")
+        return ContentionResult(
+            label=label or f"frag={fragmentation}",
+            execution_cycles=core.execution_cycles,
+            perf_percent=performance_percent(
+                self._baseline_cycles, core.execution_cycles
+            ),
+            latency=LatencyStats.from_samples(core.latencies),
+            dma_bytes=dma.bytes_read + dma.bytes_written if dma else 0,
+            sim_cycles=sim.cycle,
+        )
+
+    def run_without_reservation(self) -> ContentionResult:
+        """Uncontrolled contention (no regulation, bursts pass whole)."""
+        return self.run(
+            fragmentation=256, regulation=False, label="without-reservation"
+        )
+
+    # ------------------------------------------------------------------
+    def sweep_fragmentation(
+        self, fragmentations: tuple[int, ...] = (256, 128, 64, 32, 16, 8, 4, 2, 1)
+    ) -> list[ContentionResult]:
+        """Figure 6a: equal budgets, very long period, varying granularity."""
+        out = []
+        for frag in fragmentations:
+            out.append(
+                self.run(
+                    fragmentation=frag,
+                    core_budget=UNLIMITED,
+                    dma_budget=UNLIMITED,
+                    period=UNLIMITED,
+                    regulation=True,
+                    label=f"frag={frag}",
+                )
+            )
+        return out
+
+    def sweep_budget(
+        self,
+        ratios: tuple[int, ...] = (1, 2, 3, 4, 5),
+        period: int = 1000,
+        full_budget: int = 8192,
+    ) -> list[ContentionResult]:
+        """Figure 6b: fragmentation 1, shrinking the DMA budget 1/1 -> 1/5."""
+        out = []
+        for ratio in ratios:
+            out.append(
+                self.run(
+                    fragmentation=1,
+                    core_budget=full_budget,
+                    dma_budget=full_budget // ratio,
+                    period=period,
+                    regulation=True,
+                    label=f"dma=1/{ratio}",
+                )
+            )
+        return out

@@ -1,0 +1,75 @@
+"""Statistics helpers for experiment post-processing."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample."""
+
+    count: int
+    minimum: int
+    maximum: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[int]) -> "LatencyStats":
+        if not samples:
+            return cls(0, 0, 0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 50),
+            p95=percentile(ordered, 95),
+            p99=percentile(ordered, 99),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} min={self.minimum} mean={self.mean:.1f} "
+            f"p95={self.p95:.0f} max={self.maximum}"
+        )
+
+
+def percentile(ordered: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile out of range: {pct}")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (pct / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def performance_percent(baseline_cycles: int, measured_cycles: int) -> float:
+    """Execution-time-based performance relative to a baseline run.
+
+    100% means as fast as the baseline; lower is slower (the metric of
+    Figure 6: "% of the single-source performance").
+    """
+    if measured_cycles <= 0:
+        raise ValueError("measured cycles must be positive")
+    return 100.0 * baseline_cycles / measured_cycles
+
+
+def bytes_per_cycle(nbytes: int, cycles: int) -> float:
+    if cycles <= 0:
+        return 0.0
+    return nbytes / cycles

@@ -1,0 +1,39 @@
+"""Area model (Table II) and SoC decomposition (Table I)."""
+
+from repro.area.model import (
+    TABLE_II,
+    SubBlockArea,
+    area_breakdown,
+    config_regfile_area,
+    realm_unit_area,
+    sub_blocks,
+    system_area,
+)
+from repro.area.tables import (
+    PAPER_BLOCKS_KGE,
+    PAPER_SOC_TOTAL_KGE,
+    TABLE_I_N_UNITS,
+    TABLE_I_PARAMS,
+    TableIRow,
+    cheshire_decomposition,
+    format_table,
+    realm_overhead_percent,
+)
+
+__all__ = [
+    "PAPER_BLOCKS_KGE",
+    "PAPER_SOC_TOTAL_KGE",
+    "SubBlockArea",
+    "TABLE_II",
+    "TABLE_I_N_UNITS",
+    "TABLE_I_PARAMS",
+    "TableIRow",
+    "area_breakdown",
+    "cheshire_decomposition",
+    "config_regfile_area",
+    "format_table",
+    "realm_unit_area",
+    "sub_blocks",
+    "system_area",
+    "realm_overhead_percent",
+]

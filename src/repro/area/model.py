@@ -1,0 +1,146 @@
+"""Analytical area model of AXI-REALM (Table II of the paper).
+
+The paper provides, from GlobalFoundries 12 nm synthesis at 1 GHz, a linear
+area model: each sub-block's area is a constant plus per-parameter
+coefficients multiplied by the parameter values.  "To estimate the area of
+an AXI-REALM system, the individual unit's area contributions are
+multiplied by the parameter value and summed up."
+
+All numbers are in gate equivalents (GE).  The storage-size coefficient is
+applied per data-width element of write-buffer storage (depth x 1 beat),
+which reproduces the paper's in-system total (3 units of the Table I
+configuration = ~84 kGE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.realm.config import RealmUnitParams
+
+
+@dataclass(frozen=True)
+class SubBlockArea:
+    """Linear model of one sub-block: const + sum(coeff * parameter)."""
+
+    name: str
+    group: str  # "config" | "unit"
+    scope: str  # "per_system" | "per_unit" | "per_unit_region"
+    const: float = 0.0
+    per_addr_bit: float = 0.0
+    per_data_bit: float = 0.0
+    per_pending: float = 0.0
+    per_storage_elem: float = 0.0  # per write-buffer element (one beat)
+
+    def area(self, params: RealmUnitParams) -> float:
+        """Area of one instance of this sub-block, in GE."""
+        storage_elems = (
+            params.write_buffer_depth if params.write_buffer_present else 0
+        )
+        return (
+            self.const
+            + self.per_addr_bit * params.addr_width
+            + self.per_data_bit * params.data_width
+            + self.per_pending * params.max_pending
+            + self.per_storage_elem * storage_elems
+        )
+
+
+# Table II, transcribed.  Names follow the paper's columns.
+TABLE_II: tuple[SubBlockArea, ...] = (
+    # Configuration register file.
+    SubBlockArea("Bus Guard", "config", "per_system", const=260.6),
+    SubBlockArea("Burst Config Register", "config", "per_unit", const=83.5),
+    SubBlockArea("C&S Register", "config", "per_unit", const=24.6),
+    SubBlockArea(
+        "Budget & Period Register", "config", "per_unit_region", const=1319.6
+    ),
+    SubBlockArea(
+        "Region Boundary Register", "config", "per_unit_region",
+        per_addr_bit=20.6,
+    ),
+    # REALM unit.
+    SubBlockArea(
+        "Isolate & Throttle", "unit", "per_unit",
+        const=267.1, per_addr_bit=3.5, per_data_bit=2.7, per_pending=9.0,
+    ),
+    SubBlockArea(
+        "Burst Splitter", "unit", "per_unit",
+        const=4835.0, per_addr_bit=49.3, per_data_bit=1.5, per_pending=729.4,
+    ),
+    SubBlockArea(
+        "Meta Buffer", "unit", "per_unit", const=1309.7, per_addr_bit=38.1
+    ),
+    SubBlockArea(
+        "Write Buffer", "unit", "per_unit", const=11.4, per_storage_elem=264.4
+    ),
+    SubBlockArea(
+        "Tracking Counters", "unit", "per_unit_region", const=1928.5
+    ),
+    SubBlockArea(
+        "Region Decoders", "unit", "per_unit_region", per_addr_bit=20.8
+    ),
+)
+
+
+def sub_blocks(group: str | None = None) -> tuple[SubBlockArea, ...]:
+    """Table II rows, optionally filtered by group."""
+    if group is None:
+        return TABLE_II
+    return tuple(b for b in TABLE_II if b.group == group)
+
+
+def realm_unit_area(params: RealmUnitParams) -> float:
+    """Area of one REALM unit (without the config register file), in GE."""
+    total = 0.0
+    for block in sub_blocks("unit"):
+        if block.name in ("Burst Splitter", "Meta Buffer") and not (
+            params.splitter_present
+        ):
+            continue  # splitter can be disabled to reduce the footprint
+        if block.name == "Write Buffer" and not params.write_buffer_present:
+            continue
+        instances = params.n_regions if block.scope == "per_unit_region" else 1
+        total += block.area(params) * instances
+    return total
+
+
+def config_regfile_area(params: RealmUnitParams, n_units: int) -> float:
+    """Area of the shared configuration register file, in GE."""
+    if n_units < 0:
+        raise ValueError("n_units must be non-negative")
+    total = 0.0
+    for block in sub_blocks("config"):
+        if block.scope == "per_system":
+            instances = 1
+        elif block.scope == "per_unit":
+            instances = n_units
+        else:  # per_unit_region
+            instances = n_units * params.n_regions
+        total += block.area(params) * instances
+    return total
+
+
+def system_area(params: RealmUnitParams, n_units: int) -> dict[str, float]:
+    """Full AXI-REALM area of a system with *n_units* REALM units.
+
+    Returns a dict with per-category totals in GE.
+    """
+    units = realm_unit_area(params) * n_units
+    config = config_regfile_area(params, n_units)
+    return {
+        "realm_units": units,
+        "config_regfile": config,
+        "total": units + config,
+    }
+
+
+def area_breakdown(params: RealmUnitParams) -> dict[str, float]:
+    """Per-sub-block area of one unit + its per-unit config share, in GE."""
+    out: dict[str, float] = {}
+    for block in TABLE_II:
+        instances = params.n_regions if block.scope == "per_unit_region" else 1
+        if block.scope == "per_system":
+            instances = 1
+        out[block.name] = block.area(params) * instances
+    return out

@@ -1,0 +1,54 @@
+"""AXI4 protocol substrate: beat records, burst math, port bundles."""
+
+from repro.axi.beats import (
+    AddrBeat,
+    ARBeat,
+    AWBeat,
+    BBeat,
+    RBeat,
+    WBeat,
+    validate_addr_beat,
+)
+from repro.axi.idspace import IdMap, TxnCounter
+from repro.axi.ports import AxiBundle
+from repro.axi.transaction import (
+    Fragment,
+    beat_addresses,
+    crosses_4k,
+    fragment_burst,
+    fragment_count,
+    is_fragmentable,
+)
+from repro.axi.types import (
+    AtomicOp,
+    BurstType,
+    Cacheability,
+    Resp,
+    bytes_per_beat,
+    merge_resp,
+)
+
+__all__ = [
+    "ARBeat",
+    "AWBeat",
+    "AddrBeat",
+    "AtomicOp",
+    "AxiBundle",
+    "BBeat",
+    "BurstType",
+    "Cacheability",
+    "Fragment",
+    "IdMap",
+    "RBeat",
+    "Resp",
+    "TxnCounter",
+    "WBeat",
+    "beat_addresses",
+    "bytes_per_beat",
+    "crosses_4k",
+    "fragment_burst",
+    "fragment_count",
+    "is_fragmentable",
+    "merge_resp",
+    "validate_addr_beat",
+]

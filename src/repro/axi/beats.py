@@ -1,0 +1,146 @@
+"""Beat-level payload records for the five AXI4 channels.
+
+Beats are plain mutable dataclasses with ``__slots__``; millions of them are
+created during a benchmark run, so they stay deliberately small.  Burst
+length is stored as a *beat count* (1..256), not as the on-wire ``AxLEN``
+(length minus one); the :attr:`AWBeat.axlen` property converts.
+
+Two simulator-only annotations ride along with each beat:
+
+* ``issue_cycle`` — stamped by traffic generators so that monitors can
+  compute end-to-end latency without a side table;
+* ``txn`` — a monotically increasing transaction tag used by monitors and
+  tests to correlate request and response beats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.axi.types import AtomicOp, BurstType, Resp, bytes_per_beat
+
+
+@dataclass(slots=True)
+class AWBeat:
+    """Write-address channel beat (one per write burst)."""
+
+    id: int
+    addr: int
+    beats: int  # burst length in beats, 1..256
+    size: int  # AxSIZE: log2(bytes per beat)
+    burst: BurstType = BurstType.INCR
+    atop: AtomicOp = AtomicOp.NONE
+    modifiable: bool = True
+    qos: int = 0
+    user: int = 0
+    issue_cycle: int = -1
+    txn: int = -1
+
+    @property
+    def axlen(self) -> int:
+        """On-wire AxLEN field (beats - 1)."""
+        return self.beats - 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.beats * bytes_per_beat(self.size)
+
+    def copy(self) -> "AWBeat":
+        return AWBeat(
+            self.id, self.addr, self.beats, self.size, self.burst,
+            self.atop, self.modifiable, self.qos, self.user,
+            self.issue_cycle, self.txn,
+        )
+
+
+@dataclass(slots=True)
+class WBeat:
+    """Write-data channel beat."""
+
+    data: Optional[bytes] = None
+    strb: int = -1  # -1 means all byte lanes enabled
+    last: bool = False
+    user: int = 0
+    txn: int = -1
+
+    def copy(self) -> "WBeat":
+        return WBeat(self.data, self.strb, self.last, self.user, self.txn)
+
+
+@dataclass(slots=True)
+class BBeat:
+    """Write-response channel beat (one per write burst)."""
+
+    id: int
+    resp: Resp = Resp.OKAY
+    user: int = 0
+    txn: int = -1
+
+
+@dataclass(slots=True)
+class ARBeat:
+    """Read-address channel beat (one per read burst)."""
+
+    id: int
+    addr: int
+    beats: int
+    size: int
+    burst: BurstType = BurstType.INCR
+    atop: AtomicOp = AtomicOp.NONE
+    modifiable: bool = True
+    qos: int = 0
+    user: int = 0
+    issue_cycle: int = -1
+    txn: int = -1
+
+    @property
+    def axlen(self) -> int:
+        return self.beats - 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.beats * bytes_per_beat(self.size)
+
+    def copy(self) -> "ARBeat":
+        return ARBeat(
+            self.id, self.addr, self.beats, self.size, self.burst,
+            self.atop, self.modifiable, self.qos, self.user,
+            self.issue_cycle, self.txn,
+        )
+
+
+@dataclass(slots=True)
+class RBeat:
+    """Read-data channel beat."""
+
+    id: int
+    data: Optional[bytes] = None
+    resp: Resp = Resp.OKAY
+    last: bool = False
+    user: int = 0
+    txn: int = -1
+
+
+# Either address-channel beat; useful for code shared by the read and write
+# paths (address decode, budget accounting, fragmentation).
+AddrBeat = AWBeat | ARBeat
+
+
+def validate_addr_beat(beat: AddrBeat) -> None:
+    """Raise ``ValueError`` for beats that violate basic AXI4 rules."""
+    if beat.beats < 1:
+        raise ValueError(f"burst length must be >= 1, got {beat.beats}")
+    if beat.burst == BurstType.INCR:
+        if beat.beats > 256:
+            raise ValueError(f"INCR burst too long: {beat.beats} beats")
+    else:
+        if beat.beats > 16:
+            raise ValueError(
+                f"{beat.burst.name} burst too long: {beat.beats} beats"
+            )
+    if beat.burst == BurstType.WRAP and beat.beats not in (2, 4, 8, 16):
+        raise ValueError(f"WRAP burst length must be 2/4/8/16, got {beat.beats}")
+    bytes_per_beat(beat.size)  # validates the size field
+    if beat.burst == BurstType.WRAP and beat.addr % bytes_per_beat(beat.size):
+        raise ValueError("WRAP burst address must be size-aligned")

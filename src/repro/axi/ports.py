@@ -1,0 +1,57 @@
+"""AXI port bundles: the five channels of one AXI4 interface.
+
+An :class:`AxiBundle` groups an AW, W, B, AR, and R channel.  Direction is a
+matter of perspective: the *upstream* component (closer to the manager)
+sends on aw/w/ar and receives on b/r; the *downstream* component does the
+opposite.  Components take bundles in their constructors, so wiring a
+system is a sequence of bundle handshakes::
+
+    core --bundle0--> realm_unit --bundle1--> crossbar --bundle2--> memory
+"""
+
+from __future__ import annotations
+
+from repro.axi.beats import ARBeat, AWBeat, BBeat, RBeat, WBeat
+from repro.sim.channel import Channel
+from repro.sim.kernel import Simulator
+
+
+class AxiBundle:
+    """One AXI4 interface: five independent channels."""
+
+    __slots__ = ("name", "aw", "w", "b", "ar", "r")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "axi",
+        capacity: int = 2,
+    ) -> None:
+        self.name = name
+        self.aw: Channel[AWBeat] = Channel(sim, f"{name}.aw", capacity)
+        self.w: Channel[WBeat] = Channel(sim, f"{name}.w", capacity)
+        self.b: Channel[BBeat] = Channel(sim, f"{name}.b", capacity)
+        self.ar: Channel[ARBeat] = Channel(sim, f"{name}.ar", capacity)
+        self.r: Channel[RBeat] = Channel(sim, f"{name}.r", capacity)
+
+    @property
+    def channels(self) -> tuple[Channel, ...]:
+        return (self.aw, self.w, self.b, self.ar, self.r)
+
+    @property
+    def request_channels(self) -> tuple[Channel, ...]:
+        """Channels that carry manager-to-subordinate traffic."""
+        return (self.aw, self.w, self.ar)
+
+    @property
+    def response_channels(self) -> tuple[Channel, ...]:
+        """Channels that carry subordinate-to-manager traffic."""
+        return (self.b, self.r)
+
+    def idle(self) -> bool:
+        """True if no beat is buffered on any of the five channels."""
+        return all(ch.occupancy == 0 for ch in self.channels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        occ = ",".join(str(ch.occupancy) for ch in self.channels)
+        return f"<AxiBundle {self.name!r} occ=[{occ}]>"

@@ -1,0 +1,121 @@
+"""Burst address arithmetic and the REALM fragmentation rules.
+
+This module is pure (no simulation state): given an address beat it can
+enumerate per-beat addresses, check the 4 KiB rule, decide whether the
+granular burst splitter may fragment the burst, and produce the fragment
+descriptors the splitter emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.axi.beats import AddrBeat
+from repro.axi.types import (
+    BOUNDARY_4K,
+    AtomicOp,
+    BurstType,
+    bytes_per_beat,
+)
+
+# The AXI4 spec allows splitting *modifiable* bursts freely; non-modifiable
+# bursts may only be split when longer than 16 beats (they could not have
+# been issued as a legal FIXED/WRAP/locked access in the first place).
+NON_MODIFIABLE_SPLIT_THRESHOLD = 16
+
+
+def beat_addresses(beat: AddrBeat) -> list[int]:
+    """Per-beat byte addresses of a burst, following AxBURST semantics."""
+    nbytes = bytes_per_beat(beat.size)
+    if beat.burst == BurstType.FIXED:
+        return [beat.addr] * beat.beats
+    if beat.burst == BurstType.INCR:
+        aligned = beat.addr & ~(nbytes - 1)
+        first = beat.addr
+        return [first] + [aligned + i * nbytes for i in range(1, beat.beats)]
+    # WRAP: address wraps at container boundary (beats * nbytes, beats is a
+    # power of two per validate_addr_beat).
+    container = beat.beats * nbytes
+    base = (beat.addr // container) * container
+    out = []
+    addr = beat.addr
+    for _ in range(beat.beats):
+        out.append(addr)
+        addr += nbytes
+        if addr >= base + container:
+            addr = base
+    return out
+
+
+def crosses_4k(beat: AddrBeat) -> bool:
+    """True if the burst crosses a 4 KiB boundary (illegal in AXI4)."""
+    if beat.burst != BurstType.INCR:
+        return False  # FIXED stays put; WRAP stays inside its container
+    nbytes = bytes_per_beat(beat.size)
+    start = beat.addr & ~(nbytes - 1)
+    end = start + beat.beats * nbytes - 1
+    return (start // BOUNDARY_4K) != (end // BOUNDARY_4K)
+
+
+def is_fragmentable(beat: AddrBeat) -> bool:
+    """May the granular burst splitter fragment this burst?
+
+    Per the paper (Section III-A) and the AXI4 specification:
+
+    * atomic bursts are never fragmented;
+    * non-modifiable transactions of sixteen beats or fewer are never
+      fragmented;
+    * FIXED and WRAP bursts (which are at most 16 beats) keep their access
+      semantics only as a whole and are passed through.
+    """
+    if beat.atop != AtomicOp.NONE:
+        return False
+    if beat.burst != BurstType.INCR:
+        return False
+    if not beat.modifiable and beat.beats <= NON_MODIFIABLE_SPLIT_THRESHOLD:
+        return False
+    return beat.beats > 1
+
+
+@dataclass(frozen=True, slots=True)
+class Fragment:
+    """One fragment of a split burst: (address, beat count)."""
+
+    addr: int
+    beats: int
+
+
+def fragment_burst(beat: AddrBeat, granularity: int) -> list[Fragment]:
+    """Split *beat* into fragments of at most *granularity* beats.
+
+    The first fragment is shortened so that subsequent fragment addresses
+    are granularity-aligned relative to the burst start, matching the
+    address-update behaviour of the RTL fragmenters.  Returns a single
+    fragment covering the whole burst if the burst is not fragmentable or
+    already short enough.
+    """
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    if not is_fragmentable(beat) or beat.beats <= granularity:
+        return [Fragment(beat.addr, beat.beats)]
+
+    nbytes = bytes_per_beat(beat.size)
+    aligned = beat.addr & ~(nbytes - 1)
+    fragments: list[Fragment] = []
+    remaining = beat.beats
+    addr = beat.addr
+    beat_index = 0
+    while remaining > 0:
+        take = min(granularity, remaining)
+        fragments.append(Fragment(addr, take))
+        remaining -= take
+        beat_index += take
+        addr = aligned + beat_index * nbytes
+    return fragments
+
+
+def fragment_count(beats: int, granularity: int) -> int:
+    """Number of fragments a *beats*-long fragmentable burst splits into."""
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    return (beats + granularity - 1) // granularity

@@ -1,0 +1,76 @@
+"""AXI4 protocol enumerations and constants.
+
+Field encodings follow the AMBA AXI4 specification (ARM IHI 0022, issue J).
+Only the fields that influence timing, routing, or the REALM fragmentation
+rules are modelled; signals such as ``AxPROT`` or ``AxREGION`` that the
+paper's unit passes through untouched are carried opaquely in ``user``.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+# Spec limits.
+MAX_BURST_BEATS_INCR = 256  # INCR bursts: 1..256 beats
+MAX_BURST_BEATS_OTHER = 16  # FIXED/WRAP bursts: 1..16 beats
+BOUNDARY_4K = 4096  # a burst must not cross a 4 KiB boundary
+MAX_SIZE = 7  # AxSIZE: up to 128 bytes per beat
+
+
+class BurstType(IntEnum):
+    """AxBURST encoding."""
+
+    FIXED = 0
+    INCR = 1
+    WRAP = 2
+
+
+class Resp(IntEnum):
+    """xRESP encoding."""
+
+    OKAY = 0
+    EXOKAY = 1
+    SLVERR = 2
+    DECERR = 3
+
+    @property
+    def is_error(self) -> bool:
+        return self in (Resp.SLVERR, Resp.DECERR)
+
+
+class AtomicOp(IntEnum):
+    """AWATOP operation class (AXI5-style atomics, subset).
+
+    ``NONE`` is a regular write.  Any other value marks the burst as atomic;
+    per the paper, atomic bursts are never fragmented.
+    """
+
+    NONE = 0
+    STORE = 1
+    LOAD = 2
+    SWAP = 3
+    COMPARE = 4
+
+
+class Cacheability(IntEnum):
+    """Reduced AxCACHE view: only the *modifiable* bit matters to REALM."""
+
+    NON_MODIFIABLE = 0
+    MODIFIABLE = 1
+
+
+def merge_resp(a: Resp, b: Resp) -> Resp:
+    """Combine two responses, keeping the most severe one.
+
+    Used when coalescing the B responses of a fragmented write burst:
+    DECERR dominates SLVERR dominates EXOKAY dominates OKAY.
+    """
+    severity = {Resp.OKAY: 0, Resp.EXOKAY: 1, Resp.SLVERR: 2, Resp.DECERR: 3}
+    return a if severity[a] >= severity[b] else b
+
+
+def bytes_per_beat(size: int) -> int:
+    """Beat width in bytes for an AxSIZE field value."""
+    if not 0 <= size <= MAX_SIZE:
+        raise ValueError(f"AxSIZE out of range: {size}")
+    return 1 << size

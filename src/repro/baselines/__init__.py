@@ -1,0 +1,14 @@
+"""Baseline regulators from the related work (Section II)."""
+
+from repro.baselines.abe import AbeEqualizer
+from repro.baselines.abu import AbuRegulator
+from repro.baselines.cut_forward import CutForwardUnit
+from repro.baselines.qos400 import QosArbiter, QosTagger
+
+__all__ = [
+    "AbeEqualizer",
+    "AbuRegulator",
+    "CutForwardUnit",
+    "QosArbiter",
+    "QosTagger",
+]

@@ -1,0 +1,110 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro fig6a            # fragmentation sweep
+    python -m repro fig6b            # budget-imbalance sweep
+    python -m repro table1           # SoC area decomposition
+    python -m repro table2           # area-model coefficients
+    python -m repro --accesses 200 fig6a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _run_fig6a(args: argparse.Namespace) -> int:
+    from repro.analysis import ContentionExperiment
+
+    exp = ContentionExperiment(n_accesses=args.accesses)
+    base = exp.run_single_source()
+    print(f"single-source: {base.execution_cycles} cycles, "
+          f"worst latency {base.latency.maximum}")
+    nores = exp.run_without_reservation()
+    print(f"{'without-reservation':<22} {nores.perf_percent:>6.1f}%  "
+          f"worst {nores.worst_case_latency}")
+    for result in exp.sweep_fragmentation(tuple(args.fragmentations)):
+        print(f"{result.label:<22} {result.perf_percent:>6.1f}%  "
+              f"worst {result.worst_case_latency}")
+    return 0
+
+
+def _run_fig6b(args: argparse.Namespace) -> int:
+    from repro.analysis import ContentionExperiment
+
+    exp = ContentionExperiment(n_accesses=args.accesses)
+    exp.run_single_source()
+    for result in exp.sweep_budget():
+        print(f"{result.label:<12} {result.perf_percent:>6.1f}%  "
+              f"worst {result.worst_case_latency}  "
+              f"mean {result.latency.mean:.1f}")
+    return 0
+
+
+def _run_table1(args: argparse.Namespace) -> int:
+    from repro.area import (
+        cheshire_decomposition,
+        format_table,
+        realm_overhead_percent,
+    )
+
+    print(format_table(cheshire_decomposition()))
+    print(f"\nAXI-REALM overhead: {realm_overhead_percent():.2f}% "
+          "(paper: 2.45%)")
+    return 0
+
+
+def _run_table2(args: argparse.Namespace) -> int:
+    from repro.area import TABLE_II, area_breakdown
+    from repro.realm import RealmUnitParams
+
+    print(f"{'sub-block':<26} {'const':>8} {'addr':>6} {'data':>6} "
+          f"{'pend':>7} {'store':>7}")
+    for block in TABLE_II:
+        print(f"{block.name:<26} {block.const:>8.1f} "
+              f"{block.per_addr_bit:>6.1f} {block.per_data_bit:>6.1f} "
+              f"{block.per_pending:>7.1f} {block.per_storage_elem:>7.1f}")
+    print("\nTable I configuration, GE per instance:")
+    for name, ge in area_breakdown(RealmUnitParams()).items():
+        print(f"  {name:<26} {ge:>10.1f}")
+    return 0
+
+
+_COMMANDS = {
+    "fig6a": _run_fig6a,
+    "fig6b": _run_fig6b,
+    "table1": _run_table1,
+    "table2": _run_table2,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AXI-REALM reproduction: regenerate the paper's "
+        "tables and figures.",
+    )
+    parser.add_argument(
+        "--accesses", type=int, default=100,
+        help="core trace length for the contention experiments",
+    )
+    parser.add_argument(
+        "--fragmentations", type=lambda s: [int(v) for v in s.split(",")],
+        default=[256, 64, 16, 4, 1],
+        help="comma-separated fragmentation sizes for fig6a (e.g. 256,16,1)",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS),
+                        help="experiment to regenerate")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""AXI interconnect: arbiters, address map, crossbar."""
+
+from repro.interconnect.address_map import AddressMap, AddressRange
+from repro.interconnect.arbiter import FixedPriorityArbiter, RoundRobinArbiter
+from repro.interconnect.crossbar import AxiCrossbar
+from repro.interconnect.noc import AxiNoc, Flit
+
+__all__ = [
+    "AddressMap",
+    "AddressRange",
+    "AxiCrossbar",
+    "AxiNoc",
+    "FixedPriorityArbiter",
+    "Flit",
+    "RoundRobinArbiter",
+]

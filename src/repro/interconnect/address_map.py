@@ -1,0 +1,85 @@
+"""System address map: contiguous ranges decoded to subordinate indices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True)
+class AddressRange:
+    """A half-open byte range ``[base, base + size)``."""
+
+    base: int
+    size: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"range size must be positive, got {self.size}")
+        if self.base < 0:
+            raise ValueError(f"range base must be non-negative, got {self.base}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def contains_span(self, addr: int, nbytes: int) -> bool:
+        """True if ``[addr, addr + nbytes)`` lies entirely inside the range."""
+        return self.base <= addr and addr + nbytes <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def __str__(self) -> str:
+        return f"{self.name or 'range'}[0x{self.base:x}..0x{self.end:x})"
+
+
+class AddressMap:
+    """Decodes addresses to subordinate-port indices.
+
+    Ranges must not overlap; decode misses return ``None`` and the crossbar
+    answers them with DECERR, as a real AXI demux does.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[AddressRange, int]] = []
+
+    def add(self, rng: AddressRange, port: int) -> None:
+        for existing, _ in self._entries:
+            if existing.overlaps(rng):
+                raise ValueError(f"{rng} overlaps {existing}")
+        self._entries.append((rng, port))
+
+    def add_range(self, base: int, size: int, port: int, name: str = "") -> None:
+        self.add(AddressRange(base, size, name), port)
+
+    def decode(self, addr: int) -> Optional[int]:
+        """Subordinate index for *addr*, or ``None`` on a decode miss."""
+        for rng, port in self._entries:
+            if rng.contains(addr):
+                return port
+        return None
+
+    def decode_span(self, addr: int, nbytes: int) -> Optional[int]:
+        """Like :meth:`decode` but requires the whole span inside one range."""
+        for rng, port in self._entries:
+            if rng.contains_span(addr, nbytes):
+                return port
+        return None
+
+    def range_of(self, addr: int) -> Optional[AddressRange]:
+        for rng, _ in self._entries:
+            if rng.contains(addr):
+                return rng
+        return None
+
+    @property
+    def entries(self) -> tuple[tuple[AddressRange, int], ...]:
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,292 @@
+"""Burst-granular round-robin AXI4 crossbar.
+
+Models the behaviour of the PULP AXI crossbar ([19] in the paper) that the
+evaluation platform (Cheshire) uses:
+
+* **AW/AR arbitration per subordinate is round-robin at burst granularity.**
+  A 256-beat DMA burst granted ahead of a single-beat core access therefore
+  delays the core access by up to 256 cycles — the paper's worst case.
+* **The subordinate W channel is reserved in AW-grant order.**  Once a
+  manager wins AW arbitration, no other manager's write data may enter that
+  subordinate until the winner sends ``w.last``.  A manager that withholds
+  its write data stalls the subordinate for everyone — the denial-of-service
+  vector the REALM write buffer defends against.
+* **Responses are routed by ID prefix** (the manager index is composed into
+  the upper ID bits on ingress and stripped on egress).
+* **Decode misses get DECERR** responses generated inside the crossbar.
+
+The crossbar is a single component; beats traverse it in one cycle (they
+are re-sent on the subordinate-side channels and become visible after the
+commit), matching the one-cycle-per-hop convention of the kernel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.axi.beats import ARBeat, AWBeat, BBeat, RBeat
+from repro.axi.idspace import IdMap
+from repro.axi.ports import AxiBundle
+from repro.axi.types import Resp
+from repro.interconnect.address_map import AddressMap
+from repro.interconnect.arbiter import RoundRobinArbiter
+from repro.sim.kernel import Component
+
+# Sentinel subordinate index for decode misses.
+_ERR = -1
+
+
+class AxiCrossbar(Component):
+    """N-manager x M-subordinate crossbar with round-robin burst arbitration.
+
+    *manager_ports* are the bundles whose request channels the crossbar
+    consumes; *subordinate_ports* are the bundles it drives toward the
+    memories.  ``addr_map`` decodes request addresses to subordinate
+    indices.
+    """
+
+    def __init__(
+        self,
+        manager_ports: Sequence[AxiBundle],
+        subordinate_ports: Sequence[AxiBundle],
+        addr_map: AddressMap,
+        name: str = "xbar",
+        inner_id_bits: int = 8,
+        qos_arbitration: bool = False,
+    ) -> None:
+        super().__init__(name)
+        if not manager_ports or not subordinate_ports:
+            raise ValueError("crossbar needs at least one manager and subordinate")
+        self.managers = list(manager_ports)
+        self.subs = list(subordinate_ports)
+        self.addr_map = addr_map
+        self.idmap = IdMap(inner_id_bits)
+        n_mgr, n_sub = len(self.managers), len(self.subs)
+
+        # Per-subordinate arbiters over managers.  Default: round-robin at
+        # burst granularity.  With *qos_arbitration*, a QoS-400-style
+        # priority arbiter picks the highest AxQOS head beat instead.
+        if qos_arbitration:
+            from repro.baselines.qos400 import QosArbiter
+
+            def aw_priority(mi: int) -> int:
+                ch = self.managers[mi].aw
+                return ch.peek().qos if ch.can_recv() else 0
+
+            def ar_priority(mi: int) -> int:
+                ch = self.managers[mi].ar
+                return ch.peek().qos if ch.can_recv() else 0
+
+            self._aw_arb = [
+                QosArbiter(n_mgr, aw_priority) for _ in range(n_sub)
+            ]
+            self._ar_arb = [
+                QosArbiter(n_mgr, ar_priority) for _ in range(n_sub)
+            ]
+        else:
+            self._aw_arb = [RoundRobinArbiter(n_mgr) for _ in range(n_sub)]
+            self._ar_arb = [RoundRobinArbiter(n_mgr) for _ in range(n_sub)]
+        # Per-subordinate W-channel reservation queue (manager indices in
+        # AW-grant order).  Head owns the subordinate's W channel.
+        self._w_order: list[deque[int]] = [deque() for _ in range(n_sub)]
+        # Per-manager W routing queue (subordinate index per issued AW, in
+        # AW order; _ERR entries consume-and-drop with a DECERR B).
+        self._w_route: list[deque[int]] = [deque() for _ in range(n_mgr)]
+        # Per-manager DECERR response state.
+        self._err_b: list[deque[BBeat]] = [deque() for _ in range(n_mgr)]
+        self._err_r: list[deque[RBeat]] = [deque() for _ in range(n_mgr)]
+        self._err_w_ids: list[deque[int]] = [deque() for _ in range(n_mgr)]
+        # Per-manager response muxes over (subordinates + error source).
+        self._b_arb = [RoundRobinArbiter(n_sub + 1) for _ in range(n_mgr)]
+        self._r_arb = [RoundRobinArbiter(n_sub + 1) for _ in range(n_mgr)]
+        # Per-manager R burst lock: source index until r.last.
+        self._r_lock: list[Optional[int]] = [None] * n_mgr
+
+        # Statistics.
+        self.aw_forwarded = 0
+        self.ar_forwarded = 0
+        self.decode_errors = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._route_aw()
+        self._route_w()
+        self._route_ar()
+        self._route_b()
+        self._route_r()
+
+    def reset(self) -> None:
+        for q in (
+            self._w_order + self._w_route + self._err_b + self._err_r
+            + self._err_w_ids
+        ):
+            q.clear()
+        for arb in self._aw_arb + self._ar_arb + self._b_arb + self._r_arb:
+            arb.reset()
+        self._r_lock = [None] * len(self.managers)
+        self.aw_forwarded = 0
+        self.ar_forwarded = 0
+        self.decode_errors = 0
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def _decode(self, addr: int) -> int:
+        port = self.addr_map.decode(addr)
+        return _ERR if port is None else port
+
+    def _route_aw(self) -> None:
+        heads = [
+            (self._decode(m.aw.peek().addr) if m.aw.can_recv() else None)
+            for m in self.managers
+        ]
+        # Decode misses are absorbed immediately (no subordinate involved).
+        for mi, dest in enumerate(heads):
+            if dest == _ERR:
+                beat = self.managers[mi].aw.recv()
+                self._w_route[mi].append(_ERR)
+                self._err_w_ids[mi].append(beat.id)
+                self.decode_errors += 1
+                heads[mi] = None
+        for si, sub in enumerate(self.subs):
+            if not sub.aw.can_send():
+                continue
+            requests = [dest == si for dest in heads]
+            granted = self._aw_arb[si].grant(requests)
+            if granted is None:
+                continue
+            beat = self.managers[granted].aw.recv()
+            fwd = beat.copy()
+            fwd.id = self.idmap.compose(granted, beat.id)
+            sub.aw.send(fwd)
+            self._w_order[si].append(granted)
+            self._w_route[granted].append(si)
+            self.aw_forwarded += 1
+            heads[granted] = None  # one AW per manager per cycle
+
+    def _route_w(self) -> None:
+        for mi, mgr in enumerate(self.managers):
+            if not mgr.w.can_recv() or not self._w_route[mi]:
+                continue
+            dest = self._w_route[mi][0]
+            if dest == _ERR:
+                beat = mgr.w.recv()
+                if beat.last:
+                    self._w_route[mi].popleft()
+                    bid = self._err_w_ids[mi].popleft()
+                    self._err_b[mi].append(BBeat(id=bid, resp=Resp.DECERR))
+                continue
+            sub = self.subs[dest]
+            # The subordinate's W channel belongs to the manager at the
+            # head of the AW-grant order; anyone else waits.
+            if self._w_order[dest] and self._w_order[dest][0] != mi:
+                continue
+            if not sub.w.can_send():
+                continue
+            beat = mgr.w.recv()
+            sub.w.send(beat)
+            if beat.last:
+                self._w_route[mi].popleft()
+                self._w_order[dest].popleft()
+
+    def _route_ar(self) -> None:
+        heads = [
+            (self._decode(m.ar.peek().addr) if m.ar.can_recv() else None)
+            for m in self.managers
+        ]
+        for mi, dest in enumerate(heads):
+            if dest == _ERR:
+                beat = self.managers[mi].ar.recv()
+                for i in range(beat.beats):
+                    self._err_r[mi].append(
+                        RBeat(
+                            id=beat.id,
+                            resp=Resp.DECERR,
+                            last=(i == beat.beats - 1),
+                            txn=beat.txn,
+                        )
+                    )
+                self.decode_errors += 1
+                heads[mi] = None
+        for si, sub in enumerate(self.subs):
+            if not sub.ar.can_send():
+                continue
+            requests = [dest == si for dest in heads]
+            granted = self._ar_arb[si].grant(requests)
+            if granted is None:
+                continue
+            beat = self.managers[granted].ar.recv()
+            fwd = beat.copy()
+            fwd.id = self.idmap.compose(granted, beat.id)
+            sub.ar.send(fwd)
+            self.ar_forwarded += 1
+            heads[granted] = None
+
+    # ------------------------------------------------------------------
+    # response path
+    # ------------------------------------------------------------------
+    def _b_source_ready(self, mi: int, src: int) -> bool:
+        if src == len(self.subs):
+            return bool(self._err_b[mi])
+        ch = self.subs[src].b
+        return ch.can_recv() and self.idmap.manager_of(ch.peek().id) == mi
+
+    def _route_b(self) -> None:
+        n_sub = len(self.subs)
+        for mi, mgr in enumerate(self.managers):
+            if not mgr.b.can_send():
+                continue
+            requests = [self._b_source_ready(mi, s) for s in range(n_sub + 1)]
+            granted = self._b_arb[mi].grant(requests)
+            if granted is None:
+                continue
+            if granted == n_sub:
+                mgr.b.send(self._err_b[mi].popleft())
+            else:
+                beat = self.subs[granted].b.recv()
+                mgr.b.send(
+                    BBeat(
+                        id=self.idmap.inner_of(beat.id),
+                        resp=beat.resp,
+                        user=beat.user,
+                        txn=beat.txn,
+                    )
+                )
+
+    def _r_source_ready(self, mi: int, src: int) -> bool:
+        if src == len(self.subs):
+            return bool(self._err_r[mi])
+        ch = self.subs[src].r
+        return ch.can_recv() and self.idmap.manager_of(ch.peek().id) == mi
+
+    def _route_r(self) -> None:
+        n_sub = len(self.subs)
+        for mi, mgr in enumerate(self.managers):
+            if not mgr.r.can_send():
+                continue
+            src = self._r_lock[mi]
+            if src is None:
+                requests = [self._r_source_ready(mi, s) for s in range(n_sub + 1)]
+                src = self._r_arb[mi].grant(requests)
+                if src is None:
+                    continue
+                self._r_lock[mi] = src
+            elif not self._r_source_ready(mi, src):
+                continue
+            if src == n_sub:
+                beat = self._err_r[mi].popleft()
+                mgr.r.send(beat)
+            else:
+                raw = self.subs[src].r.recv()
+                beat = RBeat(
+                    id=self.idmap.inner_of(raw.id),
+                    data=raw.data,
+                    resp=raw.resp,
+                    last=raw.last,
+                    user=raw.user,
+                    txn=raw.txn,
+                )
+                mgr.r.send(beat)
+            if beat.last:
+                self._r_lock[mi] = None

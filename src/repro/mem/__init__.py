@@ -1,0 +1,14 @@
+"""Memory subsystem models: SRAM/SPM, banked DRAM, last-level cache."""
+
+from repro.mem.backing import BackingStore
+from repro.mem.cache import CacheLLC
+from repro.mem.dram import DramModel, DramTiming
+from repro.mem.sram import SramMemory
+
+__all__ = [
+    "BackingStore",
+    "CacheLLC",
+    "DramModel",
+    "DramTiming",
+    "SramMemory",
+]

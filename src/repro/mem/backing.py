@@ -1,0 +1,50 @@
+"""Byte-addressable backing store shared by the memory models."""
+
+from __future__ import annotations
+
+from repro.axi.types import bytes_per_beat
+
+
+class BackingStore:
+    """A bytearray-backed memory window ``[base, base + size)``.
+
+    Accesses outside the window raise; the memory models translate this
+    into SLVERR responses so a model bug cannot silently corrupt data.
+    """
+
+    def __init__(self, base: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError("backing store size must be positive")
+        self.base = base
+        self.size = size
+        self._data = bytearray(size)
+
+    def _offset(self, addr: int, nbytes: int) -> int:
+        off = addr - self.base
+        if off < 0 or off + nbytes > self.size:
+            raise IndexError(
+                f"access [0x{addr:x}+{nbytes}] outside "
+                f"[0x{self.base:x}..0x{self.base + self.size:x})"
+            )
+        return off
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        off = self._offset(addr, nbytes)
+        return bytes(self._data[off : off + nbytes])
+
+    def write(self, addr: int, data: bytes, strb: int = -1) -> None:
+        """Write *data*; *strb* = -1 enables all byte lanes."""
+        off = self._offset(addr, len(data))
+        if strb == -1:
+            self._data[off : off + len(data)] = data
+        else:
+            for i, byte in enumerate(data):
+                if strb & (1 << i):
+                    self._data[off + i] = byte
+
+    def fill(self, addr: int, nbytes: int, pattern: int = 0) -> None:
+        off = self._offset(addr, nbytes)
+        self._data[off : off + nbytes] = bytes([pattern & 0xFF]) * nbytes
+
+    def read_beat(self, addr: int, size: int) -> bytes:
+        return self.read(addr, bytes_per_beat(size))

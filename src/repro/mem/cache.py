@@ -1,0 +1,373 @@
+"""Last-level cache model (set-associative, write-back, write-allocate).
+
+Fronts the DRAM: the front AXI port faces the system crossbar, the back
+port faces the memory controller.  One front transaction is processed at a
+time (a blocking cache); hits stream at one beat per cycle after a small
+hit latency, misses run a victim-writeback / line-refill sequence against
+the back port.  In the paper's evaluation the LLC is hot, so the steady
+state is hit streaming — the cache's role in the experiments is to be the
+shared subordinate both managers contend for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.axi.beats import ARBeat, AWBeat, BBeat, RBeat, WBeat
+from repro.axi.ports import AxiBundle
+from repro.axi.transaction import beat_addresses
+from repro.axi.types import Resp, bytes_per_beat
+from repro.sim.kernel import Component, SimulationError
+
+
+class _Line:
+    __slots__ = ("data", "dirty")
+
+    def __init__(self, data: bytearray, dirty: bool = False) -> None:
+        self.data = data
+        self.dirty = dirty
+
+
+class CacheLLC(Component):
+    """Blocking write-back LLC between the crossbar and the DRAM."""
+
+    def __init__(
+        self,
+        front: AxiBundle,
+        back: AxiBundle,
+        name: str = "llc",
+        line_bytes: int = 64,
+        ways: int = 8,
+        capacity: int = 64 * 1024,
+        hit_latency: int = 1,
+        back_beat_size: int = 3,
+    ) -> None:
+        super().__init__(name)
+        if capacity % (line_bytes * ways):
+            raise ValueError("capacity must be a multiple of line_bytes * ways")
+        if line_bytes % bytes_per_beat(back_beat_size):
+            raise ValueError("line size must be a multiple of the back beat size")
+        self.front = front
+        self.back = back
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = capacity // (line_bytes * ways)
+        self.hit_latency = hit_latency
+        self.back_beat_size = back_beat_size
+        self._back_beats_per_line = line_bytes // bytes_per_beat(back_beat_size)
+        # Per set: OrderedDict tag -> _Line; iteration order is LRU order
+        # (least recently used first).
+        self._sets: list[OrderedDict[int, _Line]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+
+        # FSM state.
+        self._state = "idle"
+        self._txn: Optional[ARBeat | AWBeat] = None
+        self._is_read = True
+        self._addrs: list[int] = []
+        self._index = 0
+        self._wait = 0
+        self._resume = "idle"
+        self._rr_read_first = True
+        # Front-end staging: the next transaction is accepted and its tag
+        # lookup started while the current one is still streaming, so
+        # back-to-back short transactions are served without dead cycles.
+        self._staged: Optional[ARBeat | AWBeat] = None
+        self._staged_is_read = True
+        self._staged_wait = 0
+        # Miss-handling scratch.
+        self._wb_addr = 0
+        self._wb_line: Optional[_Line] = None
+        self._wb_widx = 0
+        self._refill_addr = 0
+        self._refill_buf = bytearray()
+        self._pending_wbeat: Optional[WBeat] = None
+        self._w_error = False
+        # Set after a refill so the replayed beat is not also counted as a
+        # hit in the statistics.
+        self._after_refill = False
+
+        # Statistics.
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.refills = 0
+        self.reads_served = 0
+        self.writes_served = 0
+
+    # ------------------------------------------------------------------
+    # cache bookkeeping
+    # ------------------------------------------------------------------
+    def _set_tag(self, line_addr: int) -> tuple[int, int]:
+        index = line_addr // self.line_bytes
+        return index % self.n_sets, index // self.n_sets
+
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[_Line]:
+        set_idx, tag = self._set_tag(line_addr)
+        line = self._sets[set_idx].get(tag)
+        if line is not None and touch:
+            self._sets[set_idx].move_to_end(tag)
+        return line
+
+    def install_line(
+        self, line_addr: int, data: bytes, dirty: bool = False
+    ) -> Optional[tuple[int, bytearray]]:
+        """Install a line; returns ``(victim_addr, victim_data)`` if a dirty
+        victim was evicted, else ``None``.  Also used to pre-warm the cache.
+        """
+        if len(data) != self.line_bytes:
+            raise ValueError("line data length mismatch")
+        set_idx, tag = self._set_tag(line_addr)
+        ways = self._sets[set_idx]
+        victim = None
+        if tag not in ways and len(ways) >= self.ways:
+            victim_tag, victim_line = ways.popitem(last=False)
+            if victim_line.dirty:
+                victim_addr = (victim_tag * self.n_sets + set_idx) * self.line_bytes
+                victim = (victim_addr, victim_line.data)
+        ways[tag] = _Line(bytearray(data), dirty)
+        ways.move_to_end(tag)
+        return victim
+
+    def _victim_for(self, line_addr: int) -> Optional[tuple[int, _Line]]:
+        """Dirty victim that installing *line_addr* would evict, if any."""
+        set_idx, _ = self._set_tag(line_addr)
+        ways = self._sets[set_idx]
+        if len(ways) < self.ways:
+            return None
+        victim_tag = next(iter(ways))
+        victim_line = ways[victim_tag]
+        if not victim_line.dirty:
+            return None
+        victim_addr = (victim_tag * self.n_sets + set_idx) * self.line_bytes
+        return victim_addr, victim_line
+
+    def contains(self, addr: int) -> bool:
+        return self.lookup(addr & ~(self.line_bytes - 1), touch=False) is not None
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    # ------------------------------------------------------------------
+    # FSM
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._front_accept()
+        handler = getattr(self, f"_st_{self._state}", None)
+        if handler is None:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown cache state {self._state!r}")
+        handler()
+
+    def _front_accept(self) -> None:
+        """Stage the next front transaction and run its lookup latency in
+        parallel with the current transaction."""
+        if self._staged is not None:
+            if self._staged_wait > 0:
+                self._staged_wait -= 1
+            return
+        want_read = self.front.ar.can_recv()
+        want_write = self.front.aw.can_recv()
+        if not want_read and not want_write:
+            return
+        take_read = want_read and (self._rr_read_first or not want_write)
+        self._rr_read_first = not take_read
+        self._staged = (
+            self.front.ar.recv() if take_read else self.front.aw.recv()
+        )
+        self._staged_is_read = take_read
+        self._staged_wait = self.hit_latency
+
+    def reset(self) -> None:
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self._state = "idle"
+        self._txn = None
+        self._pending_wbeat = None
+        self._wait = 0
+        self.hits = self.misses = 0
+        self.writebacks = self.refills = 0
+        self.reads_served = self.writes_served = 0
+
+    # -- idle: promote the staged front transaction --------------------
+    def _st_idle(self) -> None:
+        if self._staged is None:
+            return
+        self._txn = self._staged
+        self._is_read = self._staged_is_read
+        self._staged = None
+        self._addrs = beat_addresses(self._txn)
+        self._index = 0
+        self._wait = self._staged_wait
+        self._w_error = False
+        self._state = "latency"
+        if self._wait == 0:
+            # Lookup already completed while the previous transaction was
+            # streaming: start serving on the next handler dispatch.
+            self._state = "r_serve" if self._is_read else "w_collect"
+
+    def _st_latency(self) -> None:
+        if self._wait > 0:
+            self._wait -= 1
+        if self._wait == 0:
+            self._state = "r_serve" if self._is_read else "w_collect"
+            self.tick_current()
+
+    def tick_current(self) -> None:
+        """Re-dispatch after a same-cycle state change (keeps hit streaming
+        at one beat per cycle without a dead cycle between states)."""
+        getattr(self, f"_st_{self._state}")()
+
+    # -- read streaming ------------------------------------------------
+    def _st_r_serve(self) -> None:
+        beat = self._txn
+        if self._index >= beat.beats:
+            self._state = "idle"
+            self.reads_served += 1
+            return
+        addr = self._addrs[self._index]
+        line_addr = addr & ~(self.line_bytes - 1)
+        line = self.lookup(line_addr)
+        if line is None:
+            self.misses += 1
+            self._start_miss(line_addr, resume="r_serve")
+            return
+        if not self.front.r.can_send():
+            return
+        if self._after_refill:
+            self._after_refill = False
+        else:
+            self.hits += 1
+        nbytes = bytes_per_beat(beat.size)
+        offset = addr - line_addr
+        data = bytes(line.data[offset : offset + nbytes])
+        last = self._index == beat.beats - 1
+        self.front.r.send(
+            RBeat(id=beat.id, data=data, resp=Resp.OKAY, last=last, txn=beat.txn)
+        )
+        self._index += 1
+        if last:
+            self._state = "idle"
+            self.reads_served += 1
+            # Pipelined front end: accept the next transaction in the same
+            # cycle the previous one retires (no dead cycle between bursts).
+            self._st_idle()
+
+    # -- write collection -----------------------------------------------
+    def _st_w_collect(self) -> None:
+        beat = self._txn
+        if self._pending_wbeat is None:
+            if not self.front.w.can_recv():
+                return
+            self._pending_wbeat = self.front.w.recv()
+        wbeat = self._pending_wbeat
+        addr = self._addrs[min(self._index, len(self._addrs) - 1)]
+        line_addr = addr & ~(self.line_bytes - 1)
+        line = self.lookup(line_addr)
+        if line is None:
+            self.misses += 1
+            self._start_miss(line_addr, resume="w_collect")
+            return
+        if self._after_refill:
+            self._after_refill = False
+        else:
+            self.hits += 1
+        if wbeat.data is not None:
+            nbytes = bytes_per_beat(beat.size)
+            offset = addr - line_addr
+            data = wbeat.data[:nbytes]
+            if wbeat.strb == -1:
+                line.data[offset : offset + len(data)] = data
+            else:
+                for i, byte in enumerate(data):
+                    if wbeat.strb & (1 << i):
+                        line.data[offset + i] = byte
+            line.dirty = True
+        self._index += 1
+        was_last = wbeat.last
+        self._pending_wbeat = None
+        if was_last:
+            self._state = "b_resp"
+
+    def _st_b_resp(self) -> None:
+        if not self.front.b.can_send():
+            return
+        resp = Resp.SLVERR if self._w_error else Resp.OKAY
+        self.front.b.send(BBeat(id=self._txn.id, resp=resp, txn=self._txn.txn))
+        self._state = "idle"
+        self.writes_served += 1
+        self._st_idle()
+
+    # -- miss handling ---------------------------------------------------
+    def _start_miss(self, line_addr: int, resume: str) -> None:
+        self._resume = resume
+        self._refill_addr = line_addr
+        victim = self._victim_for(line_addr)
+        if victim is not None:
+            self._wb_addr, self._wb_line = victim
+            self._wb_widx = 0
+            self._state = "wb_aw"
+        else:
+            self._state = "refill_ar"
+
+    def _st_wb_aw(self) -> None:
+        if not self.back.aw.can_send():
+            return
+        self.back.aw.send(
+            AWBeat(
+                id=0,
+                addr=self._wb_addr,
+                beats=self._back_beats_per_line,
+                size=self.back_beat_size,
+            )
+        )
+        self.writebacks += 1
+        self._state = "wb_w"
+
+    def _st_wb_w(self) -> None:
+        if not self.back.w.can_send():
+            return
+        nbytes = bytes_per_beat(self.back_beat_size)
+        offset = self._wb_widx * nbytes
+        data = bytes(self._wb_line.data[offset : offset + nbytes])
+        last = self._wb_widx == self._back_beats_per_line - 1
+        self.back.w.send(WBeat(data=data, last=last))
+        self._wb_widx += 1
+        if last:
+            self._state = "wb_b"
+
+    def _st_wb_b(self) -> None:
+        if not self.back.b.can_recv():
+            return
+        bbeat = self.back.b.recv()
+        if bbeat.resp.is_error:
+            self._w_error = True
+        self._wb_line.dirty = False  # clean now; eviction happens at install
+        self._state = "refill_ar"
+
+    def _st_refill_ar(self) -> None:
+        if not self.back.ar.can_send():
+            return
+        self.back.ar.send(
+            ARBeat(
+                id=0,
+                addr=self._refill_addr,
+                beats=self._back_beats_per_line,
+                size=self.back_beat_size,
+            )
+        )
+        self._refill_buf = bytearray()
+        self._state = "refill_r"
+
+    def _st_refill_r(self) -> None:
+        while self.back.r.can_recv():
+            rbeat = self.back.r.recv()
+            nbytes = bytes_per_beat(self.back_beat_size)
+            self._refill_buf.extend(rbeat.data or bytes(nbytes))
+            if rbeat.last:
+                self.install_line(self._refill_addr, bytes(self._refill_buf))
+                self.refills += 1
+                self._after_refill = True
+                self._state = self._resume
+                return

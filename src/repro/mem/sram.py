@@ -1,0 +1,214 @@
+"""On-chip SRAM / scratchpad memory model.
+
+Serves one read burst and one write burst at a time (independent read and
+write ports, as a dual-ported scratchpad macro would).  Bursts stream at
+one beat per cycle after a fixed access latency; this per-burst
+serialisation at the subordinate is what turns a 256-beat DMA burst into a
+~256-cycle blackout for every other manager, the contention mechanism the
+paper's evaluation is built around.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.axi.beats import ARBeat, AWBeat, BBeat, RBeat
+from repro.axi.ports import AxiBundle
+from repro.axi.transaction import beat_addresses
+from repro.axi.types import AtomicOp, Resp, bytes_per_beat
+from repro.mem.backing import BackingStore
+from repro.sim.kernel import Component
+
+
+class SramMemory(Component):
+    """Fixed-latency AXI subordinate backed by a byte array."""
+
+    def __init__(
+        self,
+        port: AxiBundle,
+        base: int,
+        size: int,
+        name: str = "sram",
+        read_latency: int = 1,
+        write_latency: int = 1,
+    ) -> None:
+        super().__init__(name)
+        if read_latency < 0 or write_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self.port = port
+        self.store = BackingStore(base, size)
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+
+        # Read state machine.
+        self._rd: Optional[ARBeat] = None
+        self._rd_addrs: list[bytes] = []
+        self._rd_index = 0
+        self._rd_wait = 0
+        self._rd_error = False
+        # Write state machine.
+        self._wr: Optional[AWBeat] = None
+        self._wr_addrs: list[int] = []
+        self._wr_index = 0
+        self._wr_wait = 0
+        self._wr_error = False
+        self._wr_done = False
+        # Pending read-data response of an atomic operation (old value).
+        self._atomic_r: Optional[RBeat] = None
+
+        # Statistics.
+        self.reads_served = 0
+        self.writes_served = 0
+        self.read_beats = 0
+        self.write_beats = 0
+        self.atomics_served = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._tick_read()
+        self._tick_write()
+
+    def reset(self) -> None:
+        self._rd = None
+        self._wr = None
+        self._rd_wait = self._wr_wait = 0
+        self._rd_index = self._wr_index = 0
+        self._rd_error = self._wr_error = False
+        self._wr_done = False
+        self._atomic_r = None
+        self.reads_served = self.writes_served = 0
+        self.read_beats = self.write_beats = 0
+        self.atomics_served = 0
+
+    # ------------------------------------------------------------------
+    # read port
+    # ------------------------------------------------------------------
+    def _tick_read(self) -> None:
+        if self._rd is None:
+            # The read-data response of a completed atomic goes out when
+            # the read port is otherwise idle, so R bursts stay contiguous.
+            if self._atomic_r is not None:
+                if self.port.r.can_send():
+                    self.port.r.send(self._atomic_r)
+                    self._atomic_r = None
+                return
+            if not self.port.ar.can_recv():
+                return
+            beat = self.port.ar.recv()
+            self._rd = beat
+            self._rd_index = 0
+            self._rd_wait = self.read_latency
+            try:
+                self._rd_addrs = beat_addresses(beat)
+                self._rd_error = False
+            except Exception:
+                self._rd_addrs = [beat.addr] * beat.beats
+                self._rd_error = True
+            return
+        if self._rd_wait > 0:
+            self._rd_wait -= 1
+            return
+        if not self.port.r.can_send():
+            return
+        beat = self._rd
+        addr = self._rd_addrs[self._rd_index]
+        nbytes = bytes_per_beat(beat.size)
+        try:
+            data = self.store.read(addr, nbytes)
+            resp = Resp.OKAY
+        except IndexError:
+            data = bytes(nbytes)
+            resp = Resp.SLVERR
+        if self._rd_error:
+            resp = Resp.SLVERR
+        last = self._rd_index == beat.beats - 1
+        self.port.r.send(
+            RBeat(id=beat.id, data=data, resp=resp, last=last, txn=beat.txn)
+        )
+        self.read_beats += 1
+        self._rd_index += 1
+        if last:
+            self._rd = None
+            self.reads_served += 1
+
+    # ------------------------------------------------------------------
+    # write port
+    # ------------------------------------------------------------------
+    def _tick_write(self) -> None:
+        if self._wr is None:
+            if not self.port.aw.can_recv():
+                return
+            beat = self.port.aw.recv()
+            self._wr = beat
+            self._wr_index = 0
+            self._wr_done = False
+            self._wr_wait = self.write_latency
+            try:
+                self._wr_addrs = beat_addresses(beat)
+                self._wr_error = False
+            except Exception:
+                self._wr_addrs = [beat.addr] * beat.beats
+                self._wr_error = True
+            return
+        if not self._wr_done:
+            if not self.port.w.can_recv():
+                return
+            wbeat = self.port.w.recv()
+            addr = self._wr_addrs[min(self._wr_index, len(self._wr_addrs) - 1)]
+            if self._wr.atop != AtomicOp.NONE:
+                self._apply_atomic(addr, wbeat)
+            elif wbeat.data is not None:
+                try:
+                    self.store.write(addr, wbeat.data, wbeat.strb)
+                except IndexError:
+                    self._wr_error = True
+            self.write_beats += 1
+            self._wr_index += 1
+            if wbeat.last:
+                self._wr_done = True
+            return
+        if self._wr_wait > 0:
+            self._wr_wait -= 1
+            return
+        if not self.port.b.can_send():
+            return
+        resp = Resp.SLVERR if self._wr_error else Resp.OKAY
+        self.port.b.send(BBeat(id=self._wr.id, resp=resp, txn=self._wr.txn))
+        self.writes_served += 1
+        self._wr = None
+
+    # ------------------------------------------------------------------
+    # atomics (AXI5-style AWATOP, single-beat)
+    # ------------------------------------------------------------------
+    def _apply_atomic(self, addr: int, wbeat) -> None:
+        """Execute an atomic beat: read-modify-write the target location.
+
+        Semantics: STORE and LOAD perform an atomic add (the most common
+        ALU encoding); SWAP exchanges; LOAD and SWAP additionally return
+        the old value on the R channel.  COMPARE is not supported and
+        yields SLVERR, matching a subordinate without CAS support.
+        """
+        nbytes = len(wbeat.data) if wbeat.data else 8
+        op = self._wr.atop
+        if op == AtomicOp.COMPARE or wbeat.data is None:
+            self._wr_error = True
+            return
+        try:
+            old = self.store.read(addr, nbytes)
+        except IndexError:
+            self._wr_error = True
+            return
+        operand = int.from_bytes(wbeat.data, "little")
+        old_value = int.from_bytes(old, "little")
+        mask = (1 << (8 * nbytes)) - 1
+        if op in (AtomicOp.STORE, AtomicOp.LOAD):
+            new_value = (old_value + operand) & mask
+        else:  # SWAP
+            new_value = operand
+        self.store.write(addr, new_value.to_bytes(nbytes, "little"))
+        self.atomics_served += 1
+        if op in (AtomicOp.LOAD, AtomicOp.SWAP):
+            self._atomic_r = RBeat(
+                id=self._wr.id, data=old, resp=Resp.OKAY, last=True,
+                txn=self._wr.txn,
+            )

@@ -1,0 +1,63 @@
+"""AXI-REALM: the paper's core contribution.
+
+A :class:`RealmUnit` sits between a manager and the interconnect and
+provides traffic regulation (budget/period credits over subordinate
+regions, granular burst splitting, stall-proof write buffering, isolation)
+and traffic monitoring (per-region bandwidth, latency, and stall
+bookkeeping).  Units are configured through a guarded, memory-mapped
+register file.
+"""
+
+from repro.realm.bookkeeping import BookkeepingSnapshot, BookkeepingUnit
+from repro.realm.burst_splitter import BurstSplitterStage
+from repro.realm.bus_guard import NO_OWNER, BusGuard, BusGuardError
+from repro.realm.config import RealmRuntimeConfig, RealmUnitParams
+from repro.realm.isolation import IsolationMode, IsolationStage
+from repro.realm.mr_unit import MonitorRegulationStage
+from repro.realm.regbus import (
+    RegbusAdapter,
+    RegbusReq,
+    RegbusRequester,
+    RegbusRsp,
+)
+from repro.realm.regions import UNLIMITED, RegionConfig, RegionState
+from repro.realm.register_file import (
+    RealmRegisterFile,
+    RegisterError,
+    region_base,
+    unit_base,
+)
+from repro.realm.throttle import ThrottleUnit
+from repro.realm.unit import RealmUnit
+from repro.realm.wires import Wire, WireBundle
+from repro.realm.write_buffer import WriteBufferStage
+
+__all__ = [
+    "BookkeepingSnapshot",
+    "BookkeepingUnit",
+    "BurstSplitterStage",
+    "BusGuard",
+    "BusGuardError",
+    "IsolationMode",
+    "IsolationStage",
+    "MonitorRegulationStage",
+    "NO_OWNER",
+    "RealmRegisterFile",
+    "RealmRuntimeConfig",
+    "RegbusAdapter",
+    "RegbusReq",
+    "RegbusRequester",
+    "RegbusRsp",
+    "RealmUnit",
+    "RealmUnitParams",
+    "RegionConfig",
+    "RegionState",
+    "RegisterError",
+    "ThrottleUnit",
+    "UNLIMITED",
+    "Wire",
+    "WireBundle",
+    "WriteBufferStage",
+    "region_base",
+    "unit_base",
+]

@@ -1,0 +1,73 @@
+"""Design-time parameters and runtime configuration of a REALM unit.
+
+Design-time parameters (:class:`RealmUnitParams`) mirror the RTL generics
+the paper's area model (Table II) is expressed in: address/data width,
+number of outstanding transfers, write-buffer depth, and number of
+subordinate regions.  Runtime configuration (granularity, budgets, periods,
+region boundaries) lives in the memory-mapped register file; here it is
+carried by :class:`RealmRuntimeConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.realm.regions import RegionConfig
+
+
+@dataclass(frozen=True)
+class RealmUnitParams:
+    """Design-time (elaboration) parameters of one REALM unit."""
+
+    addr_width: int = 64
+    data_width: int = 64
+    n_regions: int = 2
+    max_pending: int = 8  # outstanding downstream transactions
+    write_buffer_depth: int = 16  # in W beats
+    write_buffer_present: bool = True
+    splitter_present: bool = True
+
+    def __post_init__(self) -> None:
+        if self.addr_width not in range(16, 129):
+            raise ValueError(f"unsupported address width {self.addr_width}")
+        if self.data_width not in (8, 16, 32, 64, 128, 256, 512, 1024):
+            raise ValueError(f"unsupported data width {self.data_width}")
+        if self.n_regions < 1:
+            raise ValueError("need at least one subordinate region")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.write_buffer_depth < 1:
+            raise ValueError("write buffer depth must be >= 1")
+
+    @property
+    def max_fragment_beats(self) -> int:
+        """Largest splitter granularity the write buffer can hold.
+
+        The transaction buffer must contain one complete fragmented write
+        burst before forwarding (Section III-A), so the fragmentation size
+        is bounded by the buffer depth when the buffer is present.
+        """
+        return self.write_buffer_depth if self.write_buffer_present else 256
+
+
+@dataclass
+class RealmRuntimeConfig:
+    """Runtime-writable state of one REALM unit."""
+
+    granularity: int = 256  # 256 = let every legal burst pass whole
+    splitter_enabled: bool = True
+    regulation_enabled: bool = True
+    throttle_enabled: bool = False
+    user_isolate: bool = False
+    regions: list[RegionConfig] = field(default_factory=list)
+
+    def validate(self, params: RealmUnitParams) -> None:
+        if not 1 <= self.granularity <= 256:
+            raise ValueError(
+                f"granularity must be in [1, 256], got {self.granularity}"
+            )
+        if len(self.regions) > params.n_regions:
+            raise ValueError(
+                f"{len(self.regions)} regions configured, unit has "
+                f"{params.n_regions}"
+            )

@@ -1,0 +1,179 @@
+"""Monitoring and regulation (M&R) unit (Figure 4).
+
+The egress stage of the REALM unit.  For every address beat it decodes the
+target subordinate region, charges the region's byte budget, and refuses to
+forward further transactions of a depleted region until the reservation
+period replenishes it.  An optional throttling unit additionally caps the
+number of outstanding downstream transactions as the budget runs low.  Per
+region, a bookkeeping unit records bytes, transactions, latency, and stall
+cycles for the software-visible statistics registers.
+
+Modelling note: the RTL decrements the budget beat-by-beat as data moves;
+this model charges the full fragment size when the address beat is
+forwarded.  Because the granular burst splitter upstream bounds fragments
+to the configured granularity, the worst-case overshoot is identical (one
+fragment), and per-period accounting is the same.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Optional
+
+from repro.realm.bookkeeping import BookkeepingSnapshot, BookkeepingUnit
+from repro.realm.regions import RegionState
+from repro.realm.throttle import ThrottleUnit
+
+
+class MonitorRegulationStage:
+    """Final stage of the REALM unit pipeline."""
+
+    def __init__(
+        self,
+        up,
+        down,
+        regions: list[RegionState],
+        throttle: Optional[ThrottleUnit] = None,
+        regulation_enabled: bool = True,
+        name: str = "mr_unit",
+    ) -> None:
+        self.name = name
+        self.up = up
+        self.down = down
+        self.regions = regions
+        self.throttle = throttle or ThrottleUnit(enabled=False)
+        self.regulation_enabled = regulation_enabled
+        self.books = [BookkeepingUnit() for _ in regions]
+        self.outstanding = 0
+        # Latency tracking: per-ID FIFOs of (issue_cycle, region_index).
+        self._write_inflight: dict[int, deque[tuple[int, Optional[int]]]] = (
+            defaultdict(deque)
+        )
+        self._read_inflight: dict[int, deque[tuple[int, Optional[int]]]] = (
+            defaultdict(deque)
+        )
+        # Per-cycle activity flags for system-level interference probes.
+        self.stalled_this_cycle = False
+        self.transferring_this_cycle = False
+        # Statistics.
+        self.denied_by_budget = 0
+        self.denied_by_throttle = 0
+
+    # ------------------------------------------------------------------
+    # region helpers
+    # ------------------------------------------------------------------
+    def region_index(self, addr: int) -> Optional[int]:
+        for idx, region in enumerate(self.regions):
+            if region.config.matches(addr):
+                return idx
+        return None
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return self.regulation_enabled and any(r.depleted for r in self.regions)
+
+    def region_snapshot(self, idx: int) -> BookkeepingSnapshot:
+        return self.books[idx].snapshot()
+
+    # ------------------------------------------------------------------
+    # clocks
+    # ------------------------------------------------------------------
+    def on_cycle(self, cycle: int) -> None:
+        """Advance period clocks; called once per tick before the pipeline."""
+        for region, book in zip(self.regions, self.books):
+            if region.advance_cycle():
+                book.on_period_rollover()
+            book.on_cycle(stalled=False)
+        self.stalled_this_cycle = False
+        self.transferring_this_cycle = False
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _admit(self, region_idx: Optional[int]) -> bool:
+        if not self.regulation_enabled or region_idx is None:
+            return True
+        region = self.regions[region_idx]
+        if region.depleted:
+            self.denied_by_budget += 1
+            self.books[region_idx].stall_cycles += 1
+            self.stalled_this_cycle = True
+            return False
+        if not self.throttle.admits(self.outstanding, region.budget_fraction):
+            self.denied_by_throttle += 1
+            self.books[region_idx].stall_cycles += 1
+            self.stalled_this_cycle = True
+            return False
+        return True
+
+    def _charge(self, region_idx: Optional[int], nbytes: int, is_read: bool) -> None:
+        if region_idx is None:
+            return
+        if self.regulation_enabled:
+            self.regions[region_idx].charge(nbytes)
+        self.books[region_idx].on_transfer(nbytes, is_read)
+        self.transferring_this_cycle = True
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+    def tick_request(self, cycle: int) -> None:
+        # Write address.
+        if self.up.aw.can_recv() and self.down.aw.can_send():
+            beat = self.up.aw.peek()
+            region_idx = self.region_index(beat.addr)
+            if self._admit(region_idx):
+                self.up.aw.recv()
+                self.down.aw.send(beat)
+                self._charge(region_idx, beat.total_bytes, is_read=False)
+                self._write_inflight[beat.id].append((cycle, region_idx))
+                self.outstanding += 1
+        # Write data passes through; the budget was charged at the AW.
+        if self.up.w.can_recv() and self.down.w.can_send():
+            self.down.w.send(self.up.w.recv())
+        # Read address.
+        if self.up.ar.can_recv() and self.down.ar.can_send():
+            beat = self.up.ar.peek()
+            region_idx = self.region_index(beat.addr)
+            if self._admit(region_idx):
+                self.up.ar.recv()
+                self.down.ar.send(beat)
+                self._charge(region_idx, beat.total_bytes, is_read=True)
+                self._read_inflight[beat.id].append((cycle, region_idx))
+                self.outstanding += 1
+
+    def tick_response(self, cycle: int) -> None:
+        if self.down.b.can_recv() and self.up.b.can_send():
+            beat = self.down.b.recv()
+            self._record_latency(self._write_inflight, beat.id, cycle)
+            self.up.b.send(beat)
+            self.transferring_this_cycle = True
+        if self.down.r.can_recv() and self.up.r.can_send():
+            beat = self.down.r.recv()
+            if beat.last:
+                self._record_latency(self._read_inflight, beat.id, cycle)
+            self.up.r.send(beat)
+            self.transferring_this_cycle = True
+
+    def _record_latency(self, table, beat_id: int, cycle: int) -> None:
+        fifo = table.get(beat_id)
+        if not fifo:
+            return  # response without a tracked request (e.g. after reset)
+        issue_cycle, region_idx = fifo.popleft()
+        self.outstanding -= 1
+        if region_idx is not None:
+            self.books[region_idx].on_latency(cycle - issue_cycle)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        for region in self.regions:
+            region.reset()
+        for book in self.books:
+            book.reset()
+        self.outstanding = 0
+        self._write_inflight.clear()
+        self._read_inflight.clear()
+        self.denied_by_budget = 0
+        self.denied_by_throttle = 0
+        self.stalled_this_cycle = False
+        self.transferring_this_cycle = False

@@ -1,0 +1,79 @@
+"""Subordinate regions: address ranges with budget and period.
+
+Each manager's REALM unit is configured (at design time) with a number of
+*subordinate regions*; at runtime an OS or hypervisor assigns each region an
+address range, a transfer budget in bytes, and a reservation period in
+cycles.  Budgets replenish at every period boundary; a depleted region
+isolates its manager until the next replenish (paper Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# A budget large enough to never deplete: used by "monitoring only" setups
+# and as the reset value.
+UNLIMITED = 1 << 62
+
+
+@dataclass
+class RegionConfig:
+    """Runtime configuration of one subordinate region."""
+
+    base: int = 0
+    size: int = 0  # size 0 disables the region
+    budget_bytes: int = UNLIMITED
+    period_cycles: int = UNLIMITED
+
+    def matches(self, addr: int) -> bool:
+        return self.size > 0 and self.base <= addr < self.base + self.size
+
+
+class RegionState:
+    """Live regulation state of one region: credits and the period clock."""
+
+    def __init__(self, config: RegionConfig) -> None:
+        self.config = config
+        self.remaining = config.budget_bytes
+        self.cycles_into_period = 0
+        self.periods_elapsed = 0
+
+    # ------------------------------------------------------------------
+    def advance_cycle(self) -> bool:
+        """Advance the period clock; returns True on a replenish edge."""
+        self.cycles_into_period += 1
+        if self.cycles_into_period >= self.config.period_cycles:
+            self.replenish()
+            return True
+        return False
+
+    def replenish(self) -> None:
+        self.remaining = self.config.budget_bytes
+        self.cycles_into_period = 0
+        self.periods_elapsed += 1
+
+    def charge(self, nbytes: int) -> None:
+        """Spend *nbytes* of budget (may overshoot by one fragment)."""
+        self.remaining -= nbytes
+
+    @property
+    def depleted(self) -> bool:
+        return self.remaining <= 0
+
+    @property
+    def budget_fraction(self) -> float:
+        """Remaining budget as a fraction of the configured budget."""
+        if self.config.budget_bytes <= 0:
+            return 0.0
+        return max(0.0, min(1.0, self.remaining / self.config.budget_bytes))
+
+    def reconfigure(self, config: RegionConfig) -> None:
+        self.config = config
+        self.replenish()
+        self.periods_elapsed = 0
+
+    def reset(self) -> None:
+        self.remaining = self.config.budget_bytes
+        self.cycles_into_period = 0
+        self.periods_elapsed = 0

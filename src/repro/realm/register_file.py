@@ -1,0 +1,199 @@
+"""Memory-mapped configuration register file for a set of REALM units.
+
+One register file serves all REALM units behind a shared configuration
+interface (Figure 1), protected by the :class:`~repro.realm.bus_guard.BusGuard`.
+The layout uses 64-bit registers:
+
+====================  =======================================================
+offset                register
+====================  =======================================================
+``0x0000``            GUARD (bus guard claim/handover; see bus_guard.py)
+``0x1000 * (u + 1)``  base of unit *u*'s block:
+  ``+0x000``          CTRL: [0] regulation enable, [1] user isolate,
+                      [2] splitter enable, [3] throttle enable
+  ``+0x008``          GRANULARITY (beats; intrusive, drains the unit)
+  ``+0x010``          STATUS (RO): [0] isolated, [1] budget exhausted
+  ``+0x018``          OUTSTANDING (RO)
+  ``+0x100 * (r+1)``  base of region *r*'s block:
+    ``+0x00``         REGION_BASE (intrusive)
+    ``+0x08``         REGION_SIZE (intrusive)
+    ``+0x10``         BUDGET (bytes/period)
+    ``+0x18``         PERIOD (cycles)
+    ``+0x20..+0x58``  RO statistics: bytes this period, total bytes,
+                      txn count, latency sum/max/min, stall cycles,
+                      bandwidth (bytes/cycle, fixed-point x1000)
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.realm.bus_guard import BusGuard, BusGuardError, GUARD_REGISTER_OFFSET
+from repro.realm.unit import RealmUnit
+
+UNIT_STRIDE = 0x1000
+REGION_STRIDE = 0x100
+
+# Per-unit register offsets.
+CTRL = 0x000
+GRANULARITY = 0x008
+STATUS = 0x010
+OUTSTANDING = 0x018
+
+# Per-region register offsets (relative to the region block).
+REGION_BASE = 0x00
+REGION_SIZE = 0x08
+BUDGET = 0x10
+PERIOD = 0x18
+STAT_BYTES_PERIOD = 0x20
+STAT_TOTAL_BYTES = 0x28
+STAT_TXN_COUNT = 0x30
+STAT_LATENCY_SUM = 0x38
+STAT_LATENCY_MAX = 0x40
+STAT_LATENCY_MIN = 0x48
+STAT_STALL_CYCLES = 0x50
+STAT_BANDWIDTH_MILLI = 0x58
+
+# CTRL bit positions.
+CTRL_REGULATION_EN = 1 << 0
+CTRL_USER_ISOLATE = 1 << 1
+CTRL_SPLITTER_EN = 1 << 2
+CTRL_THROTTLE_EN = 1 << 3
+
+# STATUS bit positions.
+STATUS_ISOLATED = 1 << 0
+STATUS_BUDGET_EXHAUSTED = 1 << 1
+
+
+class RegisterError(Exception):
+    """Access to an unmapped or read-only register."""
+
+
+class RealmRegisterFile:
+    """Register-file front end over a list of :class:`RealmUnit` objects."""
+
+    def __init__(self, units: list[RealmUnit], guard: BusGuard | None = None) -> None:
+        if not units:
+            raise ValueError("register file needs at least one unit")
+        self.units = units
+        self.guard = guard or BusGuard()
+
+    # ------------------------------------------------------------------
+    # guarded access (what managers use)
+    # ------------------------------------------------------------------
+    def read(self, offset: int, tid: int) -> int:
+        if offset == GUARD_REGISTER_OFFSET:
+            return self.guard.read_guard(tid)
+        self.guard.check(tid)
+        return self._read(offset)
+
+    def write(self, offset: int, value: int, tid: int) -> None:
+        if offset == GUARD_REGISTER_OFFSET:
+            self.guard.write_guard(tid, value)
+            return
+        self.guard.check(tid)
+        self._write(offset, value)
+
+    # ------------------------------------------------------------------
+    # raw access (trusted boot code / tests)
+    # ------------------------------------------------------------------
+    def _locate(self, offset: int) -> tuple[RealmUnit, int]:
+        unit_index = offset // UNIT_STRIDE - 1
+        if not 0 <= unit_index < len(self.units):
+            raise RegisterError(f"offset 0x{offset:x} maps to no unit")
+        return self.units[unit_index], offset % UNIT_STRIDE
+
+    def _read(self, offset: int) -> int:
+        unit, local = self._locate(offset)
+        if local == CTRL:
+            value = 0
+            value |= CTRL_REGULATION_EN if unit.config.regulation_enabled else 0
+            value |= CTRL_USER_ISOLATE if unit.config.user_isolate else 0
+            value |= CTRL_SPLITTER_EN if unit.config.splitter_enabled else 0
+            value |= CTRL_THROTTLE_EN if unit.config.throttle_enabled else 0
+            return value
+        if local == GRANULARITY:
+            return unit.config.granularity
+        if local == STATUS:
+            value = 0
+            value |= STATUS_ISOLATED if unit.isolated else 0
+            value |= STATUS_BUDGET_EXHAUSTED if unit.budget_exhausted else 0
+            return value
+        if local == OUTSTANDING:
+            return unit.outstanding
+        return self._read_region(unit, local)
+
+    def _read_region(self, unit: RealmUnit, local: int) -> int:
+        region_index = local // REGION_STRIDE - 1
+        if not 0 <= region_index < unit.params.n_regions:
+            raise RegisterError(f"unit offset 0x{local:x} maps to no region")
+        reg = local % REGION_STRIDE
+        state = unit.mr.regions[region_index]
+        if reg == REGION_BASE:
+            return state.config.base
+        if reg == REGION_SIZE:
+            return state.config.size
+        if reg == BUDGET:
+            return state.config.budget_bytes
+        if reg == PERIOD:
+            return state.config.period_cycles
+        snap = unit.region_snapshot(region_index)
+        stats: dict[int, int] = {
+            STAT_BYTES_PERIOD: snap.bytes_this_period,
+            STAT_TOTAL_BYTES: snap.total_bytes,
+            STAT_TXN_COUNT: snap.txn_count,
+            STAT_LATENCY_SUM: snap.latency_sum,
+            STAT_LATENCY_MAX: snap.latency_max,
+            STAT_LATENCY_MIN: snap.latency_min,
+            STAT_STALL_CYCLES: snap.stall_cycles,
+            STAT_BANDWIDTH_MILLI: int(snap.bandwidth * 1000),
+        }
+        if reg in stats:
+            return stats[reg]
+        raise RegisterError(f"region offset 0x{reg:x} unmapped")
+
+    def _write(self, offset: int, value: int) -> None:
+        unit, local = self._locate(offset)
+        if local == CTRL:
+            unit.set_regulation_enabled(bool(value & CTRL_REGULATION_EN))
+            unit.set_user_isolate(bool(value & CTRL_USER_ISOLATE))
+            unit.set_splitter_enabled(bool(value & CTRL_SPLITTER_EN))
+            unit.set_throttle_enabled(bool(value & CTRL_THROTTLE_EN))
+            return
+        if local == GRANULARITY:
+            unit.set_granularity(value)
+            return
+        if local in (STATUS, OUTSTANDING):
+            raise RegisterError(f"register 0x{local:x} is read-only")
+        self._write_region(unit, local, value)
+
+    def _write_region(self, unit: RealmUnit, local: int, value: int) -> None:
+        region_index = local // REGION_STRIDE - 1
+        if not 0 <= region_index < unit.params.n_regions:
+            raise RegisterError(f"unit offset 0x{local:x} maps to no region")
+        reg = local % REGION_STRIDE
+        state = unit.mr.regions[region_index]
+        if reg == REGION_BASE:
+            unit.set_region_base(region_index, value)
+            return
+        if reg == REGION_SIZE:
+            unit.set_region_size(region_index, value)
+            return
+        if reg == BUDGET:
+            unit.set_budget(region_index, value)
+            return
+        if reg == PERIOD:
+            unit.set_period(region_index, value)
+            return
+        raise RegisterError(f"region offset 0x{reg:x} is read-only or unmapped")
+
+
+def unit_base(unit_index: int) -> int:
+    """Byte offset of unit *unit_index*'s register block."""
+    return UNIT_STRIDE * (unit_index + 1)
+
+
+def region_base(region_index: int) -> int:
+    """Byte offset of region *region_index* within a unit block."""
+    return REGION_STRIDE * (region_index + 1)

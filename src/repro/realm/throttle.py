@@ -1,0 +1,35 @@
+"""Optional throttling unit of the M&R stage.
+
+Instead of letting a manager burn its whole budget early in the period and
+then hitting a hard isolation wall, the throttle limits the number of
+outstanding downstream transactions in proportion to the remaining budget,
+"modulating backpressure before the budget fully expires" (Section III-A).
+"""
+
+from __future__ import annotations
+
+
+class ThrottleUnit:
+    """Maps remaining-budget fraction to an outstanding-transaction cap."""
+
+    def __init__(self, max_outstanding: int = 8, enabled: bool = False) -> None:
+        if max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        self.max_outstanding = max_outstanding
+        self.enabled = enabled
+
+    def allowed_outstanding(self, budget_fraction: float) -> int:
+        """Outstanding-transaction cap for the given remaining fraction.
+
+        Linear ramp from *max_outstanding* (full budget) down to 1 (almost
+        depleted); a floor of 1 keeps the manager from deadlocking while any
+        budget remains.  With the throttle disabled the cap is constant.
+        """
+        if not self.enabled:
+            return self.max_outstanding
+        fraction = max(0.0, min(1.0, budget_fraction))
+        return max(1, int(round(fraction * self.max_outstanding)))
+
+    def admits(self, outstanding: int, budget_fraction: float) -> bool:
+        """May another transaction be issued downstream right now?"""
+        return outstanding < self.allowed_outstanding(budget_fraction)

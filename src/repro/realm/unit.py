@@ -1,0 +1,242 @@
+"""The REALM unit: isolation, burst splitter, write buffer, and M&R unit
+orchestrated by a small FSM (Figure 2).
+
+The four sub-blocks are evaluated ingress-to-egress inside one simulator
+tick, connected by same-cycle wires, so the unit adds a single registered
+hop on each traversal direction (see ``repro.realm.wires``).
+
+The FSM arbitrates the isolation block's three trigger sources
+(Section III-A):
+
+* **user command** — the CTRL register's isolate bit;
+* **budget depletion** — any region of the M&R unit out of credit; the
+  request is dropped again when the period replenishes the budget;
+* **intrusive reconfiguration** — changes to the splitter granularity or a
+  region's address boundary first drain the unit, apply the change while
+  isolated, then release.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.axi.ports import AxiBundle
+from repro.realm.bookkeeping import BookkeepingSnapshot
+from repro.realm.burst_splitter import BurstSplitterStage
+from repro.realm.config import RealmRuntimeConfig, RealmUnitParams
+from repro.realm.isolation import IsolationStage
+from repro.realm.mr_unit import MonitorRegulationStage
+from repro.realm.regions import RegionConfig, RegionState
+from repro.realm.throttle import ThrottleUnit
+from repro.realm.wires import WireBundle
+from repro.realm.write_buffer import WriteBufferStage
+from repro.sim.kernel import Component
+
+
+class RealmUnit(Component):
+    """One per-manager real-time regulation and monitoring unit."""
+
+    def __init__(
+        self,
+        up: AxiBundle,
+        down: AxiBundle,
+        params: RealmUnitParams = RealmUnitParams(),
+        name: str = "realm",
+    ) -> None:
+        super().__init__(name)
+        self.params = params
+        self.config = RealmRuntimeConfig(
+            regions=[RegionConfig() for _ in range(params.n_regions)]
+        )
+        self.up = up
+        self.down = down
+        link_a = WireBundle(f"{name}.iso2split")
+        link_b = WireBundle(f"{name}.split2wbuf")
+        link_c = WireBundle(f"{name}.wbuf2mr")
+        self._links = (link_a, link_b, link_c)
+        self.isolation = IsolationStage(up, link_a, name=f"{name}.isolate")
+        self.splitter = BurstSplitterStage(
+            link_a, link_b, config=self, name=f"{name}.splitter"
+        )
+        self.write_buffer = WriteBufferStage(
+            link_b,
+            link_c,
+            depth_beats=params.write_buffer_depth,
+            enabled=params.write_buffer_present,
+            name=f"{name}.write_buffer",
+        )
+        self._throttle = ThrottleUnit(
+            max_outstanding=params.max_pending, enabled=False
+        )
+        self.mr = MonitorRegulationStage(
+            link_c,
+            down,
+            regions=[RegionState(cfg) for cfg in self.config.regions],
+            throttle=self._throttle,
+            name=f"{name}.mr",
+        )
+        self._pending_reconfig: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # splitter config view (the splitter reads these each cycle)
+    # ------------------------------------------------------------------
+    @property
+    def granularity(self) -> int:
+        return self.config.granularity
+
+    @property
+    def granularity_aw(self) -> int:
+        """Write-path granularity, clamped to the write buffer depth."""
+        return min(self.config.granularity, self.params.max_fragment_beats)
+
+    @property
+    def splitter_enabled(self) -> bool:
+        return self.params.splitter_present and self.config.splitter_enabled
+
+    # ------------------------------------------------------------------
+    # runtime configuration API (what the register file calls)
+    # ------------------------------------------------------------------
+    def set_granularity(self, beats: int) -> None:
+        """Intrusive: drains the unit, then changes the fragment size."""
+        candidate = RealmRuntimeConfig(
+            granularity=beats,
+            splitter_enabled=self.config.splitter_enabled,
+            regions=self.config.regions,
+        )
+        candidate.validate(self.params)
+
+        def apply() -> None:
+            self.config.granularity = beats
+
+        self._pending_reconfig.append(apply)
+
+    def configure_region(self, index: int, region: RegionConfig) -> None:
+        """Intrusive: replaces a region's boundary/budget/period atomically."""
+        if not 0 <= index < self.params.n_regions:
+            raise IndexError(f"region index {index} out of range")
+
+        def apply() -> None:
+            self.config.regions[index] = region
+            self.mr.regions[index].reconfigure(region)
+
+        self._pending_reconfig.append(apply)
+
+    def set_region_base(self, index: int, base: int) -> None:
+        """Intrusive: change one region's base, keeping the other fields."""
+        if not 0 <= index < self.params.n_regions:
+            raise IndexError(f"region index {index} out of range")
+
+        def apply() -> None:
+            state = self.mr.regions[index]
+            state.config.base = base
+            state.replenish()
+
+        self._pending_reconfig.append(apply)
+
+    def set_region_size(self, index: int, size: int) -> None:
+        """Intrusive: change one region's size, keeping the other fields."""
+        if not 0 <= index < self.params.n_regions:
+            raise IndexError(f"region index {index} out of range")
+
+        def apply() -> None:
+            state = self.mr.regions[index]
+            state.config.size = size
+            state.replenish()
+
+        self._pending_reconfig.append(apply)
+
+    def set_budget(self, index: int, budget_bytes: int) -> None:
+        """Non-intrusive: takes effect at the next replenish."""
+        self.mr.regions[index].config.budget_bytes = budget_bytes
+
+    def set_period(self, index: int, period_cycles: int) -> None:
+        """Non-intrusive: takes effect immediately for the running clock."""
+        self.mr.regions[index].config.period_cycles = period_cycles
+
+    def set_regulation_enabled(self, enabled: bool) -> None:
+        self.config.regulation_enabled = enabled
+        self.mr.regulation_enabled = enabled
+
+    def set_throttle_enabled(self, enabled: bool) -> None:
+        self.config.throttle_enabled = enabled
+        self._throttle.enabled = enabled
+
+    def set_splitter_enabled(self, enabled: bool) -> None:
+        def apply() -> None:
+            self.config.splitter_enabled = enabled
+
+        self._pending_reconfig.append(apply)
+
+    def set_user_isolate(self, isolate: bool) -> None:
+        self.config.user_isolate = isolate
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def isolated(self) -> bool:
+        return self.isolation.isolated
+
+    @property
+    def outstanding(self) -> int:
+        return self.isolation.outstanding
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return self.mr.budget_exhausted
+
+    def region_snapshot(self, index: int) -> BookkeepingSnapshot:
+        return self.mr.region_snapshot(index)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self.mr.on_cycle(cycle)
+        self._fsm()
+        self.isolation.tick_request(cycle)
+        self.splitter.tick_request(cycle)
+        self.write_buffer.tick_request(cycle)
+        self.mr.tick_request(cycle)
+        self.mr.tick_response(cycle)
+        self.write_buffer.tick_response(cycle)
+        self.splitter.tick_response(cycle)
+        self.isolation.tick_response(cycle)
+
+    def _fsm(self) -> None:
+        # User-commanded isolation.
+        if self.config.user_isolate:
+            self.isolation.request_isolate("user")
+        else:
+            self.isolation.release("user")
+        # Budget-driven isolation: engaged while any region is depleted,
+        # released when the period replenishes the budget.
+        if self.mr.budget_exhausted:
+            self.isolation.request_isolate("budget")
+        else:
+            self.isolation.release("budget")
+        # Intrusive reconfiguration: drain, apply, release.
+        if self._pending_reconfig:
+            self.isolation.request_isolate("reconfig")
+            if self.isolation.isolated and self._unit_empty():
+                for apply in self._pending_reconfig:
+                    apply()
+                self._pending_reconfig.clear()
+                self.isolation.release("reconfig")
+
+    def _unit_empty(self) -> bool:
+        """True when no beat is buffered in any internal link or stage."""
+        if any(w.occupancy for link in self._links for w in link.channels):
+            return False
+        if self.write_buffer.occupancy or self.write_buffer.buffered_bursts:
+            return False
+        return True
+
+    def reset(self) -> None:
+        for link in self._links:
+            link.reset()
+        self.isolation.reset()
+        self.splitter.reset()
+        self.write_buffer.reset()
+        self.mr.reset()
+        self._pending_reconfig.clear()

@@ -1,0 +1,132 @@
+"""Write transaction buffer (Figure 3b).
+
+Most interconnects reserve the subordinate's W channel for an entire write
+burst as soon as the AW wins arbitration; a manager that then withholds its
+write data stalls the subordinate for everyone (the C&F-style DoS, [14]).
+The write buffer removes that vector: it stores the (fragmented) write
+burst and forwards the AW — and then the W beats — only once the data is
+fully contained in the buffer, so downstream never waits on a dawdling
+manager.
+
+Reads pass straight through (subordinate devices are assumed to return
+read data in an orderly fashion, Section III-A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.axi.beats import AWBeat, WBeat
+
+
+class WriteBufferStage:
+    """Third stage of the REALM unit pipeline."""
+
+    def __init__(
+        self,
+        up,
+        down,
+        depth_beats: int = 16,
+        max_pending_aw: int = 2,
+        enabled: bool = True,
+        name: str = "write_buffer",
+    ) -> None:
+        if depth_beats < 1 or max_pending_aw < 1:
+            raise ValueError("write buffer depth and AW capacity must be >= 1")
+        self.name = name
+        self.up = up
+        self.down = down
+        self.depth_beats = depth_beats
+        self.max_pending_aw = max_pending_aw
+        self.enabled = enabled
+        self._aw_q: deque[AWBeat] = deque()
+        self._w_q: deque[WBeat] = deque()
+        self._complete_bursts = 0  # number of w.last beats in _w_q
+        self._forwarding: Optional[AWBeat] = None
+        self._aw_forwarded = False
+        # Statistics.
+        self.bursts_forwarded = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._w_q)
+
+    @property
+    def buffered_bursts(self) -> int:
+        return self._complete_bursts
+
+    # ------------------------------------------------------------------
+    def tick_request(self, cycle: int) -> None:
+        if not self.enabled:
+            self._tick_bypass()
+        else:
+            self._ingest()
+            self._forward()
+        # Read path is a wire-to-wire passthrough either way.
+        if self.up.ar.can_recv() and self.down.ar.can_send():
+            self.down.ar.send(self.up.ar.recv())
+
+    def tick_response(self, cycle: int) -> None:
+        if self.down.b.can_recv() and self.up.b.can_send():
+            self.up.b.send(self.down.b.recv())
+        if self.down.r.can_recv() and self.up.r.can_send():
+            self.up.r.send(self.down.r.recv())
+
+    # ------------------------------------------------------------------
+    def _tick_bypass(self) -> None:
+        if self.up.aw.can_recv() and self.down.aw.can_send():
+            self.down.aw.send(self.up.aw.recv())
+        if self.up.w.can_recv() and self.down.w.can_send():
+            self.down.w.send(self.up.w.recv())
+
+    def _ingest(self) -> None:
+        if self.up.aw.can_recv() and len(self._aw_q) < self.max_pending_aw:
+            self._aw_q.append(self.up.aw.recv())
+        if self.up.w.can_recv() and len(self._w_q) < self.depth_beats:
+            beat = self.up.w.recv()
+            self._w_q.append(beat)
+            if beat.last:
+                self._complete_bursts += 1
+            if len(self._w_q) > self.peak_occupancy:
+                self.peak_occupancy = len(self._w_q)
+
+    def _forward(self) -> None:
+        if self._forwarding is None:
+            if not self._aw_q:
+                return
+            head = self._aw_q[0]
+            # Bursts longer than the buffer can never be fully contained;
+            # forward them cut-through to avoid deadlock.  (The splitter
+            # upstream clamps write fragments to the buffer depth, so this
+            # path is only reached when the splitter is bypassed.)
+            cut_through = head.beats > self.depth_beats
+            if not cut_through and self._complete_bursts == 0:
+                return  # no fully-buffered burst: forward nothing (anti-DoS)
+            self._forwarding = self._aw_q.popleft()
+            self._aw_forwarded = False
+        if not self._aw_forwarded:
+            if not self.down.aw.can_send():
+                return
+            self.down.aw.send(self._forwarding)
+            self._aw_forwarded = True
+        # Stream the buffered write data, one beat per cycle.
+        if self._w_q and self.down.w.can_send():
+            beat = self._w_q.popleft()
+            self.down.w.send(beat)
+            if beat.last:
+                self._complete_bursts -= 1
+                self._forwarding = None
+                self.bursts_forwarded += 1
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._aw_q.clear()
+        self._w_q.clear()
+        self._complete_bursts = 0
+        self._forwarding = None
+        self._aw_forwarded = False
+        self.bursts_forwarded = 0
+        self.peak_occupancy = 0

@@ -1,0 +1,166 @@
+"""Registered valid/ready channels.
+
+A :class:`Channel` models one AXI channel hop (or any other point-to-point
+handshake).  Semantics:
+
+* A beat sent in cycle *N* is visible to the receiver from cycle *N+1*
+  (registered output).  Each hop therefore costs exactly one clock cycle.
+* ``can_send`` is computed against the occupancy snapshot taken at the last
+  commit, so whether the receiver pops in the same cycle does not influence
+  the sender.  This makes the simulation deterministic regardless of the
+  order in which components tick.
+* The default capacity of 2 behaves like a skid buffer: under simultaneous
+  push/pop the channel sustains one beat per cycle, which is what a
+  well-formed AXI register slice achieves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Optional, TypeVar
+
+from repro.sim.kernel import SimulationError, Simulator
+
+T = TypeVar("T")
+
+
+class Channel(Generic[T]):
+    """Point-to-point, single-producer/single-consumer registered channel."""
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "_queue",
+        "_pending",
+        "_snapshot",
+        "_sent_total",
+        "_recv_total",
+        "_busy_cycles",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "ch",
+        capacity: int = 2,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._queue: deque[T] = deque()
+        self._pending: list[T] = []
+        self._snapshot = 0
+        self._sent_total = 0
+        self._recv_total = 0
+        self._busy_cycles = 0
+        self._tracer = None
+        sim.register_channel(self)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def can_send(self) -> bool:
+        """True if the sender may push a beat this cycle."""
+        return self._snapshot + len(self._pending) < self.capacity
+
+    def send(self, item: T) -> None:
+        """Push *item*; visible to the receiver from the next cycle."""
+        if not self.can_send():
+            raise SimulationError(f"send on full channel {self.name!r}")
+        self._pending.append(item)
+        self._sent_total += 1
+        if self._tracer is not None:
+            self._tracer.on_send(self, item)
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def can_recv(self) -> bool:
+        """True if a committed beat is waiting."""
+        return bool(self._queue)
+
+    def peek(self) -> T:
+        """Look at the head beat without consuming it."""
+        if not self._queue:
+            raise SimulationError(f"peek on empty channel {self.name!r}")
+        return self._queue[0]
+
+    def recv(self) -> T:
+        """Consume and return the head beat."""
+        if not self._queue:
+            raise SimulationError(f"recv on empty channel {self.name!r}")
+        self._recv_total += 1
+        item = self._queue.popleft()
+        if self._tracer is not None:
+            self._tracer.on_recv(self, item)
+        return item
+
+    # ------------------------------------------------------------------
+    # kernel interface
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Clock edge: make this cycle's sends visible, refresh snapshot."""
+        if self._pending:
+            self._queue.extend(self._pending)
+            self._pending.clear()
+        occupancy = len(self._queue)
+        self._snapshot = occupancy
+        if occupancy:
+            self._busy_cycles += 1
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._pending.clear()
+        self._snapshot = 0
+        self._sent_total = 0
+        self._recv_total = 0
+        self._busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Beats currently buffered (committed + pending)."""
+        return len(self._queue) + len(self._pending)
+
+    @property
+    def sent_total(self) -> int:
+        return self._sent_total
+
+    @property
+    def recv_total(self) -> int:
+        return self._recv_total
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles in which at least one committed beat was buffered."""
+        return self._busy_cycles
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a tracer with ``on_send(ch, item)`` / ``on_recv(ch, item)``."""
+        self._tracer = tracer
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Channel {self.name!r} occ={self.occupancy}/{self.capacity}>"
+
+
+class ChannelPair:
+    """A request/response channel pair (convenience for simple links)."""
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 2) -> None:
+        self.req: Channel = Channel(sim, f"{name}.req", capacity)
+        self.rsp: Channel = Channel(sim, f"{name}.rsp", capacity)
+
+
+def drain(channel: Channel[T], limit: Optional[int] = None) -> list[T]:
+    """Consume up to *limit* committed beats from *channel* (all if None).
+
+    Test helper; components should consume at line rate in their tick.
+    """
+    out: list[T] = []
+    while channel.can_recv() and (limit is None or len(out) < limit):
+        out.append(channel.recv())
+    return out

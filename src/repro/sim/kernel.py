@@ -1,0 +1,157 @@
+"""Cycle-based simulation kernel.
+
+The kernel drives a set of :class:`Component` objects with a shared clock.
+Every cycle has two phases:
+
+1. *tick phase*: each component's :meth:`Component.tick` runs once.  During
+   the tick a component may consume beats from its input channels and send
+   beats on its output channels.
+2. *commit phase*: every registered :class:`~repro.sim.channel.Channel`
+   commits, making the beats sent in this cycle visible to their receiver in
+   the next cycle.
+
+Because channel occupancy that gates ``can_send`` is snapshotted at the
+commit, simulation results are deterministic and independent of the order in
+which components tick (see ``DESIGN.md`` section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+
+class Component:
+    """Base class for everything that is evaluated once per clock cycle.
+
+    Subclasses implement :meth:`tick`.  A component is registered with a
+    :class:`Simulator` either by passing the simulator to
+    :meth:`Simulator.add` or by constructing it through helper factories
+    that do so internally.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+
+    def tick(self, cycle: int) -> None:
+        """Evaluate one clock cycle.  Override in subclasses."""
+
+    def reset(self) -> None:
+        """Return the component to its post-reset state.  Optional."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations and kernel misuse."""
+
+
+class Simulator:
+    """Owns the clock, the components, and the channels.
+
+    Usage::
+
+        sim = Simulator()
+        sim.add(my_component)
+        sim.run(1000)
+    """
+
+    def __init__(self, name: str = "sim") -> None:
+        self.name = name
+        self.cycle = 0
+        self._components: list[Component] = []
+        self._channels: list = []  # list[Channel]; untyped to avoid cycle
+        self._watchers: list[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Register *component*; returns it for chaining."""
+        if component in self._components:
+            raise SimulationError(f"component {component.name!r} added twice")
+        self._components.append(component)
+        return component
+
+    def add_all(self, components: Iterable[Component]) -> None:
+        for component in components:
+            self.add(component)
+
+    def register_channel(self, channel) -> None:
+        """Called by Channel.__init__; not part of the public API."""
+        self._channels.append(channel)
+
+    def add_watcher(self, fn: Callable[[int], None]) -> None:
+        """Register *fn(cycle)* to run after every commit phase.
+
+        Watchers observe committed state; they must not send on channels.
+        """
+        self._watchers.append(fn)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by exactly one cycle."""
+        cycle = self.cycle
+        for component in self._components:
+            component.tick(cycle)
+        for channel in self._channels:
+            channel.commit()
+        self.cycle = cycle + 1
+        for watcher in self._watchers:
+            watcher(cycle)
+
+    def run(self, cycles: int) -> int:
+        """Run for *cycles* cycles; returns the new current cycle."""
+        for _ in range(cycles):
+            self.step()
+        return self.cycle
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+        what: str = "condition",
+    ) -> int:
+        """Step until *predicate()* is true; returns the cycle it became true.
+
+        Raises :class:`SimulationError` if *max_cycles* elapse first, which
+        keeps deadlocked test benches from hanging silently.
+        """
+        deadline = self.cycle + max_cycles
+        while not predicate():
+            if self.cycle >= deadline:
+                raise SimulationError(
+                    f"timeout after {max_cycles} cycles waiting for {what}"
+                )
+            self.step()
+        return self.cycle
+
+    def reset(self) -> None:
+        """Reset the clock, all components, and all channels."""
+        self.cycle = 0
+        for component in self._components:
+            component.reset()
+        for channel in self._channels:
+            channel.reset()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> tuple[Component, ...]:
+        return tuple(self._components)
+
+    def find(self, name: str) -> Optional[Component]:
+        """Return the first component whose name matches, or ``None``."""
+        for component in self._components:
+            if component.name == name:
+                return component
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Simulator {self.name!r} cycle={self.cycle} "
+            f"components={len(self._components)} channels={len(self._channels)}>"
+        )

@@ -1,0 +1,102 @@
+"""Lightweight event tracing for channels and components.
+
+The tracer records ``(cycle, channel, event, payload)`` tuples.  It is the
+simulation-side analogue of the observability story of the paper: the M&R
+unit exposes statistics in hardware, while the tracer lets a user inspect
+every handshake when debugging a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded handshake event."""
+
+    cycle: int
+    channel: str
+    kind: str  # "send" or "recv"
+    payload: Any
+
+    def __str__(self) -> str:
+        return f"[{self.cycle:>8}] {self.kind:<4} {self.channel}: {self.payload}"
+
+
+class Tracer:
+    """Collects handshake events from the channels it is attached to.
+
+    Attach with :meth:`watch`; filter later with :meth:`events`.
+    A *max_events* bound protects long benchmark runs from unbounded
+    memory growth (oldest events are dropped first).
+    """
+
+    def __init__(self, sim: Simulator, max_events: int = 1_000_000) -> None:
+        self._sim = sim
+        self._events: list[TraceEvent] = []
+        self._max_events = max_events
+        self._enabled = True
+
+    # ------------------------------------------------------------------
+    # channel callbacks
+    # ------------------------------------------------------------------
+    def on_send(self, channel, item: Any) -> None:
+        if self._enabled:
+            self._record(channel.name, "send", item)
+
+    def on_recv(self, channel, item: Any) -> None:
+        if self._enabled:
+            self._record(channel.name, "recv", item)
+
+    def _record(self, channel: str, kind: str, payload: Any) -> None:
+        self._events.append(TraceEvent(self._sim.cycle, channel, kind, payload))
+        if len(self._events) > self._max_events:
+            del self._events[: len(self._events) // 2]
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def watch(self, *channels) -> None:
+        """Attach this tracer to every channel given."""
+        for channel in channels:
+            channel.attach_tracer(self)
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        channel: Optional[str] = None,
+        kind: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> list[TraceEvent]:
+        """Return recorded events, optionally filtered."""
+        out: Iterable[TraceEvent] = self._events
+        if channel is not None:
+            out = (e for e in out if e.channel == channel)
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        if predicate is not None:
+            out = (e for e in out if predicate(e))
+        return list(out)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def dump(self, limit: int = 50) -> str:
+        """Human-readable dump of the last *limit* events."""
+        lines = [str(e) for e in self._events[-limit:]]
+        return "\n".join(lines)

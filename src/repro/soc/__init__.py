@@ -1,0 +1,17 @@
+"""SoC assembly: the Cheshire-like evaluation platform."""
+
+from repro.soc.cheshire import (
+    DRAM_BASE,
+    PERIPH_BASE,
+    SPM_BASE,
+    CheshireConfig,
+    CheshireSoC,
+)
+
+__all__ = [
+    "CheshireConfig",
+    "CheshireSoC",
+    "DRAM_BASE",
+    "PERIPH_BASE",
+    "SPM_BASE",
+]

@@ -1,0 +1,195 @@
+"""Cheshire-like SoC model (Figure 5).
+
+Recreates the paper's evaluation platform: a 64-bit host domain with a
+CVA6-class core, an LLC in front of DRAM, a scratchpad memory, a DSA DMA
+port, and an (optional) SoC-level iDMA port, all meeting in one AXI4
+crossbar.  A REALM unit guards every critical manager; the units share a
+configuration register file protected by the bus guard.
+
+Traffic generators (core model, DMA engine, attackers) attach to the
+manager-side bundles exposed as :attr:`core_port`, :attr:`dma_port`, and
+:attr:`idma_port`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.axi.ports import AxiBundle
+from repro.interconnect.address_map import AddressMap
+from repro.interconnect.crossbar import AxiCrossbar
+from repro.mem.cache import CacheLLC
+from repro.mem.dram import DramModel, DramTiming
+from repro.mem.sram import SramMemory
+from repro.realm.bus_guard import BusGuard
+from repro.realm.register_file import RealmRegisterFile
+from repro.realm.unit import RealmUnit
+from repro.realm.config import RealmUnitParams
+from repro.sim.kernel import Simulator
+
+# Cheshire-like memory map (sizes scaled down for simulation speed).
+DRAM_BASE = 0x8000_0000
+SPM_BASE = 0x7000_0000
+PERIPH_BASE = 0x1000_0000
+
+
+@dataclass
+class CheshireConfig:
+    """Elaboration-time configuration of the SoC model."""
+
+    # Memory system.
+    dram_size: int = 2 * 1024 * 1024
+    dram_timing: DramTiming = field(default_factory=DramTiming)
+    spm_size: int = 128 * 1024
+    periph_size: int = 4 * 1024
+    llc_capacity: int = 256 * 1024
+    llc_ways: int = 8
+    llc_line_bytes: int = 64
+    llc_hit_latency: int = 1
+    spm_latency: int = 1
+    # Managers: name -> REALM unit present?  Order defines crossbar ports.
+    managers: dict[str, bool] = field(
+        default_factory=lambda: {"core": True, "dma": True, "idma": True}
+    )
+    realm_params: RealmUnitParams = field(default_factory=RealmUnitParams)
+
+
+class CheshireSoC:
+    """The assembled platform."""
+
+    def __init__(self, sim: Simulator, config: CheshireConfig | None = None) -> None:
+        self.sim = sim
+        self.config = config or CheshireConfig()
+        cfg = self.config
+
+        # Manager-side bundles (what traffic generators drive) and the
+        # crossbar-side bundles (downstream of the REALM units).
+        self.manager_ports: dict[str, AxiBundle] = {}
+        self.realm_units: dict[str, RealmUnit] = {}
+        xbar_mgr_ports: list[AxiBundle] = []
+        for name, protected in cfg.managers.items():
+            up = AxiBundle(sim, f"{name}.mgr")
+            self.manager_ports[name] = up
+            if protected:
+                down = AxiBundle(sim, f"{name}.xbar")
+                unit = sim.add(
+                    RealmUnit(up, down, params=cfg.realm_params,
+                              name=f"realm.{name}")
+                )
+                self.realm_units[name] = unit
+                xbar_mgr_ports.append(down)
+            else:
+                xbar_mgr_ports.append(up)
+
+        # Subordinates: LLC (fronting DRAM), SPM, peripheral stub.  The LLC
+        # front port has a deeper request queue (a real LLC accepts several
+        # outstanding requests), which is what lets a saturating DMA stream
+        # queue up ahead of a latency-critical core access.
+        llc_front = AxiBundle(sim, "llc.front", capacity=4)
+        llc_back = AxiBundle(sim, "llc.back")
+        spm_port = AxiBundle(sim, "spm")
+        periph_port = AxiBundle(sim, "periph")
+
+        amap = AddressMap()
+        amap.add_range(DRAM_BASE, cfg.dram_size, port=0, name="dram")
+        amap.add_range(SPM_BASE, cfg.spm_size, port=1, name="spm")
+        amap.add_range(PERIPH_BASE, cfg.periph_size, port=2, name="periph")
+        self.addr_map = amap
+
+        self.xbar = sim.add(
+            AxiCrossbar(
+                xbar_mgr_ports,
+                [llc_front, spm_port, periph_port],
+                amap,
+                name="xbar",
+            )
+        )
+        self.llc = sim.add(
+            CacheLLC(
+                llc_front,
+                llc_back,
+                line_bytes=cfg.llc_line_bytes,
+                ways=cfg.llc_ways,
+                capacity=cfg.llc_capacity,
+                hit_latency=cfg.llc_hit_latency,
+                name="llc",
+            )
+        )
+        self.dram = sim.add(
+            DramModel(
+                llc_back,
+                base=DRAM_BASE,
+                size=cfg.dram_size,
+                timing=cfg.dram_timing,
+                name="dram",
+            )
+        )
+        self.spm = sim.add(
+            SramMemory(
+                spm_port,
+                base=SPM_BASE,
+                size=cfg.spm_size,
+                read_latency=cfg.spm_latency,
+                write_latency=cfg.spm_latency,
+                name="spm",
+            )
+        )
+        self.periph = sim.add(
+            SramMemory(
+                periph_port, base=PERIPH_BASE, size=cfg.periph_size,
+                name="periph",
+            )
+        )
+
+        # Shared configuration interface with bus guard (Figure 5).
+        self.bus_guard = BusGuard()
+        if self.realm_units:
+            self.regfile = RealmRegisterFile(
+                list(self.realm_units.values()), guard=self.bus_guard
+            )
+        else:
+            self.regfile = None
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def core_port(self) -> AxiBundle:
+        return self.manager_ports["core"]
+
+    @property
+    def dma_port(self) -> AxiBundle:
+        return self.manager_ports["dma"]
+
+    @property
+    def idma_port(self) -> AxiBundle | None:
+        return self.manager_ports.get("idma")
+
+    def realm(self, name: str) -> RealmUnit:
+        return self.realm_units[name]
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def warm_llc(self, addr: int, size: int) -> None:
+        """Pre-load LLC lines from DRAM so a working set starts hot.
+
+        The paper's Figure 6 experiments run with a hot LLC ("assuming the
+        LLC is hot"); this mirrors the warm-up phase of the FPGA runs.
+        """
+        line = self.config.llc_line_bytes
+        start = addr & ~(line - 1)
+        end = addr + size
+        a = start
+        while a < end:
+            data = self.dram.store.read(a, line)
+            self.llc.install_line(a, data)
+            a += line
+
+    def unit_index(self, name: str) -> int:
+        """Index of *name*'s REALM unit within the register file."""
+        return list(self.realm_units).index(name)
+
+    def idle(self) -> bool:
+        """True when no beat is buffered on any manager port."""
+        return all(port.idle() for port in self.manager_ports.values())

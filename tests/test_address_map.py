@@ -1,0 +1,68 @@
+"""Unit tests for the address map."""
+
+import pytest
+
+from repro.interconnect import AddressMap, AddressRange
+
+
+def test_range_contains():
+    rng = AddressRange(0x1000, 0x1000, "spm")
+    assert rng.contains(0x1000)
+    assert rng.contains(0x1FFF)
+    assert not rng.contains(0x2000)
+    assert not rng.contains(0xFFF)
+    assert rng.end == 0x2000
+
+
+def test_range_contains_span():
+    rng = AddressRange(0x1000, 0x100)
+    assert rng.contains_span(0x1000, 0x100)
+    assert not rng.contains_span(0x10FF, 2)
+
+
+def test_range_rejects_bad_params():
+    with pytest.raises(ValueError):
+        AddressRange(0, 0)
+    with pytest.raises(ValueError):
+        AddressRange(-1, 16)
+
+
+def test_range_overlap():
+    a = AddressRange(0x0, 0x100)
+    b = AddressRange(0x80, 0x100)
+    c = AddressRange(0x100, 0x100)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_map_decode():
+    amap = AddressMap()
+    amap.add_range(0x0000, 0x1000, port=0, name="llc")
+    amap.add_range(0x1000, 0x1000, port=1, name="spm")
+    assert amap.decode(0x0) == 0
+    assert amap.decode(0xFFF) == 0
+    assert amap.decode(0x1000) == 1
+    assert amap.decode(0x2000) is None
+
+
+def test_map_rejects_overlap():
+    amap = AddressMap()
+    amap.add_range(0x0, 0x1000, port=0)
+    with pytest.raises(ValueError):
+        amap.add_range(0x800, 0x1000, port=1)
+
+
+def test_map_decode_span():
+    amap = AddressMap()
+    amap.add_range(0x0, 0x100, port=0)
+    assert amap.decode_span(0x0, 0x100) == 0
+    assert amap.decode_span(0xF8, 0x10) is None
+
+
+def test_map_range_of_and_len():
+    amap = AddressMap()
+    amap.add_range(0x0, 0x100, port=0, name="a")
+    assert amap.range_of(0x10).name == "a"
+    assert amap.range_of(0x200) is None
+    assert len(amap) == 1
+    assert amap.entries[0][1] == 0

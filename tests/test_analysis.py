@@ -1,0 +1,149 @@
+"""Tests for stats helpers, interference monitoring, and the experiment
+runner."""
+
+import pytest
+
+from repro.analysis import (
+    ContentionExperiment,
+    InterferenceMatrix,
+    LatencyStats,
+    SystemInterferenceMonitor,
+    bytes_per_cycle,
+    percentile,
+    performance_percent,
+)
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_latency_stats_basic():
+    stats = LatencyStats.from_samples([10, 20, 30, 40, 50])
+    assert stats.count == 5
+    assert stats.minimum == 10
+    assert stats.maximum == 50
+    assert stats.mean == 30
+    assert stats.p50 == 30
+
+
+def test_latency_stats_empty():
+    stats = LatencyStats.from_samples([])
+    assert stats.count == 0
+    assert stats.maximum == 0
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 50) == 5.0
+    assert percentile([1, 2, 3, 4], 100) == 4
+    assert percentile([7], 99) == 7.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_performance_percent():
+    assert performance_percent(100, 100) == 100.0
+    assert performance_percent(100, 200) == 50.0
+    with pytest.raises(ValueError):
+        performance_percent(100, 0)
+
+
+def test_bytes_per_cycle():
+    assert bytes_per_cycle(100, 10) == 10.0
+    assert bytes_per_cycle(100, 0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# interference matrix
+# ----------------------------------------------------------------------
+def test_interference_matrix_records_victim_aggressor():
+    m = InterferenceMatrix(["core", "dma"])
+    m.record(stalled=[True, False], transferring=[False, True])
+    m.record(stalled=[True, False], transferring=[False, True])
+    assert m.cycles("core", "dma") == 2
+    assert m.cycles("dma", "core") == 0
+    assert m.total_for_victim("core") == 2
+
+
+def test_interference_matrix_ignores_self():
+    m = InterferenceMatrix(["a", "b"])
+    m.record(stalled=[True, False], transferring=[True, False])
+    assert m.cycles("a", "a") == 0
+
+
+def test_interference_matrix_format():
+    m = InterferenceMatrix(["core", "dma"])
+    m.record(stalled=[True, False], transferring=[False, True])
+    text = m.format()
+    assert "core" in text and "dma" in text
+
+
+def test_system_monitor_detects_dma_interference():
+    """Under heavy contention, the monitor blames the DMA for core stalls."""
+    from repro.sim import Simulator
+    from repro.soc import CheshireSoC, DRAM_BASE, SPM_BASE
+    from repro.traffic import CoreModel, DmaEngine, susan_like_trace
+
+    sim = Simulator()
+    soc = CheshireSoC(sim)
+    soc.warm_llc(DRAM_BASE, 32 * 1024)
+    monitor = SystemInterferenceMonitor(sim, soc.realm_units)
+    trace = susan_like_trace(n_accesses=20, base=DRAM_BASE, footprint=8192)
+    core = sim.add(CoreModel(soc.core_port, trace))
+    sim.add(
+        DmaEngine(soc.dma_port, src_base=DRAM_BASE + 8192, src_size=8192,
+                  dst_base=SPM_BASE, dst_size=8192, burst_beats=256)
+    )
+    sim.run_until(lambda: core.done, max_cycles=100_000, what="core")
+    assert monitor.matrix.cycles("core", "dma") > 0
+
+
+# ----------------------------------------------------------------------
+# experiment runner
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_experiment():
+    exp = ContentionExperiment(n_accesses=40)
+    exp.run_single_source()
+    return exp
+
+
+def test_single_source_baseline(small_experiment):
+    base = small_experiment.run_single_source()
+    assert base.perf_percent == 100.0
+    assert base.latency.maximum <= 10  # paper: at most 8 + model epsilon
+
+
+def test_uncontrolled_contention_collapses_performance(small_experiment):
+    r = small_experiment.run_without_reservation()
+    assert r.perf_percent < 30.0
+    assert r.worst_case_latency > 250  # >= one full 256-beat burst
+
+
+def test_fragmentation_one_recovers_performance(small_experiment):
+    r = small_experiment.run(fragmentation=1)
+    assert r.perf_percent > 60.0
+    assert r.worst_case_latency < 20
+
+
+def test_fragmentation_sweep_monotone_trend(small_experiment):
+    results = small_experiment.sweep_fragmentation((256, 16, 1))
+    perfs = [r.perf_percent for r in results]
+    assert perfs[0] < perfs[1] < perfs[2]
+    lats = [r.worst_case_latency for r in results]
+    assert lats[0] > lats[1] > lats[2]
+
+
+def test_budget_sweep_improves_with_skew(small_experiment):
+    results = small_experiment.sweep_budget(ratios=(1, 5))
+    assert results[-1].perf_percent >= results[0].perf_percent
+    assert results[-1].perf_percent > 90.0
+
+
+def test_result_fields(small_experiment):
+    r = small_experiment.run(fragmentation=4, label="check")
+    assert r.label == "check"
+    assert r.execution_cycles > 0
+    assert r.dma_bytes > 0
+    assert r.sim_cycles >= r.execution_cycles

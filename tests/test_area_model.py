@@ -1,0 +1,121 @@
+"""Tests for the Table II area model and the Table I decomposition."""
+
+import pytest
+
+from repro.area import (
+    PAPER_BLOCKS_KGE,
+    TABLE_I_N_UNITS,
+    TABLE_I_PARAMS,
+    TABLE_II,
+    area_breakdown,
+    cheshire_decomposition,
+    config_regfile_area,
+    format_table,
+    realm_overhead_percent,
+    realm_unit_area,
+    sub_blocks,
+    system_area,
+)
+from repro.realm import RealmUnitParams
+
+
+def test_table_ii_has_all_eleven_sub_blocks():
+    assert len(TABLE_II) == 11
+    names = {b.name for b in TABLE_II}
+    assert "Burst Splitter" in names
+    assert "Bus Guard" in names
+    assert "Tracking Counters" in names
+
+
+def test_sub_blocks_filter():
+    config = sub_blocks("config")
+    unit = sub_blocks("unit")
+    assert len(config) + len(unit) == len(TABLE_II)
+    assert all(b.group == "config" for b in config)
+
+
+def test_unit_area_close_to_paper_total():
+    """3 Table-I-configured units should land near the paper's 83.6 kGE."""
+    total_kge = realm_unit_area(TABLE_I_PARAMS) * TABLE_I_N_UNITS / 1000
+    assert 0.8 * 83.6 < total_kge < 1.2 * 83.6
+
+
+def test_area_grows_with_each_parameter():
+    base = RealmUnitParams()
+    assert realm_unit_area(
+        RealmUnitParams(addr_width=64)
+    ) > realm_unit_area(RealmUnitParams(addr_width=32))
+    assert realm_unit_area(
+        RealmUnitParams(max_pending=16)
+    ) > realm_unit_area(RealmUnitParams(max_pending=2))
+    assert realm_unit_area(
+        RealmUnitParams(write_buffer_depth=64)
+    ) > realm_unit_area(RealmUnitParams(write_buffer_depth=16))
+    assert realm_unit_area(
+        RealmUnitParams(n_regions=4)
+    ) > realm_unit_area(RealmUnitParams(n_regions=1))
+
+
+def test_splitter_disabled_saves_area():
+    with_split = realm_unit_area(RealmUnitParams(splitter_present=True))
+    without = realm_unit_area(RealmUnitParams(splitter_present=False))
+    # The burst splitter dominates the unit (Table II constants).
+    assert without < with_split * 0.6
+
+
+def test_write_buffer_absent_saves_area():
+    with_buf = realm_unit_area(RealmUnitParams(write_buffer_present=True))
+    without = realm_unit_area(RealmUnitParams(write_buffer_present=False))
+    assert without < with_buf
+
+
+def test_config_regfile_scales_with_units_and_regions():
+    p1 = RealmUnitParams(n_regions=1)
+    p2 = RealmUnitParams(n_regions=2)
+    assert config_regfile_area(p2, 3) > config_regfile_area(p1, 3)
+    assert config_regfile_area(p1, 4) > config_regfile_area(p1, 2)
+    with pytest.raises(ValueError):
+        config_regfile_area(p1, -1)
+
+
+def test_system_area_components_sum():
+    out = system_area(TABLE_I_PARAMS, 3)
+    assert out["total"] == pytest.approx(
+        out["realm_units"] + out["config_regfile"]
+    )
+
+
+def test_overhead_percent_near_paper():
+    """Paper: 2.45% area overhead on Cheshire."""
+    overhead = realm_overhead_percent()
+    assert 1.8 < overhead < 3.2
+
+
+def test_decomposition_rows_and_percentages():
+    rows = cheshire_decomposition()
+    assert rows[0].unit == "SoC"
+    assert rows[0].percent == 100.0
+    names = [r.unit for r in rows]
+    assert "3 RT Units" in names and "RT CFG" in names
+    model_rows = [r for r in rows if r.source == "model"]
+    assert len(model_rows) == 2
+    # Percentages of the parts sum to ~100.
+    total_pct = sum(r.percent for r in rows[1:])
+    assert total_pct == pytest.approx(100.0, abs=0.5)
+
+
+def test_decomposition_matches_published_non_realm_areas():
+    rows = {r.unit: r for r in cheshire_decomposition()}
+    assert rows["CVA6"].area_kge == PAPER_BLOCKS_KGE["CVA6"]
+    assert rows["LLC"].area_kge == PAPER_BLOCKS_KGE["LLC"]
+
+
+def test_format_table_renders():
+    text = format_table(cheshire_decomposition())
+    assert "CVA6" in text and "kGE" in text
+
+
+def test_area_breakdown_covers_all_blocks():
+    out = area_breakdown(TABLE_I_PARAMS)
+    assert len(out) == len(TABLE_II)
+    assert out["Burst Splitter"] > out["Write Buffer"]

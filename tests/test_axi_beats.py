@@ -1,0 +1,100 @@
+"""Unit tests for AXI beat records and validation."""
+
+import pytest
+
+from repro.axi import (
+    ARBeat,
+    AWBeat,
+    AtomicOp,
+    BurstType,
+    Resp,
+    bytes_per_beat,
+    merge_resp,
+    validate_addr_beat,
+)
+
+
+def test_axlen_is_beats_minus_one():
+    aw = AWBeat(id=0, addr=0, beats=16, size=3)
+    assert aw.axlen == 15
+    ar = ARBeat(id=0, addr=0, beats=1, size=2)
+    assert ar.axlen == 0
+
+
+def test_total_bytes():
+    aw = AWBeat(id=0, addr=0, beats=4, size=3)  # 4 beats x 8 B
+    assert aw.total_bytes == 32
+    ar = ARBeat(id=0, addr=0, beats=256, size=3)
+    assert ar.total_bytes == 2048
+
+
+def test_copy_is_independent():
+    aw = AWBeat(id=1, addr=0x100, beats=8, size=3, atop=AtomicOp.SWAP)
+    cp = aw.copy()
+    cp.addr = 0x200
+    assert aw.addr == 0x100
+    assert cp.atop == AtomicOp.SWAP
+
+
+def test_bytes_per_beat_range():
+    assert bytes_per_beat(0) == 1
+    assert bytes_per_beat(3) == 8
+    assert bytes_per_beat(7) == 128
+    with pytest.raises(ValueError):
+        bytes_per_beat(8)
+    with pytest.raises(ValueError):
+        bytes_per_beat(-1)
+
+
+def test_merge_resp_keeps_most_severe():
+    assert merge_resp(Resp.OKAY, Resp.OKAY) == Resp.OKAY
+    assert merge_resp(Resp.OKAY, Resp.SLVERR) == Resp.SLVERR
+    assert merge_resp(Resp.DECERR, Resp.SLVERR) == Resp.DECERR
+    assert merge_resp(Resp.EXOKAY, Resp.OKAY) == Resp.EXOKAY
+
+
+def test_resp_is_error():
+    assert Resp.SLVERR.is_error
+    assert Resp.DECERR.is_error
+    assert not Resp.OKAY.is_error
+    assert not Resp.EXOKAY.is_error
+
+
+def test_validate_rejects_zero_length():
+    with pytest.raises(ValueError):
+        validate_addr_beat(AWBeat(id=0, addr=0, beats=0, size=3))
+
+
+def test_validate_rejects_long_incr():
+    with pytest.raises(ValueError):
+        validate_addr_beat(ARBeat(id=0, addr=0, beats=257, size=3))
+
+
+def test_validate_rejects_long_fixed_and_wrap():
+    with pytest.raises(ValueError):
+        validate_addr_beat(
+            AWBeat(id=0, addr=0, beats=17, size=3, burst=BurstType.FIXED)
+        )
+    with pytest.raises(ValueError):
+        validate_addr_beat(
+            AWBeat(id=0, addr=0, beats=32, size=3, burst=BurstType.WRAP)
+        )
+
+
+def test_validate_wrap_length_power_of_two():
+    with pytest.raises(ValueError):
+        validate_addr_beat(
+            ARBeat(id=0, addr=0, beats=3, size=3, burst=BurstType.WRAP)
+        )
+    validate_addr_beat(ARBeat(id=0, addr=0, beats=4, size=3, burst=BurstType.WRAP))
+
+
+def test_validate_wrap_requires_aligned_address():
+    with pytest.raises(ValueError):
+        validate_addr_beat(
+            ARBeat(id=0, addr=0x4, beats=4, size=3, burst=BurstType.WRAP)
+        )
+
+
+def test_validate_accepts_max_incr():
+    validate_addr_beat(ARBeat(id=0, addr=0, beats=256, size=3))

@@ -1,0 +1,54 @@
+"""Unit + property tests for transaction-ID composition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axi import IdMap, TxnCounter
+
+
+def test_compose_and_split_roundtrip():
+    idmap = IdMap(inner_id_bits=4)
+    wide = idmap.compose(3, 0xA)
+    assert wide == (3 << 4) | 0xA
+    assert idmap.split(wide) == (3, 0xA)
+    assert idmap.manager_of(wide) == 3
+    assert idmap.inner_of(wide) == 0xA
+
+
+def test_compose_rejects_overflow_inner_id():
+    idmap = IdMap(inner_id_bits=2)
+    with pytest.raises(ValueError):
+        idmap.compose(0, 4)
+    with pytest.raises(ValueError):
+        idmap.compose(0, -1)
+
+
+def test_compose_rejects_negative_manager():
+    idmap = IdMap(inner_id_bits=2)
+    with pytest.raises(ValueError):
+        idmap.compose(-1, 0)
+
+
+def test_split_rejects_negative():
+    with pytest.raises(ValueError):
+        IdMap(inner_id_bits=2).split(-5)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=16),
+    mgr=st.integers(min_value=0, max_value=63),
+    data=st.data(),
+)
+def test_property_roundtrip(bits, mgr, data):
+    inner = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    idmap = IdMap(inner_id_bits=bits)
+    assert idmap.split(idmap.compose(mgr, inner)) == (mgr, inner)
+
+
+def test_txn_counter_monotonic():
+    tc = TxnCounter()
+    tags = [tc.allocate() for _ in range(5)]
+    assert tags == [0, 1, 2, 3, 4]
+    assert tc.issued == 5

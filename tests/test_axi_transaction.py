@@ -1,0 +1,211 @@
+"""Unit + property tests for burst address math and fragmentation rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axi import (
+    ARBeat,
+    AWBeat,
+    AtomicOp,
+    BurstType,
+    beat_addresses,
+    bytes_per_beat,
+    crosses_4k,
+    fragment_burst,
+    fragment_count,
+    is_fragmentable,
+)
+
+
+# ----------------------------------------------------------------------
+# beat_addresses
+# ----------------------------------------------------------------------
+def test_incr_addresses():
+    ar = ARBeat(id=0, addr=0x1000, beats=4, size=3)
+    assert beat_addresses(ar) == [0x1000, 0x1008, 0x1010, 0x1018]
+
+
+def test_incr_unaligned_first_beat():
+    # First beat keeps the unaligned address; later beats are aligned.
+    ar = ARBeat(id=0, addr=0x1004, beats=3, size=3)
+    assert beat_addresses(ar) == [0x1004, 0x1008, 0x1010]
+
+
+def test_fixed_addresses_repeat():
+    aw = AWBeat(id=0, addr=0x80, beats=4, size=2, burst=BurstType.FIXED)
+    assert beat_addresses(aw) == [0x80] * 4
+
+
+def test_wrap_addresses_wrap_at_container():
+    # 4 beats x 8 B = 32 B container; start mid-container.
+    ar = ARBeat(id=0, addr=0x110, beats=4, size=3, burst=BurstType.WRAP)
+    assert beat_addresses(ar) == [0x110, 0x118, 0x100, 0x108]
+
+
+def test_wrap_addresses_from_container_start():
+    ar = ARBeat(id=0, addr=0x100, beats=2, size=3, burst=BurstType.WRAP)
+    assert beat_addresses(ar) == [0x100, 0x108]
+
+
+# ----------------------------------------------------------------------
+# 4K boundary
+# ----------------------------------------------------------------------
+def test_crosses_4k_detects_crossing():
+    ar = ARBeat(id=0, addr=0xFF8, beats=2, size=3)
+    assert crosses_4k(ar)
+
+
+def test_crosses_4k_ok_inside_page():
+    ar = ARBeat(id=0, addr=0xF00, beats=32, size=3)
+    assert not crosses_4k(ar)
+
+
+def test_crosses_4k_never_for_fixed_or_wrap():
+    assert not crosses_4k(
+        ARBeat(id=0, addr=0xFFC, beats=4, size=2, burst=BurstType.FIXED)
+    )
+    assert not crosses_4k(
+        ARBeat(id=0, addr=0xFF0, beats=4, size=2, burst=BurstType.WRAP)
+    )
+
+
+# ----------------------------------------------------------------------
+# fragmentation rules (paper Section III-A)
+# ----------------------------------------------------------------------
+def test_atomic_never_fragmentable():
+    aw = AWBeat(id=0, addr=0, beats=64, size=3, atop=AtomicOp.SWAP)
+    assert not is_fragmentable(aw)
+
+
+def test_non_modifiable_short_not_fragmentable():
+    ar = ARBeat(id=0, addr=0, beats=16, size=3, modifiable=False)
+    assert not is_fragmentable(ar)
+
+
+def test_non_modifiable_long_is_fragmentable():
+    ar = ARBeat(id=0, addr=0, beats=17, size=3, modifiable=False)
+    assert is_fragmentable(ar)
+
+
+def test_fixed_and_wrap_not_fragmentable():
+    assert not is_fragmentable(
+        AWBeat(id=0, addr=0, beats=8, size=3, burst=BurstType.FIXED)
+    )
+    assert not is_fragmentable(
+        AWBeat(id=0, addr=0, beats=8, size=3, burst=BurstType.WRAP)
+    )
+
+
+def test_single_beat_not_fragmentable():
+    assert not is_fragmentable(ARBeat(id=0, addr=0, beats=1, size=3))
+
+
+def test_modifiable_incr_is_fragmentable():
+    assert is_fragmentable(ARBeat(id=0, addr=0, beats=2, size=3))
+
+
+# ----------------------------------------------------------------------
+# fragment_burst
+# ----------------------------------------------------------------------
+def test_fragment_exact_division():
+    ar = ARBeat(id=0, addr=0x1000, beats=256, size=3)
+    frags = fragment_burst(ar, 64)
+    assert len(frags) == 4
+    assert [f.addr for f in frags] == [0x1000, 0x1200, 0x1400, 0x1600]
+    assert all(f.beats == 64 for f in frags)
+
+
+def test_fragment_remainder_on_last():
+    ar = ARBeat(id=0, addr=0, beats=10, size=3)
+    frags = fragment_burst(ar, 4)
+    assert [f.beats for f in frags] == [4, 4, 2]
+
+
+def test_fragment_granularity_one():
+    ar = ARBeat(id=0, addr=0x100, beats=4, size=3)
+    frags = fragment_burst(ar, 1)
+    assert len(frags) == 4
+    assert [f.addr for f in frags] == [0x100, 0x108, 0x110, 0x118]
+
+
+def test_fragment_nonfragmentable_passes_through():
+    aw = AWBeat(id=0, addr=0, beats=8, size=3, atop=AtomicOp.STORE)
+    frags = fragment_burst(aw, 1)
+    assert len(frags) == 1
+    assert frags[0].beats == 8
+
+
+def test_fragment_larger_granularity_passes_through():
+    ar = ARBeat(id=0, addr=0, beats=16, size=3)
+    assert len(fragment_burst(ar, 256)) == 1
+
+
+def test_fragment_invalid_granularity():
+    ar = ARBeat(id=0, addr=0, beats=16, size=3)
+    with pytest.raises(ValueError):
+        fragment_burst(ar, 0)
+    with pytest.raises(ValueError):
+        fragment_count(16, -1)
+
+
+def test_fragment_count_matches():
+    assert fragment_count(256, 64) == 4
+    assert fragment_count(10, 4) == 3
+    assert fragment_count(1, 1) == 1
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+sizes = st.integers(min_value=0, max_value=4)
+beat_counts = st.integers(min_value=1, max_value=256)
+grans = st.integers(min_value=1, max_value=256)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    addr=st.integers(min_value=0, max_value=2**32 - 1),
+    beats=beat_counts,
+    size=sizes,
+    gran=grans,
+)
+def test_property_fragments_cover_burst_exactly(addr, beats, size, gran):
+    """Fragments preserve total beat count and cover the same addresses."""
+    nbytes = bytes_per_beat(size)
+    addr &= ~(nbytes - 1)  # aligned burst for exact address comparison
+    ar = ARBeat(id=0, addr=addr, beats=beats, size=size)
+    frags = fragment_burst(ar, gran)
+    assert sum(f.beats for f in frags) == beats
+    # Addresses of fragment beats must equal the original burst's beats.
+    orig = beat_addresses(ar)
+    frag_addrs = []
+    for f in frags:
+        frag_addrs.extend(
+            beat_addresses(ARBeat(id=0, addr=f.addr, beats=f.beats, size=size))
+        )
+    assert frag_addrs == orig
+
+
+@settings(max_examples=200, deadline=None)
+@given(beats=beat_counts, gran=grans)
+def test_property_fragment_sizes_bounded(beats, gran):
+    ar = ARBeat(id=0, addr=0, beats=beats, size=3)
+    for f in fragment_burst(ar, gran):
+        assert 1 <= f.beats <= max(gran, 1) or not is_fragmentable(ar)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    addr=st.integers(min_value=0, max_value=2**20 - 1),
+    beats=st.integers(min_value=2, max_value=16).map(lambda b: 1 << (b % 4 + 1)),
+    size=sizes,
+)
+def test_property_wrap_addresses_stay_in_container(addr, beats, size):
+    nbytes = bytes_per_beat(size)
+    addr &= ~(nbytes - 1)
+    container = beats * nbytes
+    ar = ARBeat(id=0, addr=addr, beats=beats, size=size, burst=BurstType.WRAP)
+    base = (addr // container) * container
+    for a in beat_addresses(ar):
+        assert base <= a < base + container

@@ -1,0 +1,162 @@
+"""Tests for the baseline regulators (ABU, ABE, C&F) and their gaps
+relative to AXI-REALM."""
+
+import pytest
+
+from repro.axi import AxiBundle, Resp
+from repro.baselines import AbeEqualizer, AbuRegulator, CutForwardUnit
+from repro.mem import SramMemory
+from repro.sim import Simulator
+from repro.traffic import StallingWriter
+from repro.traffic.driver import ManagerDriver
+
+
+def make_with_regulator(factory):
+    """driver -> regulator -> SRAM."""
+    sim = Simulator()
+    up = AxiBundle(sim, "up")
+    down = AxiBundle(sim, "down")
+    reg = sim.add(factory(up, down))
+    sram = sim.add(SramMemory(down, base=0, size=0x10000))
+    drv = sim.add(ManagerDriver(up))
+    return sim, reg, sram, drv
+
+
+def finish(sim, drv, max_cycles=50_000):
+    sim.run_until(lambda: drv.idle, max_cycles=max_cycles, what="driver")
+
+
+# ----------------------------------------------------------------------
+# ABU
+# ----------------------------------------------------------------------
+def test_abu_passes_data_through():
+    sim, abu, sram, drv = make_with_regulator(
+        lambda u, d: AbuRegulator(u, d, budget_bytes=1 << 30,
+                                  period_cycles=1 << 30)
+    )
+    drv.write(0x100, bytes(range(8)))
+    op = drv.read(0x100)
+    finish(sim, drv)
+    assert op.rdata == bytes(range(8))
+
+
+def test_abu_budget_blocks_until_period():
+    sim, abu, sram, drv = make_with_regulator(
+        lambda u, d: AbuRegulator(u, d, budget_bytes=16, period_cycles=300)
+    )
+    a = drv.read(0x0)  # 8 B
+    b = drv.read(0x8)  # 8 B -> budget gone
+    c = drv.read(0x10)  # must wait for replenish
+    finish(sim, drv)
+    assert max(a.done_cycle, b.done_cycle) < 300
+    assert c.done_cycle >= 300
+    assert abu.denied > 0
+
+
+def test_abu_does_not_split_bursts():
+    sim, abu, sram, drv = make_with_regulator(
+        lambda u, d: AbuRegulator(u, d, budget_bytes=1 << 30,
+                                  period_cycles=1 << 30)
+    )
+    drv.read(0x0, beats=64)
+    finish(sim, drv)
+    assert sram.reads_served == 1  # whole burst reached the memory
+
+
+def test_abu_vulnerable_to_stall_dos():
+    """ABU has no write buffer: the stalling attack still works."""
+    sim = Simulator()
+    up = AxiBundle(sim, "up")
+    down = AxiBundle(sim, "down")
+    sim.add(AbuRegulator(up, down, budget_bytes=1 << 30, period_cycles=1 << 30))
+    sram = sim.add(SramMemory(down, base=0, size=0x1000))
+    sim.add(StallingWriter(up, beats=16))
+    sim.run(1000)
+    assert sram.writes_served == 0  # memory is stuck: DoS succeeded
+
+
+# ----------------------------------------------------------------------
+# ABE
+# ----------------------------------------------------------------------
+def test_abe_splits_to_nominal_burst():
+    sim, abe, sram, drv = make_with_regulator(
+        lambda u, d: AbeEqualizer(u, d, nominal_burst=4, max_outstanding=8)
+    )
+    op = drv.read(0x0, beats=16)
+    finish(sim, drv)
+    assert op.done
+    assert sram.reads_served == 4  # 16 beats -> 4 fragments
+
+
+def test_abe_data_integrity():
+    sim, abe, sram, drv = make_with_regulator(
+        lambda u, d: AbeEqualizer(u, d, nominal_burst=2, max_outstanding=4)
+    )
+    payload = bytes(i & 0xFF for i in range(64))
+    drv.write(0x200, payload, beats=8)
+    op = drv.read(0x200, beats=8)
+    finish(sim, drv)
+    assert op.rdata == payload
+
+
+def test_abe_caps_outstanding():
+    sim, abe, sram, drv = make_with_regulator(
+        lambda u, d: AbeEqualizer(u, d, nominal_burst=1, max_outstanding=2)
+    )
+    drv.read(0x0, beats=8)
+    finish(sim, drv)
+    assert abe.denied > 0  # 8 fragments pushed against a cap of 2
+
+
+def test_abe_no_budget_hog_unregulated():
+    """ABE equalises but cannot limit total bandwidth."""
+    sim, abe, sram, drv = make_with_regulator(
+        lambda u, d: AbeEqualizer(u, d, nominal_burst=1, max_outstanding=8)
+    )
+    for i in range(20):
+        drv.read(i * 8)
+    finish(sim, drv)
+    assert len(drv.completed) == 20  # nothing ever blocked on a budget
+
+
+def test_abe_validates():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        AbeEqualizer(AxiBundle(sim, "u"), AxiBundle(sim, "d"),
+                     max_outstanding=0)
+
+
+# ----------------------------------------------------------------------
+# Cut & Forward
+# ----------------------------------------------------------------------
+def test_cnf_defeats_stall_dos():
+    sim = Simulator()
+    up = AxiBundle(sim, "up")
+    down = AxiBundle(sim, "down")
+    sim.add(CutForwardUnit(up, down, depth_beats=32))
+    sram = sim.add(SramMemory(down, base=0, size=0x1000))
+    sim.add(StallingWriter(up, beats=16))
+    victim_port = down  # downstream stays usable: nothing was forwarded
+    sim.run(1000)
+    assert sram.writes_served == 0
+    assert down.aw.occupancy == 0  # the poisoned AW never left the unit
+
+
+def test_cnf_forwards_complete_writes():
+    sim, cnf, sram, drv = make_with_regulator(
+        lambda u, d: CutForwardUnit(u, d, depth_beats=32)
+    )
+    drv.write(0x40, bytes(range(32)), beats=4)
+    op = drv.read(0x40, beats=4)
+    finish(sim, drv)
+    assert op.rdata == bytes(range(32))
+
+
+def test_cnf_reads_unaffected():
+    sim, cnf, sram, drv = make_with_regulator(
+        lambda u, d: CutForwardUnit(u, d)
+    )
+    op = drv.read(0x0, beats=8)
+    finish(sim, drv)
+    assert op.done
+    assert sram.reads_served == 1

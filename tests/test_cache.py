@@ -1,0 +1,163 @@
+"""Unit tests for the LLC cache model (front driver, DRAM behind)."""
+
+import pytest
+
+from repro.axi import AxiBundle, Resp
+from repro.mem import CacheLLC, DramModel, DramTiming, SramMemory
+from repro.sim import Simulator
+from repro.traffic.driver import ManagerDriver
+
+
+def make(line_bytes=64, ways=2, capacity=4 * 1024, hit_latency=1,
+         dram_size=1 << 20):
+    sim = Simulator()
+    front = AxiBundle(sim, "llc.front")
+    back = AxiBundle(sim, "llc.back")
+    llc = sim.add(
+        CacheLLC(front, back, line_bytes=line_bytes, ways=ways,
+                 capacity=capacity, hit_latency=hit_latency)
+    )
+    dram = sim.add(DramModel(back, base=0, size=dram_size))
+    drv = sim.add(ManagerDriver(front))
+    return sim, llc, dram, drv
+
+
+def finish(sim, drv):
+    sim.run_until(lambda: drv.idle, max_cycles=200_000, what="driver")
+
+
+def test_read_miss_then_hit():
+    sim, llc, dram, drv = make()
+    dram.store.write(0x100, bytes(range(8)))
+    op1 = drv.read(0x100)
+    op2 = drv.read(0x100)
+    finish(sim, drv)
+    assert op1.rdata == bytes(range(8))
+    assert op2.rdata == bytes(range(8))
+    assert llc.misses == 1
+    assert llc.hits == 1
+    assert op2.latency < op1.latency
+
+
+def test_write_allocate_and_readback():
+    sim, llc, dram, drv = make()
+    drv.write(0x200, bytes([0xAA] * 8))
+    op = drv.read(0x200)
+    finish(sim, drv)
+    assert op.rdata == bytes([0xAA] * 8)
+    assert llc.misses == 1  # write allocated the line
+    assert llc.refills == 1
+
+
+def test_dirty_eviction_written_back_to_dram():
+    # 2 ways, 64 B lines, 4 KiB capacity -> 32 sets; addresses 4 KiB apart
+    # (line index + 32 sets) map to the same set.
+    sim, llc, dram, drv = make(ways=2, capacity=4 * 1024)
+    stride = 4 * 1024
+    drv.write(0x0, bytes([0x11] * 8))  # dirty line in set 0
+    drv.write(stride, bytes([0x22] * 8))  # second way of set 0
+    drv.write(2 * stride, bytes([0x33] * 8))  # evicts the first line
+    finish(sim, drv)
+    assert llc.writebacks == 1
+    assert dram.store.read(0x0, 8) == bytes([0x11] * 8)
+    # And reading it again refetches the written-back data.
+    op = drv.read(0x0)
+    finish(sim, drv)
+    assert op.rdata == bytes([0x11] * 8)
+
+
+def test_clean_eviction_no_writeback():
+    sim, llc, dram, drv = make(ways=2, capacity=4 * 1024)
+    stride = 4 * 1024
+    for i in range(3):
+        drv.read(i * stride)
+    finish(sim, drv)
+    assert llc.writebacks == 0
+    assert llc.refills == 3
+
+
+def test_lru_replacement():
+    sim, llc, dram, drv = make(ways=2, capacity=4 * 1024)
+    stride = 4 * 1024
+    drv.read(0x0)  # A
+    drv.read(stride)  # B
+    drv.read(0x0)  # touch A -> B becomes LRU
+    drv.read(2 * stride)  # C evicts B
+    op = drv.read(0x0)  # A must still be resident
+    finish(sim, drv)
+    assert llc.contains(0x0)
+    assert not llc.contains(stride)
+    assert llc.contains(2 * stride)
+
+
+def test_burst_read_within_line_hits_after_warm():
+    sim, llc, dram, drv = make()
+    dram.store.write(0x0, bytes(range(64)))
+    drv.read(0x0, beats=8)  # warms the line (1 miss, then hits)
+    op = drv.read(0x0, beats=8)
+    finish(sim, drv)
+    assert op.rdata == bytes(range(64))
+    assert llc.misses == 1
+
+
+def test_burst_across_lines():
+    sim, llc, dram, drv = make()
+    dram.store.write(0x0, bytes(i & 0xFF for i in range(256)))
+    op = drv.read(0x0, beats=32)  # 256 B = 4 lines
+    finish(sim, drv)
+    assert op.rdata == bytes(i & 0xFF for i in range(256))
+    assert llc.misses == 4
+
+
+def test_hot_cache_streams_one_beat_per_cycle():
+    sim, llc, dram, drv = make(capacity=16 * 1024)
+    drv.read(0x0, beats=32)  # warm 4 lines
+    op1 = drv.read(0x0, beats=1)
+    op2 = drv.read(0x0, beats=32)
+    finish(sim, drv)
+    assert op2.latency - op1.latency == 31
+
+
+def test_install_line_prewarm():
+    sim, llc, dram, drv = make()
+    llc.install_line(0x0, bytes([0x5A] * 64))
+    op = drv.read(0x0)
+    finish(sim, drv)
+    assert op.rdata == bytes([0x5A] * 8)
+    assert llc.misses == 0
+    assert llc.hits == 1
+
+
+def test_resident_lines_counter():
+    sim, llc, dram, drv = make()
+    llc.install_line(0x0, bytes(64))
+    llc.install_line(0x40, bytes(64))
+    assert llc.resident_lines == 2
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    f, b = AxiBundle(sim, "f"), AxiBundle(sim, "b")
+    with pytest.raises(ValueError):
+        CacheLLC(f, b, line_bytes=64, ways=3, capacity=1000)
+    with pytest.raises(ValueError):
+        llc = CacheLLC(f, b, line_bytes=60, ways=2, capacity=4 * 1024)
+
+
+def test_install_line_validates_length():
+    sim, llc, dram, drv = make()
+    with pytest.raises(ValueError):
+        llc.install_line(0x0, bytes(10))
+
+
+def test_write_partial_strobe_merge():
+    sim, llc, dram, drv = make()
+    dram.store.write(0x0, bytes([0xFF] * 8))
+    drv.read(0x0)  # warm
+    finish(sim, drv)
+    # Directly exercise a strobed write through the driver data path:
+    # write full beat then verify merge happened in the line.
+    drv.write(0x0, bytes([0x00] * 8))
+    op = drv.read(0x0)
+    finish(sim, drv)
+    assert op.rdata == bytes(8)

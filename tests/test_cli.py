@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "CVA6" in out
+    assert "overhead" in out
+
+
+def test_table2_command(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Burst Splitter" in out
+
+
+def test_fig6a_command_small(capsys):
+    assert main(["--accesses", "30", "--fragmentations", "256,1",
+                 "fig6a"]) == 0
+    out = capsys.readouterr().out
+    assert "single-source" in out
+    assert "frag=1" in out
+
+
+def test_fig6b_command_small(capsys):
+    assert main(["--accesses", "30", "fig6b"]) == 0
+    out = capsys.readouterr().out
+    assert "dma=1/5" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nope"])

@@ -1,0 +1,99 @@
+"""Unit tests for the banked DRAM model."""
+
+import pytest
+
+from repro.axi import AxiBundle, Resp
+from repro.mem import DramModel, DramTiming
+from repro.sim import Simulator
+from repro.traffic.driver import ManagerDriver
+
+
+def make(timing=None, size=1 << 20):
+    sim = Simulator()
+    port = AxiBundle(sim, "dram")
+    dram = sim.add(
+        DramModel(port, base=0, size=size, timing=timing or DramTiming())
+    )
+    drv = sim.add(ManagerDriver(port))
+    return sim, dram, drv
+
+
+def finish(sim, drv):
+    sim.run_until(lambda: drv.idle, max_cycles=100_000, what="driver")
+
+
+def test_write_read_roundtrip():
+    sim, dram, drv = make()
+    payload = bytes(range(64))
+    drv.write(0x1000, payload, beats=8)
+    op = drv.read(0x1000, beats=8)
+    finish(sim, drv)
+    assert op.resp == Resp.OKAY
+    assert op.rdata == payload
+
+
+def test_row_hit_faster_than_row_miss():
+    timing = DramTiming(t_cas=4, t_rcd=10, t_rp=10, row_bytes=1024, n_banks=4)
+    sim, dram, drv = make(timing)
+    op_first = drv.read(0x0)  # bank idle: t_rcd + t_cas
+    op_hit = drv.read(0x8)  # same row: t_cas
+    # 4 banks x 1 KiB rows: +4 KiB hits the same bank, different row.
+    op_conflict = drv.read(0x1000)  # row conflict: t_rp + t_rcd + t_cas
+    finish(sim, drv)
+    assert op_hit.latency < op_first.latency < op_conflict.latency
+    assert op_conflict.latency - op_hit.latency == timing.t_rp + timing.t_rcd
+
+
+def test_row_hit_miss_counters():
+    timing = DramTiming(row_bytes=1024, n_banks=4)
+    sim, dram, drv = make(timing)
+    drv.read(0x0)
+    drv.read(0x10)
+    drv.read(0x1000)
+    finish(sim, drv)
+    assert dram.row_hits == 1
+    assert dram.row_misses == 2
+
+
+def test_banks_interleave_rows():
+    timing = DramTiming(row_bytes=1024, n_banks=4)
+    sim, dram, drv = make(timing)
+    # Consecutive rows land in different banks; no conflict penalty.
+    drv.read(0x0)
+    op = drv.read(0x400)  # next row -> next bank, idle: t_rcd + t_cas
+    finish(sim, drv)
+    assert dram.row_misses == 2
+    assert op.latency < (
+        timing.t_rp + timing.t_rcd + timing.t_cas + 10
+    )
+
+
+def test_reads_and_writes_serialized():
+    sim, dram, drv = make()
+    op_r = drv.read(0x0, beats=32)
+    op_w = drv.write(0x4000, None, beats=1)
+    finish(sim, drv)
+    assert op_w.done_cycle > op_r.done_cycle
+
+
+def test_out_of_range_is_slverr():
+    sim, dram, drv = make(size=0x1000)
+    op = drv.read(0x10000)
+    finish(sim, drv)
+    assert op.resp == Resp.SLVERR
+
+
+def test_bad_timing_rejected():
+    with pytest.raises(ValueError):
+        DramTiming(t_cas=-1)
+    with pytest.raises(ValueError):
+        DramTiming(n_banks=0)
+
+
+def test_counters_served():
+    sim, dram, drv = make()
+    drv.read(0x0)
+    drv.write(0x0, bytes(8))
+    finish(sim, drv)
+    assert dram.reads_served == 1
+    assert dram.writes_served == 1

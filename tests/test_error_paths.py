@@ -1,0 +1,102 @@
+"""Error-injection tests: SLVERR/DECERR propagation through the full
+REALM + crossbar stack (errors must never be silently dropped)."""
+
+import pytest
+
+from repro.axi import AxiBundle, Resp
+from repro.interconnect import AddressMap, AxiCrossbar
+from repro.mem import SramMemory
+from repro.realm import RealmUnit, RealmUnitParams
+from repro.sim import Simulator
+from repro.traffic import ManagerDriver
+
+
+def build_stack(sim, sram_size=0x100):
+    """driver -> REALM -> crossbar -> small SRAM (easy to overrun)."""
+    up = AxiBundle(sim, "up")
+    down = AxiBundle(sim, "down")
+    realm = sim.add(RealmUnit(up, down, RealmUnitParams()))
+    sub = AxiBundle(sim, "mem")
+    amap = AddressMap()
+    amap.add_range(0x0, 0x10000, port=0)  # window larger than the SRAM
+    sim.add(AxiCrossbar([down], [sub], amap))
+    sram = sim.add(SramMemory(sub, base=0, size=sram_size))
+    drv = sim.add(ManagerDriver(up))
+    return drv, realm, sram
+
+
+def finish(sim, drv):
+    sim.run_until(lambda: drv.idle, max_cycles=50_000, what="driver")
+
+
+def test_slverr_read_through_realm(sim):
+    drv, realm, sram = build_stack(sim)
+    op = drv.read(0x8000)  # decodes, but beyond the SRAM backing
+    finish(sim, drv)
+    assert op.resp == Resp.SLVERR
+
+
+def test_slverr_write_coalesced_across_fragments(sim):
+    """A fragmented write hitting the SRAM boundary: at least one fragment
+    errors, and the coalesced B must carry the error upstream."""
+    drv, realm, sram = build_stack(sim, sram_size=0x100)
+    realm.set_granularity(2)
+    # 8 beats starting at 0xE0: beats 0..3 in range, 4..7 beyond 0x100.
+    op = drv.write(0xE0, bytes(64), beats=8)
+    finish(sim, drv)
+    assert op.resp == Resp.SLVERR
+    assert len(drv.completed) == 1  # still exactly one response
+
+
+def test_partial_slverr_read_burst_reports_error(sim):
+    drv, realm, sram = build_stack(sim, sram_size=0x100)
+    realm.set_granularity(2)
+    op = drv.read(0xE0, beats=8)
+    finish(sim, drv)
+    assert op.resp == Resp.SLVERR
+    assert len(op.rdata) == 64  # all beats delivered despite the error
+
+
+def test_decerr_through_realm(sim):
+    """Decode misses behind a REALM unit return DECERR end to end."""
+    up = AxiBundle(sim, "up")
+    down = AxiBundle(sim, "down")
+    realm = sim.add(RealmUnit(up, down, RealmUnitParams()))
+    sub = AxiBundle(sim, "mem")
+    amap = AddressMap()
+    amap.add_range(0x0, 0x1000, port=0)
+    sim.add(AxiCrossbar([down], [sub], amap))
+    sim.add(SramMemory(sub, base=0, size=0x1000))
+    drv = sim.add(ManagerDriver(up))
+    r = drv.read(0x9000, beats=4)
+    w = drv.write(0x9000, bytes(8))
+    finish(sim, drv)
+    assert r.resp == Resp.DECERR
+    assert w.resp == Resp.DECERR
+
+
+def test_error_burst_does_not_wedge_subsequent_traffic(sim):
+    drv, realm, sram = build_stack(sim)
+    drv.read(0x8000)  # SLVERR
+    ok = drv.write(0x10, bytes(range(8)))
+    back = drv.read(0x10)
+    finish(sim, drv)
+    assert ok.resp == Resp.OKAY
+    assert back.rdata == bytes(range(8))
+
+
+def test_mixed_ok_and_error_fragments_keep_budget_accounting(sim):
+    drv, realm, sram = build_stack(sim, sram_size=0x100)
+    from repro.realm import RegionConfig
+
+    realm.set_granularity(2)
+    realm.configure_region(
+        0, RegionConfig(base=0, size=0x10000, budget_bytes=1 << 40,
+                        period_cycles=1 << 40)
+    )
+    drv.read(0xE0, beats=8)
+    finish(sim, drv)
+    sim.run(5)
+    snap = realm.region_snapshot(0)
+    assert snap.read_bytes == 64  # charged for the whole burst
+    assert snap.txn_count == 4  # four fragments tracked

@@ -1,0 +1,163 @@
+"""Tests for the mesh NoC and REALM-at-NoC-ingress (Figure 1b)."""
+
+import pytest
+
+from repro.axi import AxiBundle, Resp
+from repro.interconnect import AddressMap
+from repro.interconnect.noc import AxiNoc
+from repro.mem import SramMemory
+from repro.realm import RealmUnit, RealmUnitParams, RegionConfig
+from repro.sim import Simulator
+from repro.traffic import ManagerDriver
+
+
+def build_noc(sim, width=3, height=3, n_managers=2):
+    """Managers on the left column, two SRAMs on the right column."""
+    mgr_nodes = [(0, i) for i in range(n_managers)]
+    sub_nodes = [(width - 1, 0), (width - 1, 1)]
+    managers = {node: AxiBundle(sim, f"m{node}") for node in mgr_nodes}
+    subs = {node: AxiBundle(sim, f"s{node}") for node in sub_nodes}
+    amap = AddressMap()
+    amap.add_range(0x0000, 0x1000, port=0, name="mem0")
+    amap.add_range(0x1000, 0x1000, port=1, name="mem1")
+    noc = sim.add(AxiNoc(width, height, managers, subs, amap))
+    mems = [
+        sim.add(SramMemory(subs[sub_nodes[0]], base=0x0, size=0x1000, name="mem0")),
+        sim.add(SramMemory(subs[sub_nodes[1]], base=0x1000, size=0x1000, name="mem1")),
+    ]
+    drivers = [sim.add(ManagerDriver(managers[n], name=f"drv{n}"))
+               for n in mgr_nodes]
+    return noc, drivers, mems, managers
+
+
+def finish(sim, drivers, max_cycles=50_000):
+    sim.run_until(lambda: all(d.idle for d in drivers),
+                  max_cycles=max_cycles, what="drivers")
+
+
+def test_read_write_roundtrip_across_mesh(sim):
+    noc, drivers, mems, _ = build_noc(sim)
+    payload = bytes(range(8))
+    drivers[0].write(0x100, payload)
+    op = drivers[0].read(0x100)
+    finish(sim, drivers)
+    assert op.resp == Resp.OKAY
+    assert op.rdata == payload
+
+
+def test_burst_integrity_across_mesh(sim):
+    noc, drivers, mems, _ = build_noc(sim)
+    payload = bytes(i & 0xFF for i in range(16 * 8))
+    drivers[0].write(0x200, payload, beats=16)
+    op = drivers[0].read(0x200, beats=16)
+    finish(sim, drivers)
+    assert op.rdata == payload
+
+
+def test_two_managers_two_subordinates(sim):
+    noc, drivers, mems, _ = build_noc(sim)
+    a = drivers[0].write(0x100, bytes([1] * 8))
+    b = drivers[1].write(0x1100, bytes([2] * 8))
+    finish(sim, drivers)
+    ra = drivers[0].read(0x100)
+    rb = drivers[1].read(0x1100)
+    finish(sim, drivers)
+    assert ra.rdata == bytes([1] * 8)
+    assert rb.rdata == bytes([2] * 8)
+
+
+def test_responses_routed_to_correct_manager(sim):
+    noc, drivers, mems, _ = build_noc(sim)
+    for i, drv in enumerate(drivers):
+        drv.write(0x300 + i * 8, bytes([i + 1] * 8))
+    finish(sim, drivers)
+    ops = [drv.read(0x300 + i * 8) for i, drv in enumerate(drivers)]
+    finish(sim, drivers)
+    for i, op in enumerate(ops):
+        assert op.rdata == bytes([i + 1] * 8)
+
+
+def test_decode_miss_gets_decerr(sim):
+    noc, drivers, mems, _ = build_noc(sim)
+    op_r = drivers[0].read(0x8000)
+    finish(sim, drivers)
+    assert op_r.resp == Resp.DECERR
+    op_w = drivers[0].write(0x8000, bytes(8))
+    finish(sim, drivers)
+    assert op_w.resp == Resp.DECERR
+
+
+def test_latency_scales_with_hop_count(sim):
+    """A farther subordinate costs more cycles (per-hop routing)."""
+    noc, drivers, mems, _ = build_noc(sim, width=5)
+    near = drivers[0].read(0x0)  # routes to (4,0) ... both far; compare nets
+    finish(sim, drivers)
+    # Build a second, smaller mesh and compare.
+    sim2 = Simulator()
+    noc2, drivers2, mems2, _ = build_noc(sim2, width=2)
+    near2 = drivers2[0].read(0x0)
+    finish(sim2, drivers2)
+    assert near.latency > near2.latency
+
+
+def test_interleaved_w_data_reordered_at_subordinate(sim):
+    """Two managers writing the same subordinate concurrently must both
+    complete with intact data (the NI serialises in AW order)."""
+    noc, drivers, mems, _ = build_noc(sim)
+    a = drivers[0].write(0x400, bytes([0xAA] * 32), beats=4)
+    b = drivers[1].write(0x500, bytes([0xBB] * 32), beats=4)
+    finish(sim, drivers)
+    ra = drivers[0].read(0x400, beats=4)
+    rb = drivers[1].read(0x500, beats=4)
+    finish(sim, drivers)
+    assert ra.rdata == bytes([0xAA] * 32)
+    assert rb.rdata == bytes([0xBB] * 32)
+
+
+def test_noc_validates_nodes():
+    sim = Simulator()
+    m = {(0, 0): AxiBundle(sim, "m")}
+    s = {(9, 9): AxiBundle(sim, "s")}
+    with pytest.raises(ValueError):
+        AxiNoc(2, 2, m, s, AddressMap())
+    with pytest.raises(ValueError):
+        AxiNoc(2, 2, {}, {(0, 0): AxiBundle(sim, "x")}, AddressMap())
+    with pytest.raises(ValueError):
+        AxiNoc(2, 2, {(0, 0): AxiBundle(sim, "a")},
+               {(0, 0): AxiBundle(sim, "b")}, AddressMap())
+
+
+def test_realm_unit_at_noc_ingress(sim):
+    """Figure 1b: a REALM unit regulates a manager entering the NoC."""
+    width, height = 3, 2
+    mgr_up = AxiBundle(sim, "mgr")
+    mgr_down = AxiBundle(sim, "mgr.noc")
+    realm = sim.add(RealmUnit(mgr_up, mgr_down, RealmUnitParams()))
+    sub = AxiBundle(sim, "sub")
+    amap = AddressMap()
+    amap.add_range(0x0, 0x1000, port=0)
+    noc = sim.add(
+        AxiNoc(width, height, {(0, 0): mgr_down}, {(2, 0): sub}, amap)
+    )
+    sim.add(SramMemory(sub, base=0, size=0x1000))
+    drv = sim.add(ManagerDriver(mgr_up))
+
+    realm.set_granularity(2)
+    realm.configure_region(
+        0, RegionConfig(base=0, size=0x1000, budget_bytes=64,
+                        period_cycles=600)
+    )
+    payload = bytes(range(64))
+    drv.write(0x0, payload, beats=8)  # 64 B: exactly one period's budget
+    blocked = drv.read(0x0, beats=8)  # next 64 B must wait for replenish
+    sim.run_until(lambda: drv.idle, max_cycles=20_000, what="driver")
+    assert blocked.rdata == payload
+    assert blocked.done_cycle >= 600
+    assert realm.splitter.bursts_split == 2
+
+
+def test_noc_flit_counter(sim):
+    noc, drivers, mems, _ = build_noc(sim)
+    drivers[0].read(0x0)
+    finish(sim, drivers)
+    assert noc.flits_injected >= 1

@@ -1,0 +1,179 @@
+"""System-level property-based tests (hypothesis).
+
+These check the invariants that make AXI-REALM trustworthy as a safety
+mechanism, under randomized workloads:
+
+* budget conservation — a regulated manager never moves more bytes per
+  period than budget + one fragment of overshoot;
+* data integrity — random read/write mixes through crossbar + REALM
+  return exactly what was written, for any fragmentation;
+* write buffer — never forwards an AW whose data is not fully buffered.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axi import AxiBundle
+from repro.interconnect import AddressMap, AxiCrossbar
+from repro.mem import SramMemory
+from repro.realm import RealmUnit, RealmUnitParams, RegionConfig
+from repro.sim import Simulator
+from repro.traffic import BandwidthHog, ManagerDriver
+
+
+# ----------------------------------------------------------------------
+# budget conservation
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    budget=st.integers(min_value=64, max_value=1024).map(lambda b: b & ~7),
+    period=st.sampled_from([200, 400, 800]),
+    gran=st.sampled_from([1, 2, 4, 8]),
+)
+def test_property_budget_conserved_per_period(budget, period, gran):
+    """A saturating reader behind REALM never exceeds budget + one
+    fragment per period (checked over several periods)."""
+    sim = Simulator()
+    up = AxiBundle(sim, "up")
+    down = AxiBundle(sim, "down")
+    realm = sim.add(RealmUnit(up, down, RealmUnitParams()))
+    sram = sim.add(SramMemory(down, base=0, size=0x10000))
+    hog = sim.add(BandwidthHog(up, target_base=0, window=0x10000, beats=64))
+    realm.set_granularity(gran)
+    realm.configure_region(
+        0, RegionConfig(base=0, size=0x10000, budget_bytes=budget,
+                        period_cycles=period)
+    )
+    sim.run(10)  # apply reconfig before sampling periods
+
+    fragment_bytes = gran * 8
+    samples = []
+    last_bytes = realm.region_snapshot(0).total_bytes
+    cycles_into = realm.mr.regions[0].cycles_into_period
+    # Align to the next period boundary, then sample three full periods.
+    sim.run(period - cycles_into)
+    last_bytes = realm.region_snapshot(0).total_bytes
+    for _ in range(3):
+        sim.run(period)
+        now = realm.region_snapshot(0).total_bytes
+        samples.append(now - last_bytes)
+        last_bytes = now
+    for moved in samples:
+        assert moved <= budget + fragment_bytes, (
+            f"budget {budget} violated: {moved} bytes in one period"
+        )
+    # The regulator is work-conserving: a saturating hog gets most of it.
+    assert samples[-1] >= budget * 0.5
+
+
+# ----------------------------------------------------------------------
+# end-to-end data integrity under random mixes
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_property_random_traffic_data_integrity(data):
+    """Random op mixes from two managers through REALM + crossbar return
+    exactly the bytes written, at a random fragmentation."""
+    gran = data.draw(st.sampled_from([1, 2, 4, 16]))
+    sim = Simulator()
+    amap = AddressMap()
+    amap.add_range(0x0, 0x8000, port=0)
+    sub = AxiBundle(sim, "mem")
+    mgr_downs = []
+    realms = []
+    ups = []
+    for i in range(2):
+        u = AxiBundle(sim, f"m{i}")
+        d = AxiBundle(sim, f"m{i}.down")
+        realm = sim.add(RealmUnit(u, d, RealmUnitParams(), name=f"r{i}"))
+        realm.set_granularity(gran)
+        ups.append(u)
+        mgr_downs.append(d)
+        realms.append(realm)
+    sim.add(AxiCrossbar(mgr_downs, [sub], amap))
+    sim.add(SramMemory(sub, base=0, size=0x8000))
+    drivers = [sim.add(ManagerDriver(u, name=f"d{i}"))
+               for i, u in enumerate(ups)]
+
+    # Disjoint address spaces per manager so writes never race; a flat
+    # reference store per manager models the expected final memory (the
+    # driver issues its writes in order, so overlaps resolve identically).
+    from repro.mem import BackingStore
+
+    references = [BackingStore(0x0, 0x4000), BackingStore(0x4000, 0x4000)]
+    issued = []
+    for mi, drv in enumerate(drivers):
+        base = 0x0 if mi == 0 else 0x4000
+        n_ops = data.draw(st.integers(min_value=1, max_value=5))
+        for k in range(n_ops):
+            beats = data.draw(st.sampled_from([1, 2, 8, 16]))
+            offset = data.draw(
+                st.integers(min_value=0, max_value=0x3000 // 8)
+            ) * 8
+            addr = base + offset
+            payload = bytes(
+                (mi * 61 + k * 13 + j) & 0xFF for j in range(beats * 8)
+            )
+            drv.write(addr, payload, beats=beats)
+            references[mi].write(addr, payload)
+            issued.append((mi, addr, beats))
+    sim.run_until(lambda: all(d.idle for d in drivers), max_cycles=100_000,
+                  what="writers")
+    reads = [
+        (mi, addr, beats, drivers[mi].read(addr, beats=beats))
+        for mi, addr, beats in issued
+    ]
+    sim.run_until(lambda: all(d.idle for d in drivers), max_cycles=100_000,
+                  what="readers")
+    for mi, addr, beats, op in reads:
+        assert op.rdata == references[mi].read(addr, beats * 8)
+
+
+# ----------------------------------------------------------------------
+# write buffer invariant
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    beats=st.sampled_from([1, 2, 4, 8, 16]),
+    stall_after=st.integers(min_value=0, max_value=7),
+)
+def test_property_write_buffer_never_forwards_incomplete(beats, stall_after):
+    """Whatever the W-stall pattern, downstream only ever sees complete
+    bursts: the AW counter downstream equals the completed-burst count."""
+    from repro.axi.beats import AWBeat, WBeat
+    from repro.sim import Component
+
+    sim = Simulator()
+    up = AxiBundle(sim, "up")
+    down = AxiBundle(sim, "down")
+    realm = sim.add(RealmUnit(up, down, RealmUnitParams()))
+    sram = sim.add(SramMemory(down, base=0, size=0x1000))
+
+    sent = {"aw": False, "w": 0}
+
+    class PartialWriter(Component):
+        def tick(self, cycle):
+            if not sent["aw"] and up.aw.can_send():
+                up.aw.send(AWBeat(id=0, addr=0, beats=beats, size=3))
+                sent["aw"] = True
+                return
+            if (
+                sent["aw"]
+                and sent["w"] < min(stall_after, beats)
+                and up.w.can_send()
+            ):
+                sent["w"] += 1
+                up.w.send(
+                    WBeat(data=bytes(8), last=(sent["w"] == beats))
+                )
+
+    sim.add(PartialWriter())
+    sim.run(300)
+    complete = stall_after >= beats
+    if complete:
+        assert sram.writes_served == 1
+    else:
+        # Incomplete burst: nothing must have reached the memory.
+        assert sram.writes_served == 0
+        assert down.aw.sent_total == 0

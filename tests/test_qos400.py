@@ -1,0 +1,140 @@
+"""Tests for the QoS-400-style priority baseline, including the paper's
+starvation argument against priority-based regulation."""
+
+import pytest
+
+from repro.axi import AxiBundle
+from repro.baselines.qos400 import QosArbiter, QosTagger
+from repro.interconnect import AddressMap, AxiCrossbar
+from repro.mem import SramMemory
+from repro.sim import Simulator
+from repro.traffic import BandwidthHog, ManagerDriver
+
+
+# ----------------------------------------------------------------------
+# arbiter
+# ----------------------------------------------------------------------
+def test_qos_arbiter_highest_priority_wins():
+    prio = {0: 1, 1: 8, 2: 3}
+    arb = QosArbiter(3, lambda i: prio[i])
+    assert arb.grant([True, True, True]) == 1
+    assert arb.grant([True, False, True]) == 2
+
+
+def test_qos_arbiter_round_robin_among_equals():
+    arb = QosArbiter(2, lambda i: 5)
+    grants = [arb.grant([True, True]) for _ in range(4)]
+    assert grants == [0, 1, 0, 1]
+
+
+def test_qos_arbiter_none_when_idle():
+    arb = QosArbiter(2, lambda i: 0)
+    assert arb.grant([False, False]) is None
+    assert arb.peek([False, False]) is None
+
+
+def test_qos_arbiter_peek_does_not_advance():
+    arb = QosArbiter(2, lambda i: 1)
+    assert arb.peek([True, True]) == 0
+    assert arb.grant([True, True]) == 0
+
+
+def test_qos_arbiter_validation():
+    with pytest.raises(ValueError):
+        QosArbiter(0, lambda i: 0)
+    arb = QosArbiter(2, lambda i: 0)
+    with pytest.raises(ValueError):
+        arb.grant([True])
+
+
+# ----------------------------------------------------------------------
+# tagger
+# ----------------------------------------------------------------------
+def test_tagger_stamps_qos(sim):
+    up = AxiBundle(sim, "up")
+    down = AxiBundle(sim, "down")
+    sim.add(QosTagger(up, down, qos=7))
+    sram = sim.add(SramMemory(down, base=0, size=0x1000))
+    drv = sim.add(ManagerDriver(up))
+    drv.read(0x0)
+    sim.run(2)
+    assert down.ar.peek().qos == 7 or down.ar.recv().qos == 7
+
+
+def test_tagger_validates_range(sim):
+    with pytest.raises(ValueError):
+        QosTagger(AxiBundle(sim, "a"), AxiBundle(sim, "b"), qos=16)
+
+
+def test_tagger_roundtrip(sim):
+    up = AxiBundle(sim, "up")
+    down = AxiBundle(sim, "down")
+    sim.add(QosTagger(up, down, qos=3))
+    sim.add(SramMemory(down, base=0, size=0x1000))
+    drv = sim.add(ManagerDriver(up))
+    drv.write(0x10, bytes(range(8)))
+    op = drv.read(0x10)
+    sim.run_until(lambda: drv.idle, max_cycles=1000, what="driver")
+    assert op.rdata == bytes(range(8))
+
+
+# ----------------------------------------------------------------------
+# the starvation argument (Section II)
+# ----------------------------------------------------------------------
+def build_priority_system(sim, low_qos=0, high_qos=8):
+    """high-priority hog + low-priority driver on a QoS crossbar."""
+    hog_up = AxiBundle(sim, "hog")
+    hog_down = AxiBundle(sim, "hog.down")
+    low_up = AxiBundle(sim, "low")
+    low_down = AxiBundle(sim, "low.down")
+    sim.add(QosTagger(hog_up, hog_down, qos=high_qos, name="tag.hog"))
+    sim.add(QosTagger(low_up, low_down, qos=low_qos, name="tag.low"))
+    mem = AxiBundle(sim, "mem")
+    amap = AddressMap()
+    amap.add_range(0x0, 0x10000, port=0)
+    sim.add(AxiCrossbar([hog_down, low_down], [mem], amap,
+                        qos_arbitration=True))
+    sim.add(SramMemory(mem, base=0, size=0x10000))
+    hog = sim.add(BandwidthHog(hog_up, target_base=0, window=0x8000,
+                               beats=64, max_outstanding=4))
+    low = sim.add(ManagerDriver(low_up, name="low"))
+    return hog, low
+
+
+def test_priority_starves_low_priority_manager():
+    """A saturating high-QoS manager starves a low-QoS one — exactly the
+    failure mode the paper's credit-based design avoids."""
+    sim = Simulator()
+    hog, low = build_priority_system(sim)
+    sim.run(50)  # let the hog saturate the request path
+    op = low.read(0x9000)
+    sim.run(3000)
+    assert not op.done, "low-priority access should starve under QoS"
+
+
+def test_round_robin_does_not_starve():
+    """Same scenario on the default round-robin crossbar: no starvation."""
+    sim = Simulator()
+    hog_up = AxiBundle(sim, "hog")
+    low_up = AxiBundle(sim, "low")
+    mem = AxiBundle(sim, "mem")
+    amap = AddressMap()
+    amap.add_range(0x0, 0x10000, port=0)
+    sim.add(AxiCrossbar([hog_up, low_up], [mem], amap))
+    sim.add(SramMemory(mem, base=0, size=0x10000))
+    sim.add(BandwidthHog(hog_up, target_base=0, window=0x8000, beats=64,
+                         max_outstanding=4))
+    low = sim.add(ManagerDriver(low_up, name="low"))
+    sim.run(50)
+    op = low.read(0x9000)
+    sim.run(3000)
+    assert op.done
+
+
+def test_equal_qos_behaves_like_round_robin():
+    sim = Simulator()
+    hog, low = build_priority_system(sim, low_qos=8, high_qos=8)
+    sim.run(50)
+    op = low.read(0x9000)
+    sim.run(3000)
+    assert op.done

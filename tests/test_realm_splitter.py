@@ -1,0 +1,103 @@
+"""Splitter-specific behaviour through a full REALM unit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axi import BurstType
+from repro.sim import Simulator
+
+from conftest import build_realm_system
+
+
+def finish(sim, drv, max_cycles=100_000):
+    sim.run_until(lambda: drv.idle, max_cycles=max_cycles, what="driver")
+
+
+def test_atomic_like_fixed_burst_not_split(sim):
+    drv, realm, sram = build_realm_system(sim)
+    realm.set_granularity(1)
+    op = drv.read(0x0, beats=8, burst=BurstType.FIXED)
+    finish(sim, drv)
+    assert op.done
+    assert realm.splitter.bursts_split == 0
+    assert sram.reads_served == 1  # arrived whole
+
+
+def test_non_modifiable_short_burst_not_split(sim):
+    drv, realm, sram = build_realm_system(sim)
+    realm.set_granularity(1)
+    op = drv.read(0x0, beats=16, modifiable=False)
+    finish(sim, drv)
+    assert realm.splitter.bursts_split == 0
+    assert sram.reads_served == 1
+
+
+def test_non_modifiable_long_burst_is_split(sim):
+    drv, realm, sram = build_realm_system(sim)
+    realm.set_granularity(8)
+    op = drv.read(0x0, beats=32, modifiable=False)
+    finish(sim, drv)
+    assert realm.splitter.bursts_split == 1
+    assert sram.reads_served == 4
+
+
+def test_splitter_disabled_passes_bursts_whole(sim):
+    drv, realm, sram = build_realm_system(sim)
+    realm.set_granularity(1)
+    realm.set_splitter_enabled(False)
+    sim.run(5)  # let the reconfiguration apply
+    op = drv.read(0x0, beats=64)
+    finish(sim, drv)
+    assert realm.splitter.bursts_split == 0
+    assert sram.reads_served == 1
+
+
+def test_granularity_256_passes_max_burst_whole(sim):
+    from repro.realm import RealmUnitParams
+
+    params = RealmUnitParams(write_buffer_present=False)
+    drv, realm, sram = build_realm_system(sim, params=params)
+    realm.set_granularity(256)
+    op = drv.read(0x0, beats=256)
+    finish(sim, drv)
+    assert realm.splitter.bursts_split == 0
+    assert sram.reads_served == 1
+
+
+def test_fragment_count_statistic(sim):
+    drv, realm, sram = build_realm_system(sim)
+    realm.set_granularity(4)
+    drv.read(0x0, beats=16)
+    finish(sim, drv)
+    assert realm.splitter.fragments_emitted == 4
+
+
+def test_interleaved_reads_and_writes_with_splitting(sim):
+    drv, realm, sram = build_realm_system(sim)
+    realm.set_granularity(2)
+    payload = bytes(i & 0xFF for i in range(64))
+    drv.write(0x0, payload, beats=8)
+    drv.read(0x0, beats=8)
+    drv.write(0x40, payload, beats=8)
+    drv.read(0x40, beats=8)
+    finish(sim, drv)
+    reads = [op for op in drv.completed if op.kind == "read"]
+    assert all(op.rdata == payload for op in reads)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    beats=st.sampled_from([1, 2, 3, 8, 15, 16]),
+    gran=st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_property_data_integrity_across_granularities(beats, gran):
+    """Write-then-read returns identical data for any granularity."""
+    sim = Simulator()
+    drv, realm, sram = build_realm_system(sim)
+    realm.set_granularity(gran)
+    payload = bytes((i * 7 + 3) & 0xFF for i in range(beats * 8))
+    drv.write(0x100, payload, beats=beats)
+    op = drv.read(0x100, beats=beats)
+    finish(sim, drv)
+    assert op.rdata == payload

@@ -1,0 +1,140 @@
+"""Tests for the write buffer: stall-DoS immunity (paper Section III-A)."""
+
+from repro.axi import AxiBundle, AWBeat, WBeat
+from repro.interconnect import AddressMap, AxiCrossbar
+from repro.mem import SramMemory
+from repro.realm import RealmUnit, RealmUnitParams
+from repro.sim import Component, Simulator
+from repro.traffic.driver import ManagerDriver
+
+
+class StallingWriter(Component):
+    """Sends an AW and then withholds the write data (the DoS attacker)."""
+
+    def __init__(self, port, beats=16):
+        super().__init__("staller")
+        self.port = port
+        self.beats = beats
+        self._sent = False
+
+    def tick(self, cycle):
+        if not self._sent and self.port.aw.can_send():
+            self.port.aw.send(AWBeat(id=0, addr=0x0, beats=self.beats, size=3))
+            self._sent = True
+
+
+class SlowWriter(Component):
+    """Sends W data at a trickle (one beat every *gap* cycles)."""
+
+    def __init__(self, port, beats=8, gap=20):
+        super().__init__("slow")
+        self.port = port
+        self.beats = beats
+        self.gap = gap
+        self._sent_aw = False
+        self._sent_w = 0
+        self._next_at = 0
+        self.done_cycle = None
+
+    def tick(self, cycle):
+        if not self._sent_aw and self.port.aw.can_send():
+            self.port.aw.send(AWBeat(id=0, addr=0x0, beats=self.beats, size=3))
+            self._sent_aw = True
+            self._next_at = cycle + self.gap
+            return
+        if (
+            self._sent_aw
+            and self._sent_w < self.beats
+            and cycle >= self._next_at
+            and self.port.w.can_send()
+        ):
+            self._sent_w += 1
+            self.port.w.send(
+                WBeat(data=bytes(8), last=(self._sent_w == self.beats))
+            )
+            self._next_at = cycle + self.gap
+        if self.port.b.can_recv():
+            self.port.b.recv()
+            self.done_cycle = cycle
+
+
+def build_attack_system(sim, protected: bool):
+    """Attacker + victim on one crossbar/SRAM; REALM on the attacker only
+    when *protected*."""
+    attacker_up = AxiBundle(sim, "attacker")
+    victim_port = AxiBundle(sim, "victim")
+    if protected:
+        attacker_down = AxiBundle(sim, "attacker.down")
+        realm = sim.add(
+            RealmUnit(attacker_up, attacker_down, RealmUnitParams(), "realm.att")
+        )
+        xbar_ports = [attacker_down, victim_port]
+    else:
+        realm = None
+        xbar_ports = [attacker_up, victim_port]
+    sub = AxiBundle(sim, "s0")
+    amap = AddressMap()
+    amap.add_range(0x0, 0x10000, port=0)
+    sim.add(AxiCrossbar(xbar_ports, [sub], amap))
+    sim.add(SramMemory(sub, base=0, size=0x10000))
+    victim = sim.add(ManagerDriver(victim_port, name="victim"))
+    return attacker_up, victim, realm
+
+
+def test_stall_dos_succeeds_without_realm():
+    sim = Simulator()
+    attacker_port, victim, _ = build_attack_system(sim, protected=False)
+    sim.add(StallingWriter(attacker_port))
+    op = victim.write(0x100, bytes(8))
+    sim.run(2000)
+    assert not op.done, "DoS should block the victim without REALM"
+
+
+def test_write_buffer_defeats_stall_dos():
+    sim = Simulator()
+    attacker_port, victim, realm = build_attack_system(sim, protected=True)
+    sim.add(StallingWriter(attacker_port))
+    op = victim.write(0x100, bytes(8))
+    sim.run(2000)
+    assert op.done, "REALM write buffer must protect the victim"
+    # The attacker's AW never reached the interconnect.
+    assert realm.write_buffer.bursts_forwarded == 0
+
+
+def test_slow_writer_data_buffered_then_forwarded():
+    """A slow (non-malicious) writer is not blocked, only decoupled: its
+    burst reaches the memory once fully buffered."""
+    sim = Simulator()
+    attacker_port, victim, realm = build_attack_system(sim, protected=True)
+    slow = sim.add(SlowWriter(attacker_port, beats=8, gap=10))
+    op = victim.write(0x100, bytes(8))
+    sim.run(20)
+    assert op.done  # victim never waited on the slow writer
+    sim.run(2000)
+    assert slow.done_cycle is not None  # slow burst eventually completed
+    assert realm.write_buffer.bursts_forwarded == 1
+
+
+def test_victim_latency_unaffected_by_attacker():
+    """Victim latency with an attacker + REALM equals the no-attacker case."""
+    lat = {}
+    for attacker in (False, True):
+        sim = Simulator()
+        attacker_port, victim, realm = build_attack_system(sim, protected=True)
+        if attacker:
+            sim.add(StallingWriter(attacker_port))
+        op = victim.write(0x100, bytes(8))
+        sim.run_until(lambda: victim.idle, max_cycles=2000, what="victim")
+        lat[attacker] = op.latency
+    assert lat[True] == lat[False]
+
+
+def test_write_buffer_peak_occupancy_bounded():
+    sim = Simulator()
+    attacker_port, victim, realm = build_attack_system(sim, protected=True)
+    drv = sim.add(ManagerDriver(attacker_port, name="writer"))
+    for i in range(4):
+        drv.write(0x200 + 64 * i, bytes(64), beats=8)
+    sim.run_until(lambda: drv.idle, max_cycles=5000, what="writer")
+    assert realm.write_buffer.peak_occupancy <= realm.params.write_buffer_depth
+    assert realm.write_buffer.bursts_forwarded == 4

@@ -1,0 +1,89 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim import Channel, Component, SimulationError, Simulator
+
+
+class Counter(Component):
+    def __init__(self):
+        super().__init__("counter")
+        self.ticks = 0
+        self.seen_cycles = []
+
+    def tick(self, cycle):
+        self.ticks += 1
+        self.seen_cycles.append(cycle)
+
+    def reset(self):
+        self.ticks = 0
+        self.seen_cycles = []
+
+
+def test_run_advances_cycle():
+    sim = Simulator()
+    assert sim.run(10) == 10
+    assert sim.cycle == 10
+
+
+def test_components_tick_once_per_cycle():
+    sim = Simulator()
+    c = sim.add(Counter())
+    sim.run(5)
+    assert c.ticks == 5
+    assert c.seen_cycles == [0, 1, 2, 3, 4]
+
+
+def test_adding_component_twice_raises():
+    sim = Simulator()
+    c = Counter()
+    sim.add(c)
+    with pytest.raises(SimulationError):
+        sim.add(c)
+
+
+def test_run_until_returns_cycle_condition_became_true():
+    sim = Simulator()
+    c = sim.add(Counter())
+    cycle = sim.run_until(lambda: c.ticks >= 7)
+    assert cycle == 7
+    assert c.ticks == 7
+
+
+def test_run_until_timeout_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="timeout"):
+        sim.run_until(lambda: False, max_cycles=10, what="never")
+
+
+def test_reset_restores_components_and_clock():
+    sim = Simulator()
+    c = sim.add(Counter())
+    sim.run(3)
+    sim.reset()
+    assert sim.cycle == 0
+    assert c.ticks == 0
+
+
+def test_watchers_run_after_commit():
+    sim = Simulator()
+    seen = []
+    sim.add_watcher(lambda cyc: seen.append(cyc))
+    sim.run(3)
+    assert seen == [0, 1, 2]
+
+
+def test_find_component_by_name():
+    sim = Simulator()
+    c = sim.add(Counter())
+    assert sim.find("counter") is c
+    assert sim.find("nope") is None
+
+
+def test_channel_registered_with_simulator_commits():
+    sim = Simulator()
+    ch = Channel(sim, "x")
+    ch.send(1)
+    assert not ch.can_recv()  # not committed yet
+    sim.step()
+    assert ch.can_recv()

@@ -1,0 +1,64 @@
+"""Unit tests for the channel tracer."""
+
+from repro.sim import Channel, Simulator, Tracer
+
+
+def make():
+    sim = Simulator()
+    ch = Channel(sim, "data")
+    tr = Tracer(sim)
+    tr.watch(ch)
+    return sim, ch, tr
+
+
+def test_tracer_records_send_and_recv_with_cycles():
+    sim, ch, tr = make()
+    ch.send("x")
+    sim.step()
+    ch.recv()
+    events = tr.events()
+    assert [(e.kind, e.cycle) for e in events] == [("send", 0), ("recv", 1)]
+    assert events[0].payload == "x"
+    assert events[0].channel == "data"
+
+
+def test_tracer_filters():
+    sim, ch, tr = make()
+    ch.send(1)
+    sim.step()
+    ch.recv()
+    assert len(tr.events(kind="send")) == 1
+    assert len(tr.events(channel="data")) == 2
+    assert len(tr.events(channel="other")) == 0
+    assert len(tr.events(predicate=lambda e: e.payload == 1)) == 2
+
+
+def test_tracer_disable_enable():
+    sim, ch, tr = make()
+    tr.disable()
+    ch.send(1)
+    sim.step()
+    assert len(tr) == 0
+    tr.enable()
+    ch.send(2)
+    assert len(tr) == 1
+
+
+def test_tracer_clear_and_dump():
+    sim, ch, tr = make()
+    ch.send(1)
+    assert "send" in tr.dump()
+    tr.clear()
+    assert len(tr) == 0
+
+
+def test_tracer_bounds_memory():
+    sim = Simulator()
+    ch = Channel(sim, "c", capacity=10)
+    tr = Tracer(sim, max_events=10)
+    tr.watch(ch)
+    for i in range(30):
+        ch.send(i)
+        sim.step()
+        ch.recv()
+    assert len(tr) <= 10

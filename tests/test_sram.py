@@ -1,0 +1,130 @@
+"""Unit tests for the SRAM model (driven directly, no crossbar)."""
+
+import pytest
+
+from repro.axi import AxiBundle, BurstType, Resp
+from repro.mem import SramMemory
+from repro.sim import Simulator
+from repro.traffic.driver import ManagerDriver
+
+
+def make(read_latency=1, write_latency=1, size=0x1000):
+    sim = Simulator()
+    port = AxiBundle(sim, "mem")
+    sram = sim.add(
+        SramMemory(port, base=0, size=size, read_latency=read_latency,
+                   write_latency=write_latency)
+    )
+    drv = sim.add(ManagerDriver(port))
+    return sim, sram, drv
+
+
+def finish(sim, drv, max_cycles=10_000):
+    sim.run_until(lambda: drv.idle, max_cycles=max_cycles, what="driver")
+
+
+def test_write_then_read_roundtrip():
+    sim, sram, drv = make()
+    payload = bytes(range(8))
+    drv.write(0x100, payload)
+    op = drv.read(0x100)
+    finish(sim, drv)
+    assert op.resp == Resp.OKAY
+    assert op.rdata == payload
+
+
+def test_burst_write_read_roundtrip():
+    sim, sram, drv = make()
+    payload = bytes(range(32))  # 4 beats x 8 B
+    drv.write(0x200, payload, beats=4)
+    op = drv.read(0x200, beats=4)
+    finish(sim, drv)
+    assert op.rdata == payload
+
+
+def test_uninitialized_memory_reads_zero():
+    sim, sram, drv = make()
+    op = drv.read(0x0)
+    finish(sim, drv)
+    assert op.rdata == bytes(8)
+
+
+def test_out_of_range_read_is_slverr():
+    sim, sram, drv = make(size=0x100)
+    op = drv.read(0x1000 - 8, beats=1)  # beyond the 0x100 window
+    finish(sim, drv)
+    assert op.resp == Resp.SLVERR
+
+
+def test_read_latency_affects_completion():
+    lat_fast = lat_slow = None
+    for latency in (1, 10):
+        sim, sram, drv = make(read_latency=latency)
+        op = drv.read(0x0)
+        finish(sim, drv)
+        if latency == 1:
+            lat_fast = op.latency
+        else:
+            lat_slow = op.latency
+    assert lat_slow - lat_fast == 9
+
+
+def test_burst_streams_one_beat_per_cycle():
+    sim, sram, drv = make()
+    op1 = drv.read(0x0, beats=1)
+    op2 = drv.read(0x0, beats=64)
+    finish(sim, drv)
+    # The 64-beat burst takes ~63 more cycles than the single-beat read.
+    assert op2.latency - op1.latency == 63
+
+
+def test_fixed_burst_reads_same_address():
+    sim, sram, drv = make()
+    drv.write(0x40, bytes([0xAB] * 8))
+    op = drv.read(0x40, beats=4, burst=BurstType.FIXED, size=3)
+    finish(sim, drv)
+    assert op.rdata == bytes([0xAB] * 8) * 4
+
+
+def test_wrap_burst_roundtrip():
+    sim, sram, drv = make()
+    drv.write(0x100, bytes(range(32)), beats=4)
+    op = drv.read(0x110, beats=4, burst=BurstType.WRAP)
+    finish(sim, drv)
+    # Beats: 0x110, 0x118, 0x100, 0x108
+    assert op.rdata == bytes(range(32))[16:] + bytes(range(32))[:16]
+
+
+def test_counters():
+    sim, sram, drv = make()
+    drv.write(0x0, bytes(8))
+    drv.read(0x0)
+    drv.read(0x0, beats=4)
+    finish(sim, drv)
+    assert sram.reads_served == 2
+    assert sram.writes_served == 1
+    assert sram.read_beats == 5
+    assert sram.write_beats == 1
+
+
+def test_negative_latency_rejected():
+    sim = Simulator()
+    port = AxiBundle(sim, "mem")
+    with pytest.raises(ValueError):
+        SramMemory(port, base=0, size=64, read_latency=-1)
+
+
+def test_reads_and_writes_progress_concurrently():
+    sim, sram, drv = make()
+    # Interleave from two drivers on separate bundles is covered by the
+    # crossbar tests; here just confirm r/w state machines are independent:
+    # a long read burst does not block a write's completion forever.
+    drv2 = sim.add(ManagerDriver(sram.port, name="drv2"))
+    # NOTE: two drivers sharing one bundle is only safe because driver 1
+    # only reads and driver 2 only writes.
+    drv.read(0x0, beats=64)
+    wop = drv2.write(0x80, bytes(8))
+    finish(sim, drv)
+    sim.run_until(lambda: drv2.idle, max_cycles=1000, what="writer")
+    rop = drv.completed[0]
+    assert wop.done_cycle < rop.done_cycle

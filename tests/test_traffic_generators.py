@@ -1,0 +1,161 @@
+"""Tests for the core model, DMA engine, and malicious managers."""
+
+import pytest
+
+from repro.axi import AxiBundle
+from repro.mem import SramMemory
+from repro.sim import Simulator
+from repro.traffic import (
+    BandwidthHog,
+    CoreModel,
+    DmaEngine,
+    StallingWriter,
+    TricklingWriter,
+    sequential_trace,
+    susan_like_trace,
+)
+
+
+def make_mem_system(size=0x40000):
+    sim = Simulator()
+    port = AxiBundle(sim, "mem")
+    sram = sim.add(SramMemory(port, base=0, size=size))
+    return sim, port, sram
+
+
+# ----------------------------------------------------------------------
+# core model
+# ----------------------------------------------------------------------
+def test_core_executes_trace_to_completion():
+    sim, port, sram = make_mem_system()
+    trace = susan_like_trace(n_accesses=20, footprint=4096)
+    core = sim.add(CoreModel(port, trace))
+    sim.run_until(lambda: core.done, max_cycles=10_000, what="core")
+    assert core.progress == 20
+    assert len(core.latencies) == 20
+    assert core.execution_cycles > 0
+
+
+def test_core_blocking_one_outstanding():
+    """Total cycles >= sum of latencies (blocking core)."""
+    sim, port, sram = make_mem_system()
+    trace = sequential_trace(10, gap=0)
+    core = sim.add(CoreModel(port, trace))
+    sim.run_until(lambda: core.done, max_cycles=10_000, what="core")
+    assert core.execution_cycles >= sum(core.latencies) - 1
+
+
+def test_core_gaps_add_compute_time():
+    results = {}
+    for gap in (0, 10):
+        sim, port, sram = make_mem_system()
+        trace = sequential_trace(10, gap=gap)
+        core = sim.add(CoreModel(port, trace))
+        sim.run_until(lambda: core.done, max_cycles=10_000, what="core")
+        results[gap] = core.execution_cycles
+    assert results[10] >= results[0] + 9 * 10
+
+
+def test_core_metrics():
+    sim, port, sram = make_mem_system()
+    core = sim.add(CoreModel(port, sequential_trace(5)))
+    sim.run_until(lambda: core.done, max_cycles=10_000, what="core")
+    assert core.worst_case_latency >= core.avg_latency > 0
+
+
+def test_core_writes_complete():
+    sim, port, sram = make_mem_system()
+    trace = sequential_trace(5, kind="write", beats=2)
+    core = sim.add(CoreModel(port, trace))
+    sim.run_until(lambda: core.done, max_cycles=10_000, what="core")
+    assert sram.writes_served == 5
+
+
+# ----------------------------------------------------------------------
+# DMA engine
+# ----------------------------------------------------------------------
+def test_dma_moves_data_continuously():
+    sim, port, sram = make_mem_system()
+    dma = sim.add(
+        DmaEngine(port, src_base=0x0, src_size=0x10000,
+                  dst_base=0x20000, dst_size=0x10000, burst_beats=64)
+    )
+    sim.run(3000)
+    assert dma.read_bursts >= 3
+    assert dma.write_bursts >= 2
+    assert dma.bytes_read >= dma.bytes_written
+
+
+def test_dma_stop_start():
+    sim, port, sram = make_mem_system()
+    dma = sim.add(
+        DmaEngine(port, src_base=0x0, src_size=0x10000,
+                  dst_base=0x20000, dst_size=0x10000, burst_beats=16)
+    )
+    sim.run(500)
+    dma.stop()
+    reads_at_stop = dma.read_bursts
+    sim.run(1000)
+    # In-flight work drains but no new read bursts start.
+    assert dma.read_bursts <= reads_at_stop + 2
+
+
+def test_dma_keeps_multiple_reads_outstanding():
+    """Double buffering: the engine pipelines its read bursts."""
+    sim, port, sram = make_mem_system()
+    dma = sim.add(
+        DmaEngine(port, src_base=0x0, src_size=0x10000,
+                  dst_base=0x20000, dst_size=0x10000,
+                  burst_beats=64, n_buffers=2)
+    )
+    sim.run(40)
+    assert dma._rd_inflight >= 2  # both buffers being filled early on
+
+
+def test_dma_validates_params():
+    sim, port, _ = make_mem_system()
+    with pytest.raises(ValueError):
+        DmaEngine(port, 0, 0x10000, 0x20000, 0x10000, burst_beats=0)
+    with pytest.raises(ValueError):
+        DmaEngine(port, 0, 64, 0x20000, 0x10000, burst_beats=256)
+
+
+def test_dma_inter_burst_gap_lowers_throughput():
+    rates = {}
+    for gap in (0, 50):
+        sim, port, sram = make_mem_system()
+        dma = sim.add(
+            DmaEngine(port, src_base=0x0, src_size=0x10000,
+                      dst_base=0x20000, dst_size=0x10000,
+                      burst_beats=16, inter_burst_gap=gap)
+        )
+        sim.run(2000)
+        rates[gap] = dma.bytes_read
+    assert rates[50] < rates[0]
+
+
+# ----------------------------------------------------------------------
+# malicious managers
+# ----------------------------------------------------------------------
+def test_stalling_writer_never_completes():
+    sim, port, sram = make_mem_system()
+    staller = sim.add(StallingWriter(port, beats=16))
+    sim.run(1000)
+    assert staller.aws_sent == 1
+    assert sram.writes_served == 0  # memory stuck waiting for W data
+
+
+def test_bandwidth_hog_saturates():
+    sim, port, sram = make_mem_system()
+    hog = sim.add(BandwidthHog(port, target_base=0, window=0x10000, beats=64))
+    sim.run(2000)
+    # Close to one beat per cycle of stolen read bandwidth.
+    assert hog.bytes_stolen > 0.7 * 8 * 2000
+
+
+def test_trickling_writer_eventually_completes():
+    sim, port, sram = make_mem_system()
+    trickler = sim.add(TricklingWriter(port, beats=4, gap=10))
+    sim.run(200)
+    assert trickler.bursts_completed >= 1
+    assert sram.writes_served >= 1

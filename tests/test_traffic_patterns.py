@@ -1,0 +1,88 @@
+"""Unit tests for workload trace generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    random_trace,
+    sequential_trace,
+    strided_trace,
+    susan_like_trace,
+)
+
+
+def test_susan_trace_is_deterministic():
+    a = susan_like_trace(n_accesses=50, seed=1)
+    b = susan_like_trace(n_accesses=50, seed=1)
+    assert a.ops == b.ops
+
+
+def test_susan_trace_seed_changes_content():
+    a = susan_like_trace(n_accesses=50, seed=1)
+    b = susan_like_trace(n_accesses=50, seed=2)
+    assert a.ops != b.ops
+
+
+def test_susan_trace_respects_footprint():
+    trace = susan_like_trace(
+        n_accesses=200, base=0x1000, footprint=4096, beats=1, size=3
+    )
+    for op in trace:
+        assert 0x1000 <= op.addr < 0x1000 + 4096
+
+
+def test_susan_trace_read_fraction():
+    trace = susan_like_trace(n_accesses=500, read_fraction=0.8, seed=3)
+    assert 0.7 < trace.read_fraction < 0.9
+    all_reads = susan_like_trace(n_accesses=100, read_fraction=1.0)
+    assert all_reads.read_fraction == 1.0
+
+
+def test_susan_trace_gap_mean_zero_means_no_gaps():
+    trace = susan_like_trace(n_accesses=50, gap_mean=0)
+    assert trace.total_gap_cycles == 0
+
+
+def test_susan_trace_validation():
+    with pytest.raises(ValueError):
+        susan_like_trace(n_accesses=0)
+    with pytest.raises(ValueError):
+        susan_like_trace(read_fraction=1.5)
+
+
+def test_sequential_trace_addresses():
+    trace = sequential_trace(4, base=0x100, beats=2, size=3)
+    assert [op.addr for op in trace] == [0x100, 0x110, 0x120, 0x130]
+    assert trace.total_bytes == 4 * 16
+
+
+def test_strided_trace():
+    trace = strided_trace(3, base=0, stride=64)
+    assert [op.addr for op in trace] == [0, 64, 128]
+
+
+def test_random_trace_within_footprint():
+    trace = random_trace(100, base=0x2000, footprint=1024)
+    for op in trace:
+        assert 0x2000 <= op.addr < 0x2000 + 1024
+
+
+def test_trace_total_bytes():
+    trace = sequential_trace(10, beats=1, size=3)
+    assert trace.total_bytes == 80
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=100),
+    beats=st.sampled_from([1, 2, 4]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_susan_trace_size_and_alignment(n, beats, seed):
+    trace = susan_like_trace(n_accesses=n, beats=beats, seed=seed)
+    assert len(trace) == n
+    nbytes = beats * 8
+    for op in trace:
+        assert op.addr % nbytes == 0
+        assert op.beats == beats
