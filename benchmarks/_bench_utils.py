@@ -1,0 +1,66 @@
+"""Importable helpers for the benchmark harness.
+
+Kept outside ``conftest.py`` so that ``from _bench_utils import emit``
+cannot collide with the test suite's ``conftest`` module (pytest imports
+every conftest under the same module name).
+"""
+
+from __future__ import annotations
+
+import time
+
+# One shared experiment configuration so every figure uses the same
+# workload, as in the paper.
+N_ACCESSES = 100
+
+# The idle-heavy period-sweep workload: a duty-cycled core (compute gaps
+# between accesses) against a budget-throttled DMA at a constant share.
+# Shared by bench_period_sweep.py (the figure) and kernel_speed.py (the
+# BENCH_kernel.json datapoint) so the two always measure the same thing.
+SWEEP_PERIODS = (250, 500, 1000, 2000, 4000)
+SWEEP_DMA_SHARE = 0.125
+SWEEP_GAP_MEAN = 30
+SWEEP_N_ACCESSES = 100
+
+
+def run_period_sweep(active_set: bool):
+    """Run the idle-heavy period sweep on the chosen kernel.
+
+    Returns ``(rows, simulated_cycles, wall_seconds)``; rows are
+    ``(period, dma_budget, perf_percent, worst_latency, mean_latency)``.
+    """
+    from repro.analysis import ContentionExperiment
+
+    t0 = time.perf_counter()
+    exp = ContentionExperiment(
+        n_accesses=SWEEP_N_ACCESSES,
+        gap_mean=SWEEP_GAP_MEAN,
+        active_set=active_set,
+    )
+    base = exp.run_single_source()
+    cycles = base.sim_cycles
+    rows = []
+    for period in SWEEP_PERIODS:
+        dma_budget = int(8 * period * SWEEP_DMA_SHARE)  # bytes per period
+        result = exp.run(
+            fragmentation=1,
+            core_budget=1 << 40,
+            dma_budget=dma_budget,
+            period=period,
+            label=f"period={period}",
+        )
+        cycles += result.sim_cycles
+        rows.append(
+            (period, dma_budget, result.perf_percent,
+             result.worst_case_latency, result.latency.mean)
+        )
+    return rows, cycles, time.perf_counter() - t0
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a reproduction block (visible with -s and in tee'd output)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+    for line in lines:
+        print(line)
+    print(bar)

@@ -5,7 +5,7 @@ the area footprint")."""
 
 import pytest
 
-from conftest import emit
+from _bench_utils import emit
 from repro.area import realm_unit_area, system_area
 from repro.realm import RealmUnitParams
 

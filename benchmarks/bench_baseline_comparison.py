@@ -10,89 +10,80 @@ buys you:
   bandwidth is uncapped, and stall DoS works;
 * **C&F**    — write forwarding only: DoS-proof but no fairness at all;
 * **REALM**  — splitting + budget + write buffer + monitoring.
+
+Each topology is one ``SystemBuilder`` declaration; baselines plug in via
+the ``regulator=`` factory hook.
 """
 
 import pytest
 
-from conftest import emit
-from repro.axi import AxiBundle
+from _bench_utils import emit
 from repro.baselines import AbeEqualizer, AbuRegulator, CutForwardUnit
-from repro.interconnect import AddressMap, AxiCrossbar
-from repro.mem import SramMemory
-from repro.realm import RealmUnit, RealmUnitParams, RegionConfig
-from repro.sim import Simulator
+from repro.realm import RegionConfig
+from repro.system import SystemBuilder
 from repro.traffic import CoreModel, DmaEngine, StallingWriter, susan_like_trace
-from repro.traffic.driver import ManagerDriver
 
 MEM_SIZE = 0x40000
 DMA_BUDGET = 2048
 PERIOD = 1000
 
+_BASELINES = {
+    "abu": lambda up, down: AbuRegulator(up, down, budget_bytes=DMA_BUDGET,
+                                         period_cycles=PERIOD),
+    "abe": lambda up, down: AbeEqualizer(up, down, nominal_burst=1,
+                                         max_outstanding=4),
+    "cnf": lambda up, down: CutForwardUnit(up, down, depth_beats=256),
+}
 
-def _attach_regulator(sim, kind, up, name):
-    """Returns the crossbar-side bundle for the managed port."""
+
+def _add_regulated(builder, kind, name):
+    """Declare the managed aggressor port for regulator *kind*."""
     if kind == "none":
-        return up
-    down = AxiBundle(sim, f"{name}.down")
-    if kind == "abu":
-        sim.add(AbuRegulator(up, down, budget_bytes=DMA_BUDGET,
-                             period_cycles=PERIOD, name=name))
-    elif kind == "abe":
-        sim.add(AbeEqualizer(up, down, nominal_burst=1, max_outstanding=4,
-                             name=name))
-    elif kind == "cnf":
-        sim.add(CutForwardUnit(up, down, depth_beats=256, name=name))
+        builder.add_manager(name)
     elif kind == "realm":
-        unit = sim.add(RealmUnit(up, down, RealmUnitParams(), name=name))
-        unit.set_granularity(1)
-        unit.configure_region(
-            0, RegionConfig(base=0, size=MEM_SIZE, budget_bytes=DMA_BUDGET,
-                            period_cycles=PERIOD)
+        builder.add_manager(
+            name, protect=True, granularity=1,
+            regions=[RegionConfig(base=0, size=MEM_SIZE,
+                                  budget_bytes=DMA_BUDGET,
+                                  period_cycles=PERIOD)],
         )
-    else:  # pragma: no cover
-        raise ValueError(kind)
-    return down
+    else:
+        builder.add_manager(name, regulator=_BASELINES[kind])
+    return builder
 
 
 def _contention_run(kind, with_dma=True):
-    sim = Simulator()
-    core_up = AxiBundle(sim, "core")
-    dma_up = AxiBundle(sim, "dma")
-    dma_down = _attach_regulator(sim, kind, dma_up, f"reg.{kind}")
-    sub = AxiBundle(sim, "mem", capacity=4)
-    amap = AddressMap()
-    amap.add_range(0x0, MEM_SIZE, port=0)
-    sim.add(AxiCrossbar([core_up, dma_down], [sub], amap))
-    sim.add(SramMemory(sub, base=0, size=MEM_SIZE))
+    builder = SystemBuilder().with_crossbar().add_manager("core")
+    _add_regulated(builder, kind, "dma")
+    builder.add_sram("mem", base=0, size=MEM_SIZE, capacity=4)
+    system = builder.build()
     trace = susan_like_trace(n_accesses=80, base=0, footprint=8192,
                              beats=2, gap_mean=1)
-    core = sim.add(CoreModel(core_up, trace))
+    core = system.attach("core", lambda port: CoreModel(port, trace))
     if with_dma:
-        sim.add(
-            DmaEngine(dma_up, src_base=0x2000, src_size=0x8000,
-                      dst_base=0x10000, dst_size=0x8000, burst_beats=256)
+        system.attach(
+            "dma",
+            lambda port: DmaEngine(port, src_base=0x2000, src_size=0x8000,
+                                   dst_base=0x10000, dst_size=0x8000,
+                                   burst_beats=256),
         )
-    sim.run_until(lambda: core.done, max_cycles=1_000_000, what="core")
+    system.sim.run_until(lambda: core.done, max_cycles=1_000_000, what="core")
     return core.execution_cycles, core.worst_case_latency
 
 
 def _dos_run(kind):
-    sim = Simulator()
-    attacker_up = AxiBundle(sim, "attacker")
-    victim_up = AxiBundle(sim, "victim")
-    attacker_down = _attach_regulator(sim, kind, attacker_up, f"dos.{kind}")
-    sub = AxiBundle(sim, "mem")
-    amap = AddressMap()
-    amap.add_range(0x0, MEM_SIZE, port=0)
-    sim.add(AxiCrossbar([attacker_down, victim_up], [sub], amap))
-    sim.add(SramMemory(sub, base=0, size=MEM_SIZE))
-    sim.add(StallingWriter(attacker_up, beats=16))
-    victim = sim.add(ManagerDriver(victim_up))
+    builder = SystemBuilder()
+    _add_regulated(builder, kind, "attacker")
+    builder.add_manager("victim", driver="victim")
+    builder.add_sram("mem", base=0, size=MEM_SIZE)
+    system = builder.build()
+    system.attach("attacker", lambda port: StallingWriter(port, beats=16))
+    victim = system.driver("victim")
     # Let the attacker's poisoned AW reach the interconnect first (through
     # whatever regulator is in front of it), then the victim writes.
-    sim.run(20)
+    system.sim.run(20)
     op = victim.write(0x100, bytes(8))
-    sim.run(2000)
+    system.sim.run(2000)
     return op.done
 
 

@@ -4,36 +4,25 @@ transaction (the C&F attack, [14])."""
 
 import pytest
 
-from conftest import emit
-from repro.axi import AxiBundle
-from repro.interconnect import AddressMap, AxiCrossbar
-from repro.mem import SramMemory
-from repro.realm import RealmUnit, RealmUnitParams
-from repro.sim import Simulator
+from _bench_utils import emit
+from repro.system import SystemBuilder
 from repro.traffic import StallingWriter
-from repro.traffic.driver import ManagerDriver
 
 
 def run_attack(protected: bool, horizon: int = 2000):
     """Returns (victim_completed, victim_latency_or_None)."""
-    sim = Simulator()
-    attacker_up = AxiBundle(sim, "attacker")
-    victim_port = AxiBundle(sim, "victim")
-    if protected:
-        attacker_down = AxiBundle(sim, "attacker.down")
-        sim.add(RealmUnit(attacker_up, attacker_down, RealmUnitParams()))
-        ports = [attacker_down, victim_port]
-    else:
-        ports = [attacker_up, victim_port]
-    sub = AxiBundle(sim, "mem")
-    amap = AddressMap()
-    amap.add_range(0x0, 0x10000, port=0)
-    sim.add(AxiCrossbar(ports, [sub], amap))
-    sim.add(SramMemory(sub, base=0, size=0x10000))
-    sim.add(StallingWriter(attacker_up, beats=256))
-    victim = sim.add(ManagerDriver(victim_port, name="victim"))
+    system = (
+        SystemBuilder()
+        .with_crossbar()
+        .add_manager("attacker", protect=protected)
+        .add_manager("victim", driver="victim")
+        .add_sram("mem", base=0, size=0x10000)
+        .build()
+    )
+    system.attach("attacker", lambda port: StallingWriter(port, beats=256))
+    victim = system.driver("victim")
     op = victim.write(0x100, bytes(8))
-    sim.run(horizon)
+    system.sim.run(horizon)
     return op.done, (op.latency if op.done else None)
 
 

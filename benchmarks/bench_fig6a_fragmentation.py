@@ -10,7 +10,7 @@ near-baseline as fragments shrink.
 
 import pytest
 
-from conftest import emit
+from _bench_utils import emit
 
 FRAGMENTATIONS = (256, 128, 64, 32, 16, 8, 4, 2, 1)
 

@@ -9,7 +9,7 @@ falls to (below) the single-source level.
 
 import pytest
 
-from conftest import emit
+from _bench_utils import emit
 
 RATIOS = (1, 2, 3, 4, 5)
 PERIOD = 1000

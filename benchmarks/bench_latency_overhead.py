@@ -5,35 +5,24 @@ cycle per traversal direction to in-flight transactions.
 
 import pytest
 
-from conftest import emit
-from repro.axi import AxiBundle
-from repro.mem import SramMemory
-from repro.realm import RealmUnit, RealmUnitParams
+from _bench_utils import emit
 from repro.sim import Simulator
 from repro.soc import CheshireSoC, DRAM_BASE
+from repro.system import SystemBuilder
 from repro.traffic import CoreModel, susan_like_trace
-from repro.traffic.driver import ManagerDriver
 
 
-def _measure_direct():
-    sim = Simulator()
-    port = AxiBundle(sim, "direct")
-    sim.add(SramMemory(port, base=0, size=0x1000))
-    drv = sim.add(ManagerDriver(port))
-    op = drv.read(0x0)
-    sim.run_until(lambda: drv.idle, max_cycles=1000, what="driver")
-    return op.latency
-
-
-def _measure_with_realm():
-    sim = Simulator()
-    up = AxiBundle(sim, "up")
-    down = AxiBundle(sim, "down")
-    sim.add(RealmUnit(up, down, RealmUnitParams()))
-    sim.add(SramMemory(down, base=0, size=0x1000))
-    drv = sim.add(ManagerDriver(up))
-    op = drv.read(0x0)
-    sim.run_until(lambda: drv.idle, max_cycles=1000, what="driver")
+def _measure(protect: bool):
+    """Latency of one read, direct or through a REALM unit."""
+    system = (
+        SystemBuilder()
+        .with_direct()
+        .add_manager("mgr", protect=protect, driver=True)
+        .add_sram("mem", base=0, size=0x1000)
+        .build()
+    )
+    op = system.driver("mgr").read(0x0)
+    system.run_until_idle(max_cycles=1000)
     return op.latency
 
 
@@ -49,9 +38,10 @@ def _measure_single_source_soc():
 
 
 def test_realm_latency_overhead(benchmark):
-    direct = _measure_direct()
-    with_realm = benchmark.pedantic(_measure_with_realm, rounds=1,
-                                    iterations=1)
+    direct = _measure(protect=False)
+    with_realm = benchmark.pedantic(
+        lambda: _measure(protect=True), rounds=1, iterations=1
+    )
     worst_soc = _measure_single_source_soc()
     added = with_realm - direct
     emit(

@@ -3,58 +3,48 @@
 The paper claims implementation-agnosticism: the same REALM unit that
 regulates a crossbar manager works in front of a network-on-chip.  This
 bench runs the contention scenario (latency-critical core vs. bursty DMA
-sharing one memory node) on a 3x3 mesh with and without REALM
-fragmentation and checks that the fairness story transfers.
+sharing one memory node) on a 3x3 mesh — declared with
+``SystemBuilder.with_noc`` — with and without REALM fragmentation and
+checks that the fairness story transfers.
 """
 
 import pytest
 
-from conftest import emit
-from repro.axi import AxiBundle
-from repro.interconnect import AddressMap
-from repro.interconnect.noc import AxiNoc
-from repro.mem import SramMemory
-from repro.realm import RealmUnit, RealmUnitParams, RegionConfig, UNLIMITED
-from repro.sim import Simulator
+from _bench_utils import emit
+from repro.realm import RegionConfig, UNLIMITED
+from repro.system import SystemBuilder
 from repro.traffic import CoreModel, DmaEngine, susan_like_trace
 
 MEM_SIZE = 0x40000
 
 
 def run_noc(with_dma: bool, fragmentation: int):
-    sim = Simulator()
-    core_up = AxiBundle(sim, "core")
-    core_down = AxiBundle(sim, "core.noc")
-    dma_up = AxiBundle(sim, "dma")
-    dma_down = AxiBundle(sim, "dma.noc")
-    core_realm = sim.add(
-        RealmUnit(core_up, core_down, RealmUnitParams(), "realm.core")
+    region = RegionConfig(base=0, size=MEM_SIZE, budget_bytes=UNLIMITED,
+                          period_cycles=UNLIMITED)
+    system = (
+        SystemBuilder()
+        .with_noc(3, 3)
+        .add_manager("core", protect=True, granularity=fragmentation,
+                     regions=[region], node=(0, 0))
+        .add_manager("dma", protect=True, granularity=fragmentation,
+                     regions=[region], node=(0, 2))
+        .add_sram("mem", base=0, size=MEM_SIZE, capacity=4, node=(2, 1))
+        .build()
     )
-    dma_realm = sim.add(
-        RealmUnit(dma_up, dma_down, RealmUnitParams(), "realm.dma")
+    core = system.attach(
+        "core",
+        lambda port: CoreModel(
+            port, susan_like_trace(n_accesses=60, footprint=8192, beats=2)
+        ),
     )
-    for unit in (core_realm, dma_realm):
-        unit.set_granularity(fragmentation)
-        unit.configure_region(
-            0, RegionConfig(base=0, size=MEM_SIZE, budget_bytes=UNLIMITED,
-                            period_cycles=UNLIMITED)
-        )
-    mem_port = AxiBundle(sim, "mem", capacity=4)
-    amap = AddressMap()
-    amap.add_range(0x0, MEM_SIZE, port=0, name="mem")
-    sim.add(
-        AxiNoc(3, 3, {(0, 0): core_down, (0, 2): dma_down},
-               {(2, 1): mem_port}, amap)
-    )
-    sim.add(SramMemory(mem_port, base=0, size=MEM_SIZE))
-    core = sim.add(CoreModel(
-        core_up, susan_like_trace(n_accesses=60, footprint=8192, beats=2)
-    ))
     if with_dma:
-        sim.add(DmaEngine(dma_up, src_base=0x8000, src_size=0x8000,
-                          dst_base=0x10000, dst_size=0x8000,
-                          burst_beats=256))
-    sim.run_until(lambda: core.done, max_cycles=1_000_000, what="core")
+        system.attach(
+            "dma",
+            lambda port: DmaEngine(port, src_base=0x8000, src_size=0x8000,
+                                   dst_base=0x10000, dst_size=0x8000,
+                                   burst_beats=256),
+        )
+    system.sim.run_until(lambda: core.done, max_cycles=1_000_000, what="core")
     return core.execution_cycles, core.worst_case_latency
 
 

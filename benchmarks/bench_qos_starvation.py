@@ -7,68 +7,62 @@ credit-based mechanism and a granular burst splitter."
 We grant a bursty manager high priority (QoS) or a bandwidth budget
 (REALM) and measure a background manager's fate: with strict priority the
 background manager starves outright; with credits it keeps guaranteed
-progress.
+progress.  Both topologies are ``SystemBuilder`` declarations (the QoS
+taggers via the ``regulator=`` hook, the priority-aware crossbar via
+``with_crossbar(qos_arbitration=True)``).
 """
 
 import pytest
 
-from conftest import emit
-from repro.axi import AxiBundle
+from _bench_utils import emit
 from repro.baselines import QosTagger
-from repro.interconnect import AddressMap, AxiCrossbar
-from repro.mem import SramMemory
-from repro.realm import RealmUnit, RealmUnitParams, RegionConfig
-from repro.sim import Simulator
-from repro.traffic import BandwidthHog, ManagerDriver
+from repro.realm import RegionConfig
+from repro.system import SystemBuilder
+from repro.traffic import BandwidthHog
 
 HORIZON = 5000
 
 
-def run_qos():
-    sim = Simulator()
-    hog_up, hog_down = AxiBundle(sim, "h"), AxiBundle(sim, "hd")
-    low_up, low_down = AxiBundle(sim, "l"), AxiBundle(sim, "ld")
-    sim.add(QosTagger(hog_up, hog_down, qos=8))
-    sim.add(QosTagger(low_up, low_down, qos=0))
-    mem = AxiBundle(sim, "mem")
-    amap = AddressMap()
-    amap.add_range(0x0, 0x10000, port=0)
-    sim.add(AxiCrossbar([hog_down, low_down], [mem], amap,
-                        qos_arbitration=True))
-    sim.add(SramMemory(mem, base=0, size=0x10000))
-    sim.add(BandwidthHog(hog_up, target_base=0, window=0x8000, beats=64,
-                         max_outstanding=4))
-    low = sim.add(ManagerDriver(low_up))
-    sim.run(50)
+def _attach_traffic(system):
+    system.attach(
+        "hog",
+        lambda port: BandwidthHog(port, target_base=0, window=0x8000,
+                                  beats=64, max_outstanding=4),
+    )
+    low = system.driver("low")
+    system.sim.run(50)
     for i in range(20):
         low.read(0x9000 + i * 8)
-    sim.run(HORIZON)
+    system.sim.run(HORIZON)
     return len(low.completed)
+
+
+def run_qos():
+    system = (
+        SystemBuilder()
+        .with_crossbar(qos_arbitration=True)
+        .add_manager("hog", regulator=lambda up, down: QosTagger(up, down, qos=8))
+        .add_manager("low", regulator=lambda up, down: QosTagger(up, down, qos=0),
+                     driver="low")
+        .add_sram("mem", base=0, size=0x10000)
+        .build()
+    )
+    return _attach_traffic(system)
 
 
 def run_realm():
-    sim = Simulator()
-    hog_up, hog_down = AxiBundle(sim, "h"), AxiBundle(sim, "hd")
-    low_up = AxiBundle(sim, "l")
-    realm = sim.add(RealmUnit(hog_up, hog_down, RealmUnitParams()))
-    realm.set_granularity(1)
-    realm.configure_region(
-        0, RegionConfig(base=0, size=0x10000, budget_bytes=6000,
-                        period_cycles=1000)  # ~75% of the link for the hog
+    system = (
+        SystemBuilder()
+        .with_crossbar()
+        .add_manager("hog", protect=True, granularity=1,
+                     regions=[RegionConfig(base=0, size=0x10000,
+                                           budget_bytes=6000,
+                                           period_cycles=1000)])
+        .add_manager("low", driver="low")
+        .add_sram("mem", base=0, size=0x10000)
+        .build()
     )
-    mem = AxiBundle(sim, "mem")
-    amap = AddressMap()
-    amap.add_range(0x0, 0x10000, port=0)
-    sim.add(AxiCrossbar([hog_down, low_up], [mem], amap))
-    sim.add(SramMemory(mem, base=0, size=0x10000))
-    sim.add(BandwidthHog(hog_up, target_base=0, window=0x8000, beats=64,
-                         max_outstanding=4))
-    low = sim.add(ManagerDriver(low_up))
-    sim.run(50)
-    for i in range(20):
-        low.read(0x9000 + i * 8)
-    sim.run(HORIZON)
-    return len(low.completed)
+    return _attach_traffic(system)
 
 
 def test_priority_starves_credits_do_not(benchmark):

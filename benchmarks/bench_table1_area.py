@@ -7,7 +7,7 @@ the published synthesis results); the headline reproduction target is the
 
 import pytest
 
-from conftest import emit
+from _bench_utils import emit
 from repro.area import (
     cheshire_decomposition,
     format_table,

@@ -8,7 +8,7 @@ pending 2-16, storage 256-8192 bit).
 
 import pytest
 
-from conftest import emit
+from _bench_utils import emit
 from repro.area import TABLE_II, area_breakdown, realm_unit_area
 from repro.realm import RealmUnitParams
 

@@ -9,7 +9,7 @@ traffic is smoothed (its bytes arrive more evenly across the period).
 
 import pytest
 
-from conftest import emit
+from _bench_utils import emit
 from repro.analysis import ContentionExperiment
 
 PERIOD = 1000

@@ -1,8 +1,11 @@
-"""Shared machinery for the benchmark harness.
+"""Shared fixtures for the benchmark harness.
 
 Each ``bench_*.py`` regenerates one table or figure of the paper.  The
 pytest-benchmark plugin times the underlying simulation; the printed rows
 are the reproduction artefact (compare against EXPERIMENTS.md).
+
+Importable helpers live in ``_bench_utils.py`` (a conftest must never be
+imported by name — it would shadow the test suite's conftest).
 
 Run with::
 
@@ -11,13 +14,16 @@ Run with::
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro.analysis import ContentionExperiment
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# One shared experiment configuration so every figure uses the same
-# workload, as in the paper.
-N_ACCESSES = 100
+from _bench_utils import N_ACCESSES  # noqa: E402
+
+from repro.analysis import ContentionExperiment  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -25,12 +31,3 @@ def experiment():
     exp = ContentionExperiment(n_accesses=N_ACCESSES)
     exp.run_single_source()
     return exp
-
-
-def emit(title: str, lines: list[str]) -> None:
-    """Print a reproduction block (visible with -s and in tee'd output)."""
-    bar = "=" * 72
-    print(f"\n{bar}\n{title}\n{bar}")
-    for line in lines:
-        print(line)
-    print(bar)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Kernel-speed datapoint: emits ``BENCH_kernel.json``.
+
+Runs the idle-heavy period-sweep workload (the exact sweep of
+``bench_period_sweep.py``, shared via ``_bench_utils.run_period_sweep``)
+once on the naive tick-everything kernel and once on the active-set
+kernel, checks the results are cycle-identical, and records simulated
+cycles/second for both plus the speedup.  CI runs this after the test
+suite so the performance trajectory of the simulator is tracked PR over
+PR.
+
+Run:  python benchmarks/kernel_speed.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_utils import (  # noqa: E402
+    SWEEP_DMA_SHARE,
+    SWEEP_GAP_MEAN,
+    SWEEP_N_ACCESSES,
+    SWEEP_PERIODS,
+    run_period_sweep,
+)
+
+
+def main(argv: list[str]) -> int:
+    out_path = argv[1] if len(argv) > 1 else "BENCH_kernel.json"
+    naive_rows, naive_cycles, naive_s = run_period_sweep(active_set=False)
+    active_rows, active_cycles, active_s = run_period_sweep(active_set=True)
+    if naive_rows != active_rows:
+        print("FATAL: active-set kernel diverged from the naive kernel")
+        print("naive :", naive_rows)
+        print("active:", active_rows)
+        return 1
+    payload = {
+        "benchmark": "kernel_speed/period_sweep_idle_heavy",
+        "python": platform.python_version(),
+        "workload": {
+            "n_accesses": SWEEP_N_ACCESSES,
+            "gap_mean": SWEEP_GAP_MEAN,
+            "dma_share": SWEEP_DMA_SHARE,
+            "periods": list(SWEEP_PERIODS),
+            "simulated_cycles": active_cycles,
+        },
+        "naive_kernel": {
+            "wall_seconds": round(naive_s, 4),
+            "cycles_per_second": round(naive_cycles / naive_s),
+        },
+        "active_set_kernel": {
+            "wall_seconds": round(active_s, 4),
+            "cycles_per_second": round(active_cycles / active_s),
+        },
+        "speedup": round(naive_s / active_s, 3),
+        "cycle_identical": True,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

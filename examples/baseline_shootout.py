@@ -3,86 +3,76 @@
 
 Puts the same aggressive DMA behind four different regulators (and none)
 on a shared memory, measures what the latency-critical core experiences,
-and checks who survives the W-channel stall DoS.
+and checks who survives the W-channel stall DoS.  Every topology is one
+``SystemBuilder`` declaration; the baselines plug in through the
+``regulator=`` factory hook.
 
 Run:  python examples/baseline_shootout.py
 """
 
-from repro.axi import AxiBundle
 from repro.baselines import AbeEqualizer, AbuRegulator, CutForwardUnit
-from repro.interconnect import AddressMap, AxiCrossbar
-from repro.mem import SramMemory
-from repro.realm import RealmUnit, RealmUnitParams, RegionConfig
-from repro.sim import Simulator
-from repro.traffic import (
-    CoreModel,
-    DmaEngine,
-    ManagerDriver,
-    StallingWriter,
-    susan_like_trace,
-)
+from repro.realm import RegionConfig
+from repro.system import SystemBuilder
+from repro.traffic import CoreModel, DmaEngine, StallingWriter, susan_like_trace
 
 MEM_SIZE = 0x40000
 BUDGET = 2048
 PERIOD = 1000
 
+REGULATORS = {
+    "none": None,
+    "ABU [1]": lambda up, down: AbuRegulator(up, down, BUDGET, PERIOD),
+    "ABE [12]": lambda up, down: AbeEqualizer(up, down, nominal_burst=1),
+    "C&F [14]": lambda up, down: CutForwardUnit(up, down, depth_beats=256),
+}
 
-def attach(sim, kind, up, name):
-    if kind == "none":
-        return up
-    down = AxiBundle(sim, f"{name}.down")
-    if kind == "ABU [1]":
-        sim.add(AbuRegulator(up, down, BUDGET, PERIOD, name=name))
-    elif kind == "ABE [12]":
-        sim.add(AbeEqualizer(up, down, nominal_burst=1, name=name))
-    elif kind == "C&F [14]":
-        sim.add(CutForwardUnit(up, down, depth_beats=256, name=name))
-    else:  # AXI-REALM
-        unit = sim.add(RealmUnit(up, down, RealmUnitParams(), name=name))
-        unit.set_granularity(1)
-        unit.configure_region(
-            0, RegionConfig(0, MEM_SIZE, BUDGET, PERIOD)
+
+def declare(kind: str, aggressor: str) -> SystemBuilder:
+    """Core + managed aggressor in front of one shared SRAM."""
+    builder = SystemBuilder(name=f"shootout.{kind}").with_crossbar()
+    if aggressor == "core-first":
+        builder.add_manager("core")
+    if kind == "AXI-REALM":
+        builder.add_manager(
+            "dma", protect=True, granularity=1,
+            regions=[RegionConfig(0, MEM_SIZE, BUDGET, PERIOD)],
         )
-    return down
+    else:
+        builder.add_manager("dma", regulator=REGULATORS[kind])
+    if aggressor == "dma-first":
+        builder.add_manager("core", driver="victim")
+    builder.add_sram("mem", base=0, size=MEM_SIZE,
+                     capacity=4 if aggressor == "core-first" else 2)
+    return builder
 
 
 def contention(kind, with_dma=True):
-    sim = Simulator()
-    core_up = AxiBundle(sim, "core")
-    dma_up = AxiBundle(sim, "dma")
-    dma_down = attach(sim, kind, dma_up, f"reg")
-    mem = AxiBundle(sim, "mem", capacity=4)
-    amap = AddressMap()
-    amap.add_range(0x0, MEM_SIZE, port=0)
-    sim.add(AxiCrossbar([core_up, dma_down], [mem], amap))
-    sim.add(SramMemory(mem, base=0, size=MEM_SIZE))
-    core = sim.add(CoreModel(
-        core_up,
-        susan_like_trace(n_accesses=80, footprint=8192, beats=2, gap_mean=1),
-    ))
+    system = declare(kind, "core-first").build()
+    core = system.attach(
+        "core",
+        lambda port: CoreModel(
+            port,
+            susan_like_trace(n_accesses=80, footprint=8192, beats=2, gap_mean=1),
+        ),
+    )
     if with_dma:
-        sim.add(DmaEngine(dma_up, src_base=0x2000, src_size=0x8000,
-                          dst_base=0x10000, dst_size=0x8000,
-                          burst_beats=256))
-    sim.run_until(lambda: core.done, max_cycles=1_000_000, what="core")
+        system.attach(
+            "dma",
+            lambda port: DmaEngine(port, src_base=0x2000, src_size=0x8000,
+                                   dst_base=0x10000, dst_size=0x8000,
+                                   burst_beats=256),
+        )
+    system.sim.run_until(lambda: core.done, max_cycles=1_000_000, what="core")
     return core.execution_cycles, core.worst_case_latency
 
 
 def dos(kind):
-    sim = Simulator()
-    attacker_up = AxiBundle(sim, "attacker")
-    victim_up = AxiBundle(sim, "victim")
-    attacker_down = attach(sim, kind, attacker_up, "reg")
-    mem = AxiBundle(sim, "mem")
-    amap = AddressMap()
-    amap.add_range(0x0, MEM_SIZE, port=0)
-    sim.add(AxiCrossbar([attacker_down, victim_up], [mem], amap))
-    sim.add(SramMemory(mem, base=0, size=MEM_SIZE))
-    sim.add(StallingWriter(attacker_up, beats=16))
-    victim = sim.add(ManagerDriver(victim_up))
-    sim.run(20)
+    system = declare(kind, "dma-first").build()
+    system.attach("dma", lambda port: StallingWriter(port, beats=16))
+    victim = system.driver("core")
+    system.sim.run(20)
     op = victim.write(0x100, bytes(8))
-    sim.run(2000)
+    system.sim.run(2000)
     return op.done
 
 

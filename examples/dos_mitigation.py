@@ -4,7 +4,8 @@
 A malicious manager reserves the interconnect's W channel by winning AW
 arbitration and never delivering its write data.  On a bare crossbar this
 starves every other manager's writes forever.  With a REALM unit in front
-of the attacker, the poisoned transaction never reaches the interconnect:
+of the attacker (one ``protect=True`` flag in the ``SystemBuilder``
+declaration), the poisoned transaction never reaches the interconnect:
 the write buffer only forwards bursts whose data is fully buffered.
 
 The demo also shows the isolation path: the operator cuts the attacker
@@ -14,35 +15,24 @@ protected), then verifies the system is clean.
 Run:  python examples/dos_mitigation.py
 """
 
-from repro.axi import AxiBundle
-from repro.interconnect import AddressMap, AxiCrossbar
-from repro.mem import SramMemory
-from repro.realm import RealmRegisterFile, RealmUnit, RealmUnitParams
+from repro.realm import RealmRegisterFile
 from repro.realm import register_file as rf
-from repro.sim import Simulator
-from repro.traffic import ManagerDriver, StallingWriter
+from repro.system import SystemBuilder
+from repro.traffic import StallingWriter
 
 
 def build(protected: bool):
-    sim = Simulator()
-    attacker_up = AxiBundle(sim, "attacker")
-    victim_port = AxiBundle(sim, "victim")
-    realm = None
-    if protected:
-        attacker_down = AxiBundle(sim, "attacker.down")
-        realm = sim.add(RealmUnit(attacker_up, attacker_down,
-                                  RealmUnitParams(), name="realm.attacker"))
-        ports = [attacker_down, victim_port]
-    else:
-        ports = [attacker_up, victim_port]
-    mem_port = AxiBundle(sim, "mem")
-    amap = AddressMap()
-    amap.add_range(0x0, 0x10000, port=0, name="sram")
-    sim.add(AxiCrossbar(ports, [mem_port], amap))
-    sim.add(SramMemory(mem_port, base=0, size=0x10000))
-    sim.add(StallingWriter(attacker_up, beats=256))
-    victim = sim.add(ManagerDriver(victim_port, name="victim"))
-    return sim, victim, realm
+    system = (
+        SystemBuilder(name="dos-demo")
+        .with_crossbar()
+        .add_manager("attacker", protect=protected)
+        .add_manager("victim", driver="victim")
+        .add_sram("sram", base=0, size=0x10000)
+        .build()
+    )
+    system.attach("attacker", lambda port: StallingWriter(port, beats=256))
+    realm = system.realms.get("attacker")
+    return system.sim, system.driver("victim"), realm
 
 
 def main() -> None:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Quickstart: put a REALM unit in front of a manager and watch it work.
 
-Builds the smallest meaningful system::
+Declares the smallest meaningful system through ``SystemBuilder``::
 
     driver --> REALM unit --> SRAM
 
@@ -12,29 +12,27 @@ monitoring.
 Run:  python examples/quickstart.py
 """
 
-from repro.axi import AxiBundle
-from repro.mem import SramMemory
-from repro.realm import RealmUnit, RealmUnitParams, RegionConfig
-from repro.sim import Simulator
-from repro.traffic import ManagerDriver
+from repro.realm import RegionConfig
+from repro.system import SystemBuilder
 
 
 def main() -> None:
-    sim = Simulator()
-    mgr_side = AxiBundle(sim, "manager")
-    mem_side = AxiBundle(sim, "memory")
-
-    realm = sim.add(
-        RealmUnit(mgr_side, mem_side, RealmUnitParams(n_regions=1))
+    system = (
+        SystemBuilder()
+        .add_manager("mgr", protect=True, driver=True)
+        .add_sram("mem", base=0x0, size=64 * 1024)
+        .build()
     )
-    sram = sim.add(SramMemory(mem_side, base=0x0, size=64 * 1024))
-    driver = sim.add(ManagerDriver(mgr_side))
+    sim = system.sim
+    realm = system.realm("mgr")
+    driver = system.driver("mgr")
+    sram = system.memory("mem")
 
     # --- 1. burst fragmentation ---------------------------------------
     realm.set_granularity(4)  # split bursts into 4-beat fragments
     driver.write(0x1000, bytes(range(128)), beats=16)
     op = driver.read(0x1000, beats=16)
-    sim.run_until(lambda: driver.idle, max_cycles=10_000, what="driver")
+    system.run_until_idle(max_cycles=10_000)
     assert op.rdata == bytes(range(128))
     print("fragmentation: 16-beat burst served as", sram.reads_served,
           "fragments; data intact")
@@ -47,7 +45,7 @@ def main() -> None:
     )
     sim.run(5)  # let the reconfiguration drain + apply
     ops = [driver.read(i * 8) for i in range(10)]  # 80 B > 64 B budget
-    sim.run_until(lambda: driver.idle, max_cycles=10_000, what="driver")
+    system.run_until_idle(max_cycles=10_000)
     first_period = sum(1 for o in ops if o.done_cycle < sim.cycle - 400)
     print(f"regulation: 10 reads of 8 B against a 64 B/400-cycle budget -> "
           f"{first_period} served in the first period, rest after replenish")

@@ -8,17 +8,15 @@ smart NICs to enforce guarantees on shared resource usages."
 This example models a NIC-style system: four tenant DMA engines share one
 packet-buffer memory through a crossbar.  Tenant 0 has paid for a
 guaranteed 50% share; tenants 1-3 are best-effort, and tenant 3
-misbehaves (it tries to hog the full link).  One REALM unit per tenant
-enforces the SLA and exposes per-tenant accounting.
+misbehaves (it tries to hog the full link).  One REALM unit per tenant —
+declared through ``SystemBuilder`` — enforces the SLA and exposes
+per-tenant accounting.
 
 Run:  python examples/smartnic_tenants.py
 """
 
-from repro.axi import AxiBundle
-from repro.interconnect import AddressMap, AxiCrossbar
-from repro.mem import SramMemory
-from repro.realm import RealmUnit, RealmUnitParams, RegionConfig
-from repro.sim import Simulator
+from repro.realm import RegionConfig
+from repro.system import SystemBuilder
 from repro.traffic import BandwidthHog
 
 PACKET_BUF_SIZE = 0x40000
@@ -29,53 +27,44 @@ SLA_SHARES = {0: 0.50, 1: 0.125, 2: 0.125, 3: 0.125}
 
 
 def main() -> None:
-    sim = Simulator()
-    tenant_ports = []
-    xbar_ports = []
-    realm_units = []
-    for tenant in range(4):
-        up = AxiBundle(sim, f"tenant{tenant}")
-        down = AxiBundle(sim, f"tenant{tenant}.down")
-        unit = sim.add(
-            RealmUnit(up, down, RealmUnitParams(n_regions=1),
-                      name=f"realm.t{tenant}")
+    builder = SystemBuilder(name="smartnic").with_crossbar()
+    for tenant, share in SLA_SHARES.items():
+        budget = int(share * LINK_BYTES_PER_CYCLE * PERIOD)
+        builder.add_manager(
+            f"t{tenant}",
+            protect=True,
+            granularity=8,  # NIC-friendly 64 B fragments
+            regions=[RegionConfig(base=0, size=PACKET_BUF_SIZE,
+                                  budget_bytes=budget,
+                                  period_cycles=PERIOD)],
         )
-        budget = int(SLA_SHARES[tenant] * LINK_BYTES_PER_CYCLE * PERIOD)
-        unit.set_granularity(8)  # NIC-friendly 64 B fragments
-        unit.configure_region(
-            0, RegionConfig(base=0, size=PACKET_BUF_SIZE,
-                            budget_bytes=budget, period_cycles=PERIOD)
-        )
-        tenant_ports.append(up)
-        xbar_ports.append(down)
-        realm_units.append(unit)
-
-    buf_port = AxiBundle(sim, "pktbuf", capacity=4)
-    amap = AddressMap()
-    amap.add_range(0x0, PACKET_BUF_SIZE, port=0, name="pktbuf")
-    sim.add(AxiCrossbar(xbar_ports, [buf_port], amap))
-    sim.add(SramMemory(buf_port, base=0, size=PACKET_BUF_SIZE))
+    builder.add_sram("pktbuf", base=0, size=PACKET_BUF_SIZE, capacity=4)
+    system = builder.build()
 
     # Every tenant tries to read as fast as it can; tenant 3 is greedy
     # (deep outstanding queue), modelling a misbehaving VM.
-    engines = []
-    for tenant, port in enumerate(tenant_ports):
-        engines.append(sim.add(BandwidthHog(
-            port, target_base=tenant * 0x10000, window=0x10000,
-            beats=64, max_outstanding=8 if tenant == 3 else 2,
-            name=f"dma.t{tenant}",
-        )))
+    engines = [
+        system.attach(
+            f"t{tenant}",
+            lambda port, tenant=tenant: BandwidthHog(
+                port, target_base=tenant * 0x10000, window=0x10000,
+                beats=64, max_outstanding=8 if tenant == 3 else 2,
+                name=f"dma.t{tenant}",
+            ),
+        )
+        for tenant in SLA_SHARES
+    ]
 
     horizon = 10 * PERIOD
-    sim.run(horizon)
+    system.sim.run(horizon)
 
     print(f"{'tenant':<8} {'SLA share':>10} {'achieved':>10} "
           f"{'bytes moved':>12} {'stall cycles':>13}")
     print("-" * 58)
     total_capacity = LINK_BYTES_PER_CYCLE * horizon
-    for tenant, (engine, unit) in enumerate(zip(engines, realm_units)):
+    for tenant, engine in enumerate(engines):
         achieved = engine.bytes_stolen / total_capacity
-        snap = unit.region_snapshot(0)
+        snap = system.realm(f"t{tenant}").region_snapshot(0)
         print(f"t{tenant:<7} {SLA_SHARES[tenant]:>9.1%} {achieved:>9.1%} "
               f"{engine.bytes_stolen:>12} {snap.stall_cycles:>13}")
 

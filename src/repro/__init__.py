@@ -22,7 +22,7 @@ Quick start::
 __version__ = "1.0.0"
 
 from repro import analysis, area, axi, baselines, interconnect, mem, realm
-from repro import sim, soc, traffic
+from repro import sim, soc, system, traffic
 
 __all__ = [
     "__version__",
@@ -35,5 +35,6 @@ __all__ = [
     "realm",
     "sim",
     "soc",
+    "system",
     "traffic",
 ]

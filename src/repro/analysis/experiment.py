@@ -1,11 +1,17 @@
 """Experiment runners for the paper's functional evaluation (Figure 6).
 
-:class:`ContentionExperiment` builds the Cheshire-like SoC, puts a
-Susan-like trace on the core and the worst-case double-buffering burst
-pattern on the DSA DMA, and measures the core's execution time and access
-latency under a given REALM configuration.  Both Figure 6a (fragmentation
-sweep) and Figure 6b (budget-imbalance sweep) are parameter sweeps over
-:meth:`ContentionExperiment.run`.
+:class:`ContentionExperiment` builds the Cheshire-like SoC (through
+:class:`repro.system.SystemBuilder`, via the :class:`CheshireSoC` preset),
+puts a Susan-like trace on the core and the worst-case double-buffering
+burst pattern on the DSA DMA, and measures the core's execution time and
+access latency under a given REALM configuration.  Both Figure 6a
+(fragmentation sweep) and Figure 6b (budget-imbalance sweep) are parameter
+sweeps over :meth:`ContentionExperiment.run`.
+
+``active_set=False`` runs every simulation on the naive tick-everything
+kernel; the default uses the active-set kernel, which produces
+cycle-identical results and is what the kernel-speed benchmark compares
+against.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ class ContentionExperiment:
     seed: int = 42
     max_cycles: int = 2_000_000
     soc_config: Optional[CheshireConfig] = None
+    active_set: bool = True
     _baseline_cycles: Optional[int] = field(default=None, repr=False)
 
     # Core working set and DMA source window live in LLC-cached DRAM at
@@ -66,7 +73,7 @@ class ContentionExperiment:
 
     # ------------------------------------------------------------------
     def _build(self, with_dma: bool):
-        sim = Simulator()
+        sim = Simulator(active_set=self.active_set)
         soc = CheshireSoC(sim, self.soc_config or CheshireConfig())
         trace = susan_like_trace(
             n_accesses=self.n_accesses,

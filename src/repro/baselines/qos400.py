@@ -83,7 +83,19 @@ class QosTagger(Component):
             raise ValueError("AXI QoS values are 0..15")
         self.up = up
         self.down = down
+        self.watch(up, role="device")
+        self.watch(down, role="manager")
         self.qos = qos
+
+    def is_idle(self) -> bool:
+        up, down = self.up, self.down
+        return not (
+            up.aw.can_recv()
+            or up.w.can_recv()
+            or up.ar.can_recv()
+            or down.b.can_recv()
+            or down.r.can_recv()
+        )
 
     def tick(self, cycle: int) -> None:
         if self.up.aw.can_recv() and self.down.aw.can_send():

@@ -60,6 +60,8 @@ class AxiCrossbar(Component):
             raise ValueError("crossbar needs at least one manager and subordinate")
         self.managers = list(manager_ports)
         self.subs = list(subordinate_ports)
+        self.watch(*self.managers, role="device")
+        self.watch(*self.subs, role="manager")
         self.addr_map = addr_map
         self.idmap = IdMap(inner_id_bits)
         n_mgr, n_sub = len(self.managers), len(self.subs)
@@ -115,6 +117,24 @@ class AxiCrossbar(Component):
         self._route_ar()
         self._route_b()
         self._route_r()
+
+    def is_idle(self) -> bool:
+        # Routing is purely input-driven: with no recv-able beat on any
+        # side and no queued DECERR responses, every route pass is a no-op
+        # (arbiters do not advance when no one requests).
+        for mgr in self.managers:
+            if mgr.aw.can_recv() or mgr.w.can_recv() or mgr.ar.can_recv():
+                return False
+        for sub in self.subs:
+            if sub.b.can_recv() or sub.r.can_recv():
+                return False
+        for queue in self._err_b:
+            if queue:
+                return False
+        for queue in self._err_r:
+            if queue:
+                return False
+        return True
 
     def reset(self) -> None:
         for q in (

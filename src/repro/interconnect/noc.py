@@ -104,6 +104,7 @@ class _MeshNetwork:
     def __init__(self, width: int, height: int, depth: int = 4) -> None:
         self.width = width
         self.height = height
+        self.flits = 0  # flits anywhere in the network (queues + staging)
         self.routers = {
             (x, y): _Router(x, y, depth)
             for x in range(width)
@@ -118,12 +119,15 @@ class _MeshNetwork:
         if not router.can_accept("local"):
             return False
         router.accept("local", flit)
+        self.flits += 1
         return True
 
     def eject(self, node: tuple[int, int]) -> Optional[Flit]:
         router = self.routers[node]
         flit = router.staged["local"]
         router.staged["local"] = None
+        if flit is not None:
+            self.flits -= 1
         return flit
 
     def peek_eject(self, node: tuple[int, int]) -> Optional[Flit]:
@@ -183,6 +187,8 @@ class AxiNoc(Component):
         self.response_net = _MeshNetwork(width, height, router_depth)
         self.managers = managers
         self.subordinates = subordinates
+        self.watch(*managers.values(), role="device")
+        self.watch(*subordinates.values(), role="manager")
         self.addr_map = addr_map
         self.idmap = IdMap(inner_id_bits)
         self._sub_nodes = list(subordinates.keys())
@@ -209,6 +215,23 @@ class AxiNoc(Component):
         self._manager_eject()
         self.request_net.step()
         self.response_net.step()
+
+    def is_idle(self) -> bool:
+        if self.request_net.flits or self.response_net.flits:
+            return False
+        for bundle in self.managers.values():
+            if bundle.aw.can_recv() or bundle.w.can_recv() or bundle.ar.can_recv():
+                return False
+        for node, bundle in self.subordinates.items():
+            if bundle.b.can_recv() or bundle.r.can_recv():
+                return False
+            # Buffered W data replayable right now means there is work.
+            order = self._sub_aw_order[node]
+            if order and bundle.w.can_send():
+                queue = self._sub_w_queues[node].get(order[0])
+                if queue:
+                    return False
+        return True
 
     # ------------------------------------------------------------------
     # manager network interfaces

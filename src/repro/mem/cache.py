@@ -50,6 +50,8 @@ class CacheLLC(Component):
             raise ValueError("line size must be a multiple of the back beat size")
         self.front = front
         self.back = back
+        self.watch(front, role="device")
+        self.watch(back, role="manager")
         self.line_bytes = line_bytes
         self.ways = ways
         self.n_sets = capacity // (line_bytes * ways)
@@ -160,6 +162,14 @@ class CacheLLC(Component):
         if handler is None:  # pragma: no cover - defensive
             raise SimulationError(f"unknown cache state {self._state!r}")
         handler()
+
+    def is_idle(self) -> bool:
+        return (
+            self._state == "idle"
+            and self._staged is None
+            and not self.front.ar.can_recv()
+            and not self.front.aw.can_recv()
+        )
 
     def _front_accept(self) -> None:
         """Stage the next front transaction and run its lookup latency in

@@ -56,6 +56,7 @@ class DramModel(Component):
         self.port = port
         self.store = BackingStore(base, size)
         self.timing = timing
+        self.watch(port, role="device")
         self._open_rows: dict[int, Optional[int]] = {
             b: None for b in range(timing.n_banks)
         }
@@ -102,6 +103,13 @@ class DramModel(Component):
             self._serve_read()
         else:
             self._serve_write()
+
+    def is_idle(self) -> bool:
+        return (
+            self._kind is None
+            and not self.port.ar.can_recv()
+            and not self.port.aw.can_recv()
+        )
 
     def reset(self) -> None:
         self._open_rows = {b: None for b in range(self.timing.n_banks)}

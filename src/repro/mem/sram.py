@@ -39,6 +39,7 @@ class SramMemory(Component):
         self.store = BackingStore(base, size)
         self.read_latency = read_latency
         self.write_latency = write_latency
+        self.watch(port, role="device")
 
         # Read state machine.
         self._rd: Optional[ARBeat] = None
@@ -67,6 +68,17 @@ class SramMemory(Component):
     def tick(self, cycle: int) -> None:
         self._tick_read()
         self._tick_write()
+
+    def is_idle(self) -> bool:
+        # W beats that arrive ahead of their AW are ignored until the AW
+        # shows up, so they do not make the memory busy.
+        return (
+            self._rd is None
+            and self._wr is None
+            and self._atomic_r is None
+            and not self.port.ar.can_recv()
+            and not self.port.aw.can_recv()
+        )
 
     def reset(self) -> None:
         self._rd = None

@@ -21,7 +21,7 @@ from collections import defaultdict, deque
 from typing import Optional
 
 from repro.realm.bookkeeping import BookkeepingSnapshot, BookkeepingUnit
-from repro.realm.regions import RegionState
+from repro.realm.regions import UNLIMITED, RegionState
 from repro.realm.throttle import ThrottleUnit
 
 
@@ -45,6 +45,10 @@ class MonitorRegulationStage:
         self.regulation_enabled = regulation_enabled
         self.books = [BookkeepingUnit() for _ in regions]
         self.outstanding = 0
+        # Last cycle the period clocks were advanced through.  The clocks
+        # are lazy: when the owning unit sleeps, on_cycle/advance_to catch
+        # them up in O(1) instead of one call per elapsed cycle.
+        self._last_cycle = -1
         # Latency tracking: per-ID FIFOs of (issue_cycle, region_index).
         self._write_inflight: dict[int, deque[tuple[int, Optional[int]]]] = (
             defaultdict(deque)
@@ -79,13 +83,68 @@ class MonitorRegulationStage:
     # clocks
     # ------------------------------------------------------------------
     def on_cycle(self, cycle: int) -> None:
-        """Advance period clocks; called once per tick before the pipeline."""
-        for region, book in zip(self.regions, self.books):
-            if region.advance_cycle():
-                book.on_period_rollover()
-            book.on_cycle(stalled=False)
+        """Advance period clocks through *cycle*; called at tick start.
+
+        Handles multi-cycle jumps after the owning unit slept: replenish
+        edges, period bookkeeping, and cycle counters are caught up exactly
+        as if the clock had been advanced every cycle (sleeping is only
+        permitted while no transfers or stalls are happening, so the
+        evolution over the skipped cycles is pure clock arithmetic).
+        """
+        n = cycle - self._last_cycle
+        self._last_cycle = cycle
+        if n > 0:
+            self._advance_clocks(n)
         self.stalled_this_cycle = False
         self.transferring_this_cycle = False
+
+    def advance_to(self, cycle: int) -> None:
+        """Catch the lazy clocks up for an external observer (snapshot or
+        status read while the unit sleeps).  Idempotent; does not touch the
+        per-tick activity flags."""
+        n = cycle - self._last_cycle
+        if n > 0:
+            self._last_cycle = cycle
+            self._advance_clocks(n)
+
+    def _advance_clocks(self, n: int) -> None:
+        for region, book in zip(self.regions, self.books):
+            edges = region.advance_cycles(n)
+            if edges:
+                book.on_period_rollover()
+                # The rollover resets the in-period cycle counter; the
+                # cycles after the final edge (plus the edge cycle itself)
+                # are what the per-cycle bookkeeping would have counted.
+                book.cycles_into_period = region.cycles_into_period + 1
+            else:
+                book.cycles_into_period += n
+
+    def next_replenish_edge(self, depleted_only: bool = True) -> Optional[int]:
+        """Absolute cycle of the next replenish edge, or ``None`` if no
+        qualifying region has a finite period.  Used to schedule a timed
+        wake-up while the unit sleeps.
+
+        With ``depleted_only`` (a fully-quiescent sleep) only depleted
+        regions matter: their replenish releases budget isolation.  A
+        frozen-stall sleep must pass ``depleted_only=False``: admission
+        also depends on the throttle cap, which is a function of the
+        remaining-budget fraction and jumps back to 1.0 when *any*
+        enabled region replenishes."""
+        if not self.regulation_enabled:
+            return None
+        best: Optional[int] = None
+        for region in self.regions:
+            if depleted_only:
+                if not region.depleted:
+                    continue
+            elif region.config.size <= 0 and not region.depleted:
+                continue  # disabled region: cannot influence admission
+            if region.config.period_cycles >= UNLIMITED:
+                continue
+            edge = self._last_cycle + region.cycles_to_next_edge()
+            if best is None or edge < best:
+                best = edge
+        return best
 
     # ------------------------------------------------------------------
     # admission
@@ -171,6 +230,7 @@ class MonitorRegulationStage:
         for book in self.books:
             book.reset()
         self.outstanding = 0
+        self._last_cycle = -1
         self._write_inflight.clear()
         self._read_inflight.clear()
         self.denied_by_budget = 0

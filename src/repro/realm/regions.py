@@ -42,11 +42,37 @@ class RegionState:
     # ------------------------------------------------------------------
     def advance_cycle(self) -> bool:
         """Advance the period clock; returns True on a replenish edge."""
-        self.cycles_into_period += 1
-        if self.cycles_into_period >= self.config.period_cycles:
+        return self.advance_cycles(1) > 0
+
+    def advance_cycles(self, n: int) -> int:
+        """Advance the period clock by *n* cycles; returns replenish edges.
+
+        Equivalent to *n* calls of :meth:`advance_cycle` provided nothing
+        was charged in between — which is exactly the situation when the
+        active-set kernel lets an idle REALM unit sleep and catches its
+        clock up lazily on wake-up.
+        """
+        period = self.config.period_cycles
+        edges = 0
+        if self.cycles_into_period >= period and n > 0:
+            # Period was shrunk mid-period: per-cycle semantics yield one
+            # edge at the first step, not one per elapsed period.
             self.replenish()
-            return True
-        return False
+            edges = 1
+            n -= 1
+        total = self.cycles_into_period + n
+        if total < period:
+            self.cycles_into_period = total
+            return edges
+        edges += total // period
+        self.cycles_into_period = total % period
+        self.remaining = self.config.budget_bytes
+        self.periods_elapsed += total // period
+        return edges
+
+    def cycles_to_next_edge(self) -> int:
+        """Cycles from now until the next replenish edge."""
+        return self.config.period_cycles - self.cycles_into_period
 
     def replenish(self) -> None:
         self.remaining = self.config.budget_bytes

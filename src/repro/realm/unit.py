@@ -50,6 +50,8 @@ class RealmUnit(Component):
         )
         self.up = up
         self.down = down
+        self.watch(up, role="device")
+        self.watch(down, role="manager")
         link_a = WireBundle(f"{name}.iso2split")
         link_b = WireBundle(f"{name}.split2wbuf")
         link_c = WireBundle(f"{name}.wbuf2mr")
@@ -76,6 +78,18 @@ class RealmUnit(Component):
             name=f"{name}.mr",
         )
         self._pending_reconfig: list[Callable[[], None]] = []
+        # Frozen-stall detection (active-set kernel): when the pipeline is
+        # blocked in a stable state (budget depletion, user isolation, a
+        # poisoned write burst), the only per-cycle state changes are
+        # linear counters.  After two consecutive ticks with an identical
+        # structural signature and identical counter deltas, the unit
+        # sleeps and the skipped cycles are replayed arithmetically.
+        self._cycle = -1
+        self._freeze_sig: Optional[tuple] = None
+        self._freeze_counters: Optional[tuple] = None
+        self._freeze_delta: Optional[tuple] = None
+        self._frozen_since: Optional[int] = None
+        self._frozen_applied_through = -1
 
     # ------------------------------------------------------------------
     # splitter config view (the splitter reads these each cycle)
@@ -108,7 +122,11 @@ class RealmUnit(Component):
         def apply() -> None:
             self.config.granularity = beats
 
+        self._queue_reconfig(apply)
+
+    def _queue_reconfig(self, apply: Callable[[], None]) -> None:
         self._pending_reconfig.append(apply)
+        self.wake()
 
     def configure_region(self, index: int, region: RegionConfig) -> None:
         """Intrusive: replaces a region's boundary/budget/period atomically."""
@@ -119,7 +137,7 @@ class RealmUnit(Component):
             self.config.regions[index] = region
             self.mr.regions[index].reconfigure(region)
 
-        self._pending_reconfig.append(apply)
+        self._queue_reconfig(apply)
 
     def set_region_base(self, index: int, base: int) -> None:
         """Intrusive: change one region's base, keeping the other fields."""
@@ -131,7 +149,7 @@ class RealmUnit(Component):
             state.config.base = base
             state.replenish()
 
-        self._pending_reconfig.append(apply)
+        self._queue_reconfig(apply)
 
     def set_region_size(self, index: int, size: int) -> None:
         """Intrusive: change one region's size, keeping the other fields."""
@@ -143,32 +161,37 @@ class RealmUnit(Component):
             state.config.size = size
             state.replenish()
 
-        self._pending_reconfig.append(apply)
+        self._queue_reconfig(apply)
 
     def set_budget(self, index: int, budget_bytes: int) -> None:
         """Non-intrusive: takes effect at the next replenish."""
         self.mr.regions[index].config.budget_bytes = budget_bytes
+        self.wake()
 
     def set_period(self, index: int, period_cycles: int) -> None:
         """Non-intrusive: takes effect immediately for the running clock."""
         self.mr.regions[index].config.period_cycles = period_cycles
+        self.wake()
 
     def set_regulation_enabled(self, enabled: bool) -> None:
         self.config.regulation_enabled = enabled
         self.mr.regulation_enabled = enabled
+        self.wake()
 
     def set_throttle_enabled(self, enabled: bool) -> None:
         self.config.throttle_enabled = enabled
         self._throttle.enabled = enabled
+        self.wake()
 
     def set_splitter_enabled(self, enabled: bool) -> None:
         def apply() -> None:
             self.config.splitter_enabled = enabled
 
-        self._pending_reconfig.append(apply)
+        self._queue_reconfig(apply)
 
     def set_user_isolate(self, isolate: bool) -> None:
         self.config.user_isolate = isolate
+        self.wake()
 
     # ------------------------------------------------------------------
     # status
@@ -183,15 +206,32 @@ class RealmUnit(Component):
 
     @property
     def budget_exhausted(self) -> bool:
+        self._sync_clocks()
         return self.mr.budget_exhausted
 
     def region_snapshot(self, index: int) -> BookkeepingSnapshot:
+        self._sync_clocks()
         return self.mr.region_snapshot(index)
+
+    def _sync_clocks(self) -> None:
+        """Catch the lazy period clocks up for an external observer.
+
+        While the unit sleeps, its M&R clocks lag behind the simulator;
+        this advances them through the last completed tick phase so status
+        reads see exactly what the naive kernel would have computed."""
+        if self._sim is not None:
+            through = self._sim.cycle - 1
+            self._catch_up_frozen(through)
+            self.mr.advance_to(through)
 
     # ------------------------------------------------------------------
     # simulation
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
+        self._cycle = cycle
+        if self._frozen_since is not None:
+            self._catch_up_frozen(cycle - 1)
+            self._frozen_since = None
         self.mr.on_cycle(cycle)
         self._fsm()
         self.isolation.tick_request(cycle)
@@ -202,6 +242,130 @@ class RealmUnit(Component):
         self.write_buffer.tick_response(cycle)
         self.splitter.tick_response(cycle)
         self.isolation.tick_response(cycle)
+
+    def is_idle(self) -> bool:
+        """The unit may sleep only when completely quiescent: no beat in
+        any stage or boundary channel, no reconfiguration pending, and no
+        activity flag set this cycle.  The period clocks keep running
+        lazily (see :meth:`MonitorRegulationStage.on_cycle`); if a depleted
+        region will replenish, a timed wake-up preserves the exact cycle at
+        which budget isolation is released."""
+        if self._pending_reconfig:
+            return False
+        up, down = self.up, self.down
+        if (
+            not self.mr.stalled_this_cycle
+            and not self.mr.transferring_this_cycle
+            and self._unit_empty()
+            and not (up.aw.can_recv() or up.w.can_recv() or up.ar.can_recv())
+            and not (down.b.can_recv() or down.r.can_recv())
+        ):
+            self._freeze_sig = None
+            edge = self.mr.next_replenish_edge()
+            if edge is not None:
+                self.wake_at(edge)
+            return True
+        return self._check_frozen()
+
+    # ------------------------------------------------------------------
+    # frozen-stall detection
+    # ------------------------------------------------------------------
+    def _signature(self) -> tuple:
+        """Structural state that must be bit-identical between ticks for
+        the pipeline to count as frozen.  Anything that can influence a
+        tick's behaviour and is not a pure linear counter belongs here."""
+        iso = self.isolation
+        wb = self.write_buffer
+        sp = self.splitter
+        mr = self.mr
+        return (
+            iso.mode,
+            tuple(sorted(iso.reasons)),
+            iso.outstanding_reads,
+            iso.outstanding_writes,
+            iso._w_bursts_owed,
+            tuple(
+                w.occupancy for link in self._links for w in link.channels
+            ),
+            len(wb._aw_q),
+            len(wb._w_q),
+            wb._complete_bursts,
+            wb._forwarding is None,
+            wb._aw_forwarded,
+            len(sp._aw_fragments),
+            len(sp._ar_fragments),
+            len(sp._w_boundaries),
+            sp._w_beats_left,
+            mr.outstanding,
+            mr.stalled_this_cycle,
+            mr.transferring_this_cycle,
+            tuple(region.remaining for region in mr.regions),
+            tuple(
+                (len(ch._queue), len(ch._pending), ch._snapshot)
+                for ch in (*self.up.channels, *self.down.channels)
+            ),
+        )
+
+    def _counters(self) -> tuple:
+        """The linear per-cycle counters a frozen stretch accumulates."""
+        return (
+            self.isolation.blocked_aw,
+            self.isolation.blocked_ar,
+            self.mr.denied_by_budget,
+            self.mr.denied_by_throttle,
+            tuple(book.stall_cycles for book in self.mr.books),
+        )
+
+    def _check_frozen(self) -> bool:
+        if self.mr.transferring_this_cycle:
+            self._freeze_sig = None
+            return False
+        sig = self._signature()
+        counters = self._counters()
+        if self._freeze_sig == sig and self._freeze_counters is not None:
+            prev = self._freeze_counters
+            delta = (
+                counters[0] - prev[0],
+                counters[1] - prev[1],
+                counters[2] - prev[2],
+                counters[3] - prev[3],
+                tuple(a - b for a, b in zip(counters[4], prev[4])),
+            )
+            if delta == self._freeze_delta:
+                # Two consecutive identical deltas on an identical
+                # signature: the stretch is provably linear until a wake
+                # event (channel commit, config call, replenish edge).
+                self._frozen_since = self._cycle
+                self._frozen_applied_through = self._cycle
+                # Any enabled region's replenish can change admission
+                # (budget depletion or the throttle's budget-fraction
+                # cap), so the frozen sleep must end at the first edge.
+                edge = self.mr.next_replenish_edge(depleted_only=False)
+                if edge is not None:
+                    self.wake_at(edge)
+                return True
+            self._freeze_delta = delta
+        else:
+            self._freeze_sig = sig
+            self._freeze_delta = None
+        self._freeze_counters = counters
+        return False
+
+    def _catch_up_frozen(self, through_cycle: int) -> None:
+        """Replay the linear counters for cycles slept through frozen."""
+        if self._frozen_since is None:
+            return
+        n = through_cycle - self._frozen_applied_through
+        if n <= 0:
+            return
+        self._frozen_applied_through = through_cycle
+        d = self._freeze_delta
+        self.isolation.blocked_aw += d[0] * n
+        self.isolation.blocked_ar += d[1] * n
+        self.mr.denied_by_budget += d[2] * n
+        self.mr.denied_by_throttle += d[3] * n
+        for book, stalls in zip(self.mr.books, d[4]):
+            book.stall_cycles += stalls * n
 
     def _fsm(self) -> None:
         # User-commanded isolation.
@@ -240,3 +404,9 @@ class RealmUnit(Component):
         self.write_buffer.reset()
         self.mr.reset()
         self._pending_reconfig.clear()
+        self._cycle = -1
+        self._freeze_sig = None
+        self._freeze_counters = None
+        self._freeze_delta = None
+        self._frozen_since = None
+        self._frozen_applied_through = -1

@@ -12,6 +12,12 @@ handshake).  Semantics:
 * The default capacity of 2 behaves like a skid buffer: under simultaneous
   push/pop the channel sustains one beat per cycle, which is what a
   well-formed AXI register slice achieves.
+
+Channels are the wake-up fabric of the active-set kernel: a component that
+registered itself with :meth:`Channel.add_listener` (usually via
+:meth:`~repro.sim.kernel.Component.watch`) is woken whenever a commit
+changes observable channel state — new beats became visible to the
+receiver, or buffered space was freed for the sender.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Generic, Optional, TypeVar
 
-from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.kernel import Component, SimulationError, Simulator
 
 T = TypeVar("T")
 
@@ -30,6 +36,7 @@ class Channel(Generic[T]):
     __slots__ = (
         "name",
         "capacity",
+        "_sim",
         "_queue",
         "_pending",
         "_snapshot",
@@ -37,6 +44,8 @@ class Channel(Generic[T]):
         "_recv_total",
         "_busy_cycles",
         "_tracer",
+        "_recv_listeners",
+        "_send_listeners",
     )
 
     def __init__(
@@ -49,6 +58,7 @@ class Channel(Generic[T]):
             raise ValueError("channel capacity must be >= 1")
         self.name = name
         self.capacity = capacity
+        self._sim = sim
         self._queue: deque[T] = deque()
         self._pending: list[T] = []
         self._snapshot = 0
@@ -56,6 +66,8 @@ class Channel(Generic[T]):
         self._recv_total = 0
         self._busy_cycles = 0
         self._tracer = None
+        self._recv_listeners: tuple[Component, ...] = ()
+        self._send_listeners: tuple[Component, ...] = ()
         sim.register_channel(self)
 
     # ------------------------------------------------------------------
@@ -71,6 +83,7 @@ class Channel(Generic[T]):
             raise SimulationError(f"send on full channel {self.name!r}")
         self._pending.append(item)
         self._sent_total += 1
+        self._sim.mark_hot(self)
         if self._tracer is not None:
             self._tracer.on_send(self, item)
 
@@ -93,6 +106,7 @@ class Channel(Generic[T]):
             raise SimulationError(f"recv on empty channel {self.name!r}")
         self._recv_total += 1
         item = self._queue.popleft()
+        self._sim.mark_hot(self)
         if self._tracer is not None:
             self._tracer.on_recv(self, item)
         return item
@@ -100,15 +114,42 @@ class Channel(Generic[T]):
     # ------------------------------------------------------------------
     # kernel interface
     # ------------------------------------------------------------------
+    def add_listener(self, component: Component, events: str = "all") -> None:
+        """Wake *component* on commit-time state changes.
+
+        ``events`` selects which: ``"recv"`` wakes on new visible beats
+        (for the receiver), ``"send"`` on freed space (for the sender),
+        ``"all"`` on either.
+        """
+        if events in ("all", "recv") and component not in self._recv_listeners:
+            self._recv_listeners = self._recv_listeners + (component,)
+        if events in ("all", "send") and component not in self._send_listeners:
+            self._send_listeners = self._send_listeners + (component,)
+
     def commit(self) -> None:
         """Clock edge: make this cycle's sends visible, refresh snapshot."""
-        if self._pending:
+        pending = len(self._pending)
+        new_beats = False
+        if pending:
             self._queue.extend(self._pending)
             self._pending.clear()
+            new_beats = True  # now visible to the receiver
         occupancy = len(self._queue)
+        # The sender's headroom is snapshot + pending; it grows whenever a
+        # beat was consumed this cycle, even if a simultaneous send kept
+        # the queue length constant.
+        space_freed = occupancy < self._snapshot + pending
         self._snapshot = occupancy
         if occupancy:
             self._busy_cycles += 1
+        if new_beats and self._recv_listeners:
+            wake = self._sim.wake
+            for component in self._recv_listeners:
+                wake(component)
+        if space_freed and self._send_listeners:
+            wake = self._sim.wake
+            for component in self._send_listeners:
+                wake(component)
 
     def reset(self) -> None:
         self._queue.clear()
@@ -153,6 +194,10 @@ class ChannelPair:
     def __init__(self, sim: Simulator, name: str, capacity: int = 2) -> None:
         self.req: Channel = Channel(sim, f"{name}.req", capacity)
         self.rsp: Channel = Channel(sim, f"{name}.rsp", capacity)
+
+    @property
+    def channels(self) -> tuple[Channel, Channel]:
+        return (self.req, self.rsp)
 
 
 def drain(channel: Channel[T], limit: Optional[int] = None) -> list[T]:

@@ -1,4 +1,4 @@
-"""Cycle-based simulation kernel.
+"""Cycle-based simulation kernel with an active-set scheduler.
 
 The kernel drives a set of :class:`Component` objects with a shared clock.
 Every cycle has two phases:
@@ -13,10 +13,39 @@ Every cycle has two phases:
 Because channel occupancy that gates ``can_send`` is snapshotted at the
 commit, simulation results are deterministic and independent of the order in
 which components tick (see ``DESIGN.md`` section 4).
+
+Active-set scheduling
+---------------------
+
+Ticking every component every cycle wastes most of the work on quiescent
+systems (a throttled DMA, a cache with no misses, an unused manager).  The
+kernel therefore maintains an *active set*:
+
+* A component that returns ``True`` from :meth:`Component.is_idle` after its
+  tick is removed from the active set and no longer ticked.
+* Channels wake their listeners (registered via :meth:`Component.watch`)
+  whenever a commit changes observable state: new beats became visible, or
+  buffered space was freed for the sender.
+* A component may schedule a timed wake-up with :meth:`Component.wake_at`
+  (used e.g. by the REALM unit to wake exactly at a budget-replenish edge)
+  or be woken explicitly with :meth:`Component.wake` (used e.g. when a new
+  operation is scripted onto a sleeping driver).
+* When the active set is empty and no channel has uncommitted beats, the
+  simulator *fast-forwards* the clock to the next timed wake-up (or the end
+  of the run) instead of stepping cycle by cycle.
+
+The contract for :meth:`Component.is_idle` is strict: it must return
+``True`` only if ``tick`` would not change any observable state until one of
+the component's watched channels changes or a scheduled wake-up fires.  The
+default implementation returns ``False`` (always ticked), which is always
+correct; see ``DESIGN.md`` section 5 for the full contract.  Constructing a
+:class:`Simulator` with ``active_set=False`` restores the naive
+tick-everything kernel, which is useful for equivalence testing.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Iterable, Optional
 
 
@@ -31,12 +60,68 @@ class Component:
 
     def __init__(self, name: str = "") -> None:
         self.name = name or type(self).__name__
+        self._sim: Optional["Simulator"] = None
 
     def tick(self, cycle: int) -> None:
         """Evaluate one clock cycle.  Override in subclasses."""
 
     def reset(self) -> None:
         """Return the component to its post-reset state.  Optional."""
+
+    # ------------------------------------------------------------------
+    # activity contract
+    # ------------------------------------------------------------------
+    def is_idle(self) -> bool:
+        """True if ``tick`` is a no-op until a watched channel changes or a
+        scheduled wake-up fires.  The default keeps the component always
+        active, which is always correct."""
+        return False
+
+    def watch(self, *bundles, role: str = "both") -> None:
+        """Subscribe to wake-up events from channels or channel bundles.
+
+        Accepts :class:`~repro.sim.channel.Channel` objects or anything
+        with a ``channels`` tuple of them (e.g. ``AxiBundle``).  Safe to
+        call from ``__init__`` before the component is added to a
+        simulator.
+
+        *role* refines which commit events wake this component on an AXI
+        bundle: a ``"device"`` receives requests (woken by new aw/w/ar
+        beats, and by freed space on b/r it sends on), a ``"manager"``
+        the opposite.  ``"both"`` subscribes to every event, which is
+        always safe.
+        """
+        for endpoint in bundles:
+            channels = getattr(endpoint, "channels", None)
+            if channels is None:
+                endpoint.add_listener(self)
+                continue
+            requests = getattr(endpoint, "request_channels", None)
+            if role == "both" or requests is None:
+                for channel in channels:
+                    channel.add_listener(self)
+            elif role == "device":
+                for channel in requests:
+                    channel.add_listener(self, "recv")
+                for channel in endpoint.response_channels:
+                    channel.add_listener(self, "send")
+            elif role == "manager":
+                for channel in requests:
+                    channel.add_listener(self, "send")
+                for channel in endpoint.response_channels:
+                    channel.add_listener(self, "recv")
+            else:  # pragma: no cover - config error
+                raise ValueError(f"unknown watch role {role!r}")
+
+    def wake(self) -> None:
+        """(Re-)insert this component into its simulator's active set."""
+        if self._sim is not None:
+            self._sim.wake(self)
+
+    def wake_at(self, cycle: int) -> None:
+        """Schedule a wake-up at *cycle* (no-op if not yet registered)."""
+        if self._sim is not None:
+            self._sim.wake_at(self, cycle)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -54,23 +139,42 @@ class Simulator:
         sim = Simulator()
         sim.add(my_component)
         sim.run(1000)
+
+    With ``active_set=True`` (the default) quiescent components are
+    skipped and fully-idle stretches are fast-forwarded; pass
+    ``active_set=False`` for the naive tick-everything kernel.
     """
 
-    def __init__(self, name: str = "sim") -> None:
+    def __init__(self, name: str = "sim", active_set: bool = True) -> None:
         self.name = name
         self.cycle = 0
         self._components: list[Component] = []
         self._channels: list = []  # list[Channel]; untyped to avoid cycle
         self._watchers: list[Callable[[int], None]] = []
+        self._active_set_enabled = active_set
+        self._active: set[Component] = set()
+        self._hot_channels: set = set()  # channels that need a commit
+        self._wake_heap: list[tuple[int, int, Component]] = []
+        self._wake_seq = 0
+        # Introspection counters.
+        self.ticks_executed = 0
+        self.ticks_skipped = 0
+        self.cycles_fast_forwarded = 0
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
+    @property
+    def active_set_enabled(self) -> bool:
+        return self._active_set_enabled
+
     def add(self, component: Component) -> Component:
         """Register *component*; returns it for chaining."""
         if component in self._components:
             raise SimulationError(f"component {component.name!r} added twice")
         self._components.append(component)
+        component._sim = self
+        self._active.add(component)
         return component
 
     def add_all(self, components: Iterable[Component]) -> None:
@@ -89,22 +193,128 @@ class Simulator:
         self._watchers.append(fn)
 
     # ------------------------------------------------------------------
+    # active-set bookkeeping
+    # ------------------------------------------------------------------
+    def wake(self, component: Component) -> None:
+        """Make *component* tick again from the next tick phase onward."""
+        if component._sim is self:
+            self._active.add(component)
+
+    def wake_at(self, component: Component, cycle: int) -> None:
+        """Schedule *component* to re-enter the active set at *cycle*."""
+        if component._sim is not self:
+            return
+        if cycle <= self.cycle:
+            self._active.add(component)
+            return
+        self._wake_seq += 1
+        heapq.heappush(self._wake_heap, (cycle, self._wake_seq, component))
+
+    def mark_hot(self, channel) -> None:
+        """Called by channels on send/recv; schedules the commit."""
+        self._hot_channels.add(channel)
+
+    def _process_due_wakes(self, cycle: int) -> None:
+        heap = self._wake_heap
+        while heap and heap[0][0] <= cycle:
+            _, _, component = heapq.heappop(heap)
+            if component._sim is self:
+                self._active.add(component)
+
+    def _quiescent(self) -> bool:
+        """True when nothing will change until a timed wake-up (or never)."""
+        if not self._active_set_enabled or self._active:
+            return False
+        return all(not ch._pending for ch in self._hot_channels)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by exactly one cycle."""
         cycle = self.cycle
-        for component in self._components:
-            component.tick(cycle)
-        for channel in self._channels:
-            channel.commit()
+        if self._active_set_enabled:
+            if self._wake_heap:
+                self._process_due_wakes(cycle)
+            active = self._active
+            if active:
+                for component in self._components:
+                    if component in active:
+                        component.tick(cycle)
+                        self.ticks_executed += 1
+                        if component.is_idle():
+                            active.discard(component)
+                    else:
+                        self.ticks_skipped += 1
+            else:
+                self.ticks_skipped += len(self._components)
+            hot = self._hot_channels
+            if hot:
+                cold = None
+                for channel in hot:
+                    channel.commit()
+                    if not channel._queue:
+                        if cold is None:
+                            cold = [channel]
+                        else:
+                            cold.append(channel)
+                if cold is not None:
+                    hot.difference_update(cold)
+        else:
+            for component in self._components:
+                component.tick(cycle)
+                self.ticks_executed += 1
+            for channel in self._channels:
+                channel.commit()
         self.cycle = cycle + 1
         for watcher in self._watchers:
             watcher(cycle)
 
+    def _fast_forward(self, target: int) -> None:
+        """Jump the clock to *target* while the system is quiescent.
+
+        Channels keep their per-cycle ``busy_cycles`` accounting and
+        watchers still observe every skipped cycle, so the jump is
+        invisible to everything except wall-clock time.
+        """
+        start = self.cycle
+        if self._watchers:
+            # Watchers may wake components (e.g. by scripting new work);
+            # stop forwarding as soon as that happens.
+            cycle = start
+            while cycle < target:
+                self.cycle = cycle + 1
+                for watcher in self._watchers:
+                    watcher(cycle)
+                cycle += 1
+                if self._active or any(
+                    ch._pending for ch in self._hot_channels
+                ):
+                    break
+        else:
+            self.cycle = target
+        skipped = self.cycle - start
+        if skipped:
+            for channel in self._hot_channels:
+                if channel._queue:
+                    channel._busy_cycles += skipped
+            self.cycles_fast_forwarded += skipped
+            self.ticks_skipped += skipped * len(self._components)
+
+    def _next_stop(self, limit: int) -> int:
+        if self._wake_heap:
+            return min(limit, self._wake_heap[0][0])
+        return limit
+
     def run(self, cycles: int) -> int:
         """Run for *cycles* cycles; returns the new current cycle."""
-        for _ in range(cycles):
+        end = self.cycle + cycles
+        while self.cycle < end:
+            if self._quiescent():
+                target = self._next_stop(end)
+                if target > self.cycle:
+                    self._fast_forward(target)
+                    continue
             self.step()
         return self.cycle
 
@@ -118,6 +328,12 @@ class Simulator:
 
         Raises :class:`SimulationError` if *max_cycles* elapse first, which
         keeps deadlocked test benches from hanging silently.
+
+        *predicate* must be a function of simulation state (component or
+        channel observables), not of the cycle counter: when the system is
+        quiescent the kernel fast-forwards, so a predicate that flips purely
+        with ``sim.cycle`` may be observed late.  Use :meth:`run` for
+        time-based waits.
         """
         deadline = self.cycle + max_cycles
         while not predicate():
@@ -125,6 +341,11 @@ class Simulator:
                 raise SimulationError(
                     f"timeout after {max_cycles} cycles waiting for {what}"
                 )
+            if self._quiescent():
+                target = self._next_stop(deadline)
+                if target > self.cycle:
+                    self._fast_forward(target)
+                    continue
             self.step()
         return self.cycle
 
@@ -135,6 +356,12 @@ class Simulator:
             component.reset()
         for channel in self._channels:
             channel.reset()
+        self._active = set(self._components)
+        self._wake_heap.clear()
+        self._hot_channels.clear()
+        self.ticks_executed = 0
+        self.ticks_skipped = 0
+        self.cycles_fast_forwarded = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -142,6 +369,11 @@ class Simulator:
     @property
     def components(self) -> tuple[Component, ...]:
         return tuple(self._components)
+
+    @property
+    def active_components(self) -> tuple[Component, ...]:
+        """Components currently in the active set (in registration order)."""
+        return tuple(c for c in self._components if c in self._active)
 
     def find(self, name: str) -> Optional[Component]:
         """Return the first component whose name matches, or ``None``."""

@@ -6,9 +6,11 @@ port, and an (optional) SoC-level iDMA port, all meeting in one AXI4
 crossbar.  A REALM unit guards every critical manager; the units share a
 configuration register file protected by the bus guard.
 
-Traffic generators (core model, DMA engine, attackers) attach to the
-manager-side bundles exposed as :attr:`core_port`, :attr:`dma_port`, and
-:attr:`idma_port`.
+The platform is a preset over :class:`repro.system.SystemBuilder` — all
+wiring goes through the same declarative path that tests, benchmarks, and
+examples use.  Traffic generators (core model, DMA engine, attackers)
+attach to the manager-side bundles exposed as :attr:`core_port`,
+:attr:`dma_port`, and :attr:`idma_port`.
 """
 
 from __future__ import annotations
@@ -16,16 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.axi.ports import AxiBundle
-from repro.interconnect.address_map import AddressMap
-from repro.interconnect.crossbar import AxiCrossbar
-from repro.mem.cache import CacheLLC
-from repro.mem.dram import DramModel, DramTiming
-from repro.mem.sram import SramMemory
+from repro.mem.dram import DramTiming
 from repro.realm.bus_guard import BusGuard
-from repro.realm.register_file import RealmRegisterFile
-from repro.realm.unit import RealmUnit
 from repro.realm.config import RealmUnitParams
+from repro.realm.unit import RealmUnit
 from repro.sim.kernel import Simulator
+from repro.system.builder import SystemBuilder
 
 # Cheshire-like memory map (sizes scaled down for simulation speed).
 DRAM_BASE = 0x8000_0000
@@ -62,93 +60,49 @@ class CheshireSoC:
         self.config = config or CheshireConfig()
         cfg = self.config
 
-        # Manager-side bundles (what traffic generators drive) and the
-        # crossbar-side bundles (downstream of the REALM units).
-        self.manager_ports: dict[str, AxiBundle] = {}
-        self.realm_units: dict[str, RealmUnit] = {}
-        xbar_mgr_ports: list[AxiBundle] = []
+        builder = SystemBuilder(sim, name="cheshire").with_crossbar()
         for name, protected in cfg.managers.items():
-            up = AxiBundle(sim, f"{name}.mgr")
-            self.manager_ports[name] = up
-            if protected:
-                down = AxiBundle(sim, f"{name}.xbar")
-                unit = sim.add(
-                    RealmUnit(up, down, params=cfg.realm_params,
-                              name=f"realm.{name}")
-                )
-                self.realm_units[name] = unit
-                xbar_mgr_ports.append(down)
-            else:
-                xbar_mgr_ports.append(up)
+            builder.add_manager(
+                name,
+                protect=protected,
+                realm_params=cfg.realm_params if protected else None,
+            )
+        # The LLC front port has a deeper request queue (a real LLC accepts
+        # several outstanding requests), which is what lets a saturating
+        # DMA stream queue up ahead of a latency-critical core access.
+        builder.add_cached_dram(
+            "dram",
+            base=DRAM_BASE,
+            size=cfg.dram_size,
+            timing=cfg.dram_timing,
+            cache_name="llc",
+            llc_capacity=cfg.llc_capacity,
+            llc_ways=cfg.llc_ways,
+            line_bytes=cfg.llc_line_bytes,
+            hit_latency=cfg.llc_hit_latency,
+            front_capacity=4,
+        )
+        builder.add_sram(
+            "spm",
+            base=SPM_BASE,
+            size=cfg.spm_size,
+            read_latency=cfg.spm_latency,
+            write_latency=cfg.spm_latency,
+        )
+        builder.add_sram("periph", base=PERIPH_BASE, size=cfg.periph_size)
+        self.system = builder.build()
 
-        # Subordinates: LLC (fronting DRAM), SPM, peripheral stub.  The LLC
-        # front port has a deeper request queue (a real LLC accepts several
-        # outstanding requests), which is what lets a saturating DMA stream
-        # queue up ahead of a latency-critical core access.
-        llc_front = AxiBundle(sim, "llc.front", capacity=4)
-        llc_back = AxiBundle(sim, "llc.back")
-        spm_port = AxiBundle(sim, "spm")
-        periph_port = AxiBundle(sim, "periph")
-
-        amap = AddressMap()
-        amap.add_range(DRAM_BASE, cfg.dram_size, port=0, name="dram")
-        amap.add_range(SPM_BASE, cfg.spm_size, port=1, name="spm")
-        amap.add_range(PERIPH_BASE, cfg.periph_size, port=2, name="periph")
-        self.addr_map = amap
-
-        self.xbar = sim.add(
-            AxiCrossbar(
-                xbar_mgr_ports,
-                [llc_front, spm_port, periph_port],
-                amap,
-                name="xbar",
-            )
-        )
-        self.llc = sim.add(
-            CacheLLC(
-                llc_front,
-                llc_back,
-                line_bytes=cfg.llc_line_bytes,
-                ways=cfg.llc_ways,
-                capacity=cfg.llc_capacity,
-                hit_latency=cfg.llc_hit_latency,
-                name="llc",
-            )
-        )
-        self.dram = sim.add(
-            DramModel(
-                llc_back,
-                base=DRAM_BASE,
-                size=cfg.dram_size,
-                timing=cfg.dram_timing,
-                name="dram",
-            )
-        )
-        self.spm = sim.add(
-            SramMemory(
-                spm_port,
-                base=SPM_BASE,
-                size=cfg.spm_size,
-                read_latency=cfg.spm_latency,
-                write_latency=cfg.spm_latency,
-                name="spm",
-            )
-        )
-        self.periph = sim.add(
-            SramMemory(
-                periph_port, base=PERIPH_BASE, size=cfg.periph_size,
-                name="periph",
-            )
-        )
-
-        # Shared configuration interface with bus guard (Figure 5).
-        self.bus_guard = BusGuard()
-        if self.realm_units:
-            self.regfile = RealmRegisterFile(
-                list(self.realm_units.values()), guard=self.bus_guard
-            )
-        else:
-            self.regfile = None
+        # Flat attribute API kept from the hand-wired model.
+        self.manager_ports: dict[str, AxiBundle] = self.system.ports
+        self.realm_units: dict[str, RealmUnit] = self.system.realms
+        self.addr_map = self.system.addr_map
+        self.xbar = self.system.interconnect
+        self.llc = self.system.caches["llc"]
+        self.dram = self.system.memories["dram"]
+        self.spm = self.system.memories["spm"]
+        self.periph = self.system.memories["periph"]
+        self.bus_guard = self.system.bus_guard or BusGuard()
+        self.regfile = self.system.regfile
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -177,14 +131,7 @@ class CheshireSoC:
         The paper's Figure 6 experiments run with a hot LLC ("assuming the
         LLC is hot"); this mirrors the warm-up phase of the FPGA runs.
         """
-        line = self.config.llc_line_bytes
-        start = addr & ~(line - 1)
-        end = addr + size
-        a = start
-        while a < end:
-            data = self.dram.store.read(a, line)
-            self.llc.install_line(a, data)
-            a += line
+        self.system.warm_cache(addr, size, cache="llc")
 
     def unit_index(self, name: str) -> int:
         """Index of *name*'s REALM unit within the register file."""
@@ -192,4 +139,4 @@ class CheshireSoC:
 
     def idle(self) -> bool:
         """True when no beat is buffered on any manager port."""
-        return all(port.idle() for port in self.manager_ports.values())
+        return self.system.idle()

@@ -1,0 +1,17 @@
+"""Declarative system construction (managers, regulation, interconnect,
+memory backends) — the single wiring path shared by tests, benchmarks,
+examples, and the experiment runners."""
+
+from repro.system.builder import (
+    ManagerSpec,
+    MemorySpec,
+    System,
+    SystemBuilder,
+)
+
+__all__ = [
+    "ManagerSpec",
+    "MemorySpec",
+    "System",
+    "SystemBuilder",
+]

@@ -34,11 +34,13 @@ class CoreModel(Component):
     ) -> None:
         super().__init__(name)
         self.port = port
+        self.watch(port, role="manager")
         self.trace = trace
         self._txns = txn_counter or TxnCounter()
         self._index = 0
         self._state = "gap"  # gap | issue | wait_w | wait_resp | done
         self._gap_left = trace.ops[0].gap if trace.ops else 0
+        self._napping = False  # sleeping through a compute gap
         self._w_sent = 0
         self._issue_cycle = 0
         self._start_cycle: Optional[int] = None
@@ -76,11 +78,20 @@ class CoreModel(Component):
     def tick(self, cycle: int) -> None:
         if self._state == "done":
             return
+        self._napping = False
         if self._start_cycle is None:
             self._start_cycle = cycle
         if self._state == "gap":
             if self._gap_left > 0:
                 self._gap_left -= 1
+                if self._gap_left > 0 and self._can_nap():
+                    # The core is blocking (no outstanding access during a
+                    # compute gap), so the remaining gap ticks are pure
+                    # countdowns: sleep through them and resume exactly at
+                    # the cycle the naive kernel would issue.
+                    self.wake_at(cycle + 1 + self._gap_left)
+                    self._gap_left = 0
+                    self._napping = True
                 return
             self._state = "issue"
         op = self.trace.ops[self._index]
@@ -90,6 +101,12 @@ class CoreModel(Component):
             self._stream_w(op)
         if self._state == "wait_resp":
             self._collect(op, cycle)
+
+    def _can_nap(self) -> bool:
+        return self._sim is not None and self._sim.active_set_enabled
+
+    def is_idle(self) -> bool:
+        return self._state == "done" or self._napping
 
     def _issue(self, op: TraceOp, cycle: int) -> None:
         if op.kind == "read":
@@ -153,6 +170,7 @@ class CoreModel(Component):
         self._index = 0
         self._state = "gap"
         self._gap_left = self.trace.ops[0].gap if self.trace.ops else 0
+        self._napping = False
         self._w_sent = 0
         self._start_cycle = None
         self.latencies = []

@@ -41,6 +41,7 @@ class DmaEngine(Component):
         if n_buffers < 1:
             raise ValueError("need at least one buffer")
         self.port = port
+        self.watch(port, role="manager")
         self.src_base = src_base
         self.src_size = src_size
         self.dst_base = dst_base
@@ -86,12 +87,38 @@ class DmaEngine(Component):
 
     def start(self) -> None:
         self.enabled = True
+        self.wake()
 
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
         self._tick_read()
         self._tick_write()
         self._drain_b()
+
+    def is_idle(self) -> bool:
+        if self._rd_gap or self._wr_gap:
+            return False  # counting down an inter-burst gap
+        if (
+            self.enabled
+            and self._rd_inflight + len(self._full_buffers) < self.n_buffers
+            and self.port.ar.can_send()
+        ):
+            return False  # a read burst would be issued this cycle
+        if self.port.r.can_recv() or self.port.b.can_recv():
+            return False
+        if self._wr_active is None:
+            if self._full_buffers:
+                return False  # a write burst would start this cycle
+        else:
+            if not self._wr_aw_sent:
+                if self.port.aw.can_send():
+                    return False
+            elif (
+                self._wr_beats_sent < self.burst_beats
+                and self.port.w.can_send()
+            ):
+                return False
+        return True
 
     # -- read pipe: fill buffers from the source window ----------------
     def _tick_read(self) -> None:

@@ -61,6 +61,7 @@ class ManagerDriver(Component):
     ) -> None:
         super().__init__(name)
         self.port = port
+        self.watch(port, role="manager")
         self._txns = txn_counter or TxnCounter()
         self._queue: deque[Op] = deque()
         self._current: Optional[Op] = None
@@ -78,6 +79,7 @@ class ManagerDriver(Component):
     def read(self, addr: int, beats: int = 1, size: int = 3, **kw) -> Op:
         op = Op(kind="read", addr=addr, beats=beats, size=size, **kw)
         self._queue.append(op)
+        self.wake()
         return op
 
     def write(
@@ -90,6 +92,7 @@ class ManagerDriver(Component):
     ) -> Op:
         op = Op(kind="write", addr=addr, beats=beats, size=size, data=data, **kw)
         self._queue.append(op)
+        self.wake()
         return op
 
     def atomic(
@@ -109,6 +112,7 @@ class ManagerDriver(Component):
         out = Op(kind="write", addr=addr, beats=1, size=size, data=operand,
                  atop=op, **kw)
         self._queue.append(out)
+        self.wake()
         return out
 
     @property
@@ -131,6 +135,10 @@ class ManagerDriver(Component):
             self._advance_read(op, cycle)
         else:
             self._advance_write(op, cycle)
+
+    def is_idle(self) -> bool:
+        # Scripting a new operation wakes the driver again.
+        return self._current is None and not self._queue
 
     def reset(self) -> None:
         self._queue.clear()

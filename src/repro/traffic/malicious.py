@@ -33,6 +33,7 @@ class StallingWriter(Component):
     ) -> None:
         super().__init__(name)
         self.port = port
+        self.watch(port, role="manager")
         self.target = target
         self.beats = beats
         self.size = size
@@ -48,6 +49,10 @@ class StallingWriter(Component):
         # Never send W data; drain any responses defensively.
         while self.port.b.can_recv():
             self.port.b.recv()
+
+    def is_idle(self) -> bool:
+        wants_aw = (self.aws_sent == 0 or self.repeat) and self.port.aw.can_send()
+        return not wants_aw and not self.port.b.can_recv()
 
 
 class BandwidthHog(Component):
@@ -65,6 +70,7 @@ class BandwidthHog(Component):
     ) -> None:
         super().__init__(name)
         self.port = port
+        self.watch(port, role="manager")
         self.target_base = target_base
         self.window = window
         self.beats = beats
@@ -90,6 +96,13 @@ class BandwidthHog(Component):
             self.bytes_stolen += bytes_per_beat(self.size)
             if beat.last:
                 self._outstanding -= 1
+
+    def is_idle(self) -> bool:
+        wants_ar = (
+            self._outstanding < self.max_outstanding
+            and self.port.ar.can_send()
+        )
+        return not wants_ar and not self.port.r.can_recv()
 
 
 class TricklingWriter(Component):

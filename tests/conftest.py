@@ -1,14 +1,14 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Importable helpers (system recipes) live in ``tests/helpers.py`` — see the
+note there about why they must not live in a ``conftest.py``.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.axi import AxiBundle
-from repro.interconnect import AddressMap, AxiCrossbar
-from repro.mem import SramMemory
 from repro.sim import Simulator
-from repro.traffic.driver import ManagerDriver
 
 
 @pytest.fixture
@@ -16,74 +16,7 @@ def sim():
     return Simulator()
 
 
-def build_simple_system(
-    sim: Simulator,
-    n_managers: int = 2,
-    sram_size: int = 0x1000,
-    read_latency: int = 1,
-    write_latency: int = 1,
-):
-    """One SRAM behind a crossbar, driven by *n_managers* scripted drivers.
-
-    Returns ``(drivers, crossbar, sram)``.  The SRAM occupies
-    ``[0x0, sram_size)``; everything above decodes to DECERR.
-    """
-    mgr_ports = [AxiBundle(sim, f"m{i}") for i in range(n_managers)]
-    sub_port = AxiBundle(sim, "s0")
-    amap = AddressMap()
-    amap.add_range(0x0, sram_size, port=0, name="sram")
-    xbar = sim.add(AxiCrossbar(mgr_ports, [sub_port], amap))
-    sram = sim.add(
-        SramMemory(
-            sub_port,
-            base=0x0,
-            size=sram_size,
-            read_latency=read_latency,
-            write_latency=write_latency,
-        )
-    )
-    drivers = [
-        sim.add(ManagerDriver(mgr_ports[i], name=f"drv{i}"))
-        for i in range(n_managers)
-    ]
-    return drivers, xbar, sram
-
-
-def build_realm_system(
-    sim: Simulator,
-    params=None,
-    sram_size: int = 0x10000,
-    read_latency: int = 1,
-    write_latency: int = 1,
-):
-    """driver -> REALM unit -> SRAM (no crossbar): the unit under test.
-
-    Returns ``(driver, realm, sram)``.
-    """
-    from repro.realm import RealmUnit, RealmUnitParams
-
-    up = AxiBundle(sim, "mgr")
-    down = AxiBundle(sim, "mem")
-    realm = sim.add(
-        RealmUnit(up, down, params=params or RealmUnitParams(), name="realm0")
-    )
-    sram = sim.add(
-        SramMemory(
-            down,
-            base=0x0,
-            size=sram_size,
-            read_latency=read_latency,
-            write_latency=write_latency,
-        )
-    )
-    driver = sim.add(ManagerDriver(up, name="drv"))
-    return driver, realm, sram
-
-
-def run_all(sim: Simulator, drivers, max_cycles: int = 100_000):
-    """Run until every driver's script has completed."""
-    sim.run_until(
-        lambda: all(d.idle for d in drivers),
-        max_cycles=max_cycles,
-        what="drivers to finish",
-    )
+@pytest.fixture
+def naive_sim():
+    """The pre-refactor tick-everything kernel, for equivalence checks."""
+    return Simulator(active_set=False)

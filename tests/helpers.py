@@ -1,0 +1,79 @@
+"""Importable test helpers (shared system recipes).
+
+Lives outside ``conftest.py`` on purpose: pytest imports every
+``conftest.py`` under a single ``conftest`` module name, so helpers that
+tests import *by name* must not live there (``benchmarks/conftest.py``
+used to shadow ``tests/conftest.py`` and break collection).
+
+All recipes build through :class:`repro.system.SystemBuilder`.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Simulator
+from repro.system import SystemBuilder
+
+
+def build_simple_system(
+    sim: Simulator,
+    n_managers: int = 2,
+    sram_size: int = 0x1000,
+    read_latency: int = 1,
+    write_latency: int = 1,
+):
+    """One SRAM behind a crossbar, driven by *n_managers* scripted drivers.
+
+    Returns ``(drivers, crossbar, sram)``.  The SRAM occupies
+    ``[0x0, sram_size)``; everything above decodes to DECERR.
+    """
+    builder = SystemBuilder(sim).with_crossbar()
+    for i in range(n_managers):
+        builder.add_manager(f"m{i}", driver=f"drv{i}")
+    builder.add_sram(
+        "sram",
+        base=0x0,
+        size=sram_size,
+        read_latency=read_latency,
+        write_latency=write_latency,
+    )
+    system = builder.build()
+    return list(system.drivers.values()), system.interconnect, system.memory("sram")
+
+
+def build_realm_system(
+    sim: Simulator,
+    params=None,
+    sram_size: int = 0x10000,
+    read_latency: int = 1,
+    write_latency: int = 1,
+):
+    """driver -> REALM unit -> SRAM (no crossbar): the unit under test.
+
+    Returns ``(driver, realm, sram)``.
+    """
+    from repro.realm import RealmUnitParams
+
+    system = (
+        SystemBuilder(sim)
+        .with_direct()
+        .add_manager("mgr", protect=True,
+                     realm_params=params or RealmUnitParams(), driver="drv")
+        .add_sram(
+            "mem",
+            base=0x0,
+            size=sram_size,
+            read_latency=read_latency,
+            write_latency=write_latency,
+        )
+        .build()
+    )
+    return system.driver("mgr"), system.realm("mgr"), system.memory("mem")
+
+
+def run_all(sim: Simulator, drivers, max_cycles: int = 100_000):
+    """Run until every driver's script has completed."""
+    sim.run_until(
+        lambda: all(d.idle for d in drivers),
+        max_cycles=max_cycles,
+        what="drivers to finish",
+    )

@@ -12,7 +12,7 @@ from repro.mem import SramMemory
 from repro.sim import Simulator
 from repro.traffic import ManagerDriver
 
-from conftest import build_realm_system
+from helpers import build_realm_system
 
 
 def make():

@@ -9,7 +9,7 @@ from repro.mem import SramMemory
 from repro.sim import Component, Simulator
 from repro.traffic.driver import ManagerDriver
 
-from conftest import build_simple_system, run_all
+from helpers import build_simple_system, run_all
 
 
 def build_two_sub_system(sim, n_managers=2):

@@ -12,7 +12,7 @@ from repro.realm import (
 )
 from repro.realm import register_file as rf
 
-from conftest import build_realm_system
+from helpers import build_realm_system
 
 
 HWROT_TID = 0x10

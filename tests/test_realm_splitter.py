@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.axi import BurstType
 from repro.sim import Simulator
 
-from conftest import build_realm_system
+from helpers import build_realm_system
 
 
 def finish(sim, drv, max_cycles=100_000):

@@ -13,7 +13,7 @@ from repro.mem import SramMemory
 from repro.sim import Simulator
 from repro.traffic.driver import ManagerDriver
 
-from conftest import build_realm_system
+from helpers import build_realm_system
 
 
 def finish(sim, drv, max_cycles=100_000):

@@ -7,7 +7,7 @@ from repro.realm import register_file as rf
 from repro.realm.regbus import RegbusAdapter, RegbusRequester
 from repro.sim import Simulator
 
-from conftest import build_realm_system
+from helpers import build_realm_system
 
 HWROT = 0x1
 CVA6 = 0x2

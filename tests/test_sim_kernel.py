@@ -87,3 +87,137 @@ def test_channel_registered_with_simulator_commits():
     assert not ch.can_recv()  # not committed yet
     sim.step()
     assert ch.can_recv()
+
+
+# ----------------------------------------------------------------------
+# active-set scheduling
+# ----------------------------------------------------------------------
+class Sleeper(Component):
+    """Ticks only while it has work; sleeps when its inbox is empty."""
+
+    def __init__(self, inbox):
+        super().__init__("sleeper")
+        self.inbox = inbox
+        inbox.add_listener(self, "recv")  # pure receiver
+        self.ticks = 0
+        self.got = []
+
+    def tick(self, cycle):
+        self.ticks += 1
+        while self.inbox.can_recv():
+            self.got.append((cycle, self.inbox.recv()))
+
+    def is_idle(self):
+        return not self.inbox.can_recv()
+
+
+def test_idle_component_is_not_ticked():
+    sim = Simulator()
+    ch = Channel(sim, "inbox")
+    sleeper = sim.add(Sleeper(ch))
+    sim.run(10)
+    assert sleeper.ticks == 1  # initial tick, then asleep
+    assert sleeper not in sim.active_components
+
+
+def test_channel_event_wakes_receiver_next_cycle():
+    sim = Simulator()
+    ch = Channel(sim, "inbox")
+    sleeper = sim.add(Sleeper(ch))
+    sim.run(5)
+    ch.send("ping")  # external event while the component sleeps
+    sim.run(5)
+    # The beat committed at cycle 5 and was consumed in cycle 6's tick,
+    # exactly as if the component had been ticked every cycle.
+    assert sleeper.got == [(6, "ping")]
+    assert sleeper.ticks == 2
+
+
+def test_wake_at_schedules_timed_wakeup():
+    sim = Simulator()
+
+    class Timed(Component):
+        def __init__(self):
+            super().__init__("timed")
+            self.tick_cycles = []
+
+        def tick(self, cycle):
+            self.tick_cycles.append(cycle)
+            self.wake_at(cycle + 7)
+
+        def is_idle(self):
+            return True
+
+    timed = sim.add(Timed())
+    sim.run(30)
+    assert timed.tick_cycles == [0, 7, 14, 21, 28]
+
+
+def test_fast_forward_skips_quiescent_stretches():
+    sim = Simulator()
+    ch = Channel(sim, "inbox")
+    sim.add(Sleeper(ch))
+    sim.run(10_000)
+    assert sim.cycle == 10_000
+    assert sim.cycles_fast_forwarded > 9_000
+
+
+def test_fast_forward_still_runs_watchers_every_cycle():
+    sim = Simulator()
+    seen = []
+    sim.add_watcher(seen.append)
+    sim.run(1000)
+    assert seen == list(range(1000))
+
+
+def test_fast_forward_preserves_channel_busy_cycles():
+    sim = Simulator()
+    ch = Channel(sim, "inbox", capacity=4)
+    sim.add(Sleeper(ch))
+
+    class KeepOne(Component):
+        """Holds one committed beat in a channel nobody consumes."""
+
+    stale = Channel(sim, "stale")
+    stale.send("x")
+    sim.run(100)
+    assert stale.busy_cycles == 100  # accounted across the fast-forward
+
+
+def test_run_until_timeout_with_quiescent_system():
+    sim = Simulator()
+    ch = Channel(sim, "inbox")
+    sim.add(Sleeper(ch))
+    with pytest.raises(SimulationError, match="timeout"):
+        sim.run_until(lambda: False, max_cycles=1_000_000, what="never")
+    assert sim.cycle == 1_000_000  # fast-forwarded to the deadline
+
+
+def test_naive_mode_ticks_everything():
+    sim = Simulator(active_set=False)
+    ch = Channel(sim, "inbox")
+    sleeper = sim.add(Sleeper(ch))
+    sim.run(10)
+    assert sleeper.ticks == 10
+    assert sim.cycles_fast_forwarded == 0
+
+
+def test_default_component_stays_active():
+    # Components without an is_idle override must tick every cycle.
+    sim = Simulator()
+    counter = sim.add(Counter())
+    ch = Channel(sim, "inbox")
+    sim.add(Sleeper(ch))
+    sim.run(50)
+    assert counter.ticks == 50
+
+
+def test_reset_reactivates_sleepers():
+    sim = Simulator()
+    ch = Channel(sim, "inbox")
+    sleeper = sim.add(Sleeper(ch))
+    sim.run(10)
+    sim.reset()
+    assert sleeper in sim.active_components
+    sim.run(10)
+    assert sim.cycle == 10
