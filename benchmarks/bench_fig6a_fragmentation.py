@@ -6,51 +6,46 @@ single-source performance with >= 264-cycle accesses; fragmentation 1
 restores 68.2 % with < 10-cycle accesses.  We reproduce the shape: a
 collapse in the uncontrolled case and a monotone recovery toward
 near-baseline as fragments shrink.
+
+Runs the shipped declarative campaign (``scenarios/fig6a.toml``) with
+the sweep widened to the full 9-point fragmentation axis — the same
+path ``python -m repro run scenarios/fig6a.toml`` exercises.
 """
+
+from pathlib import Path
 
 import pytest
 
 from _bench_utils import emit
+from repro.scenario import apply_overrides, expand, load_file, run_campaign, run_point
 
+SCENARIO = Path(__file__).resolve().parent.parent / "scenarios" / "fig6a.toml"
 FRAGMENTATIONS = (256, 128, 64, 32, 16, 8, 4, 2, 1)
 
 
 @pytest.fixture(scope="module")
-def fig6a_rows(experiment):
-    baseline = experiment.run_single_source()
-    rows = [
-        (
-            "single-source",
-            100.0,
-            baseline.latency.maximum,
-            baseline.latency.mean,
-        )
+def fig6a_spec():
+    return apply_overrides(
+        load_file(SCENARIO),
+        {
+            "campaign.sweep.0.values": list(FRAGMENTATIONS),
+            "campaign.sweep.0.labels": [f"frag={f}" for f in FRAGMENTATIONS],
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def fig6a_rows(fig6a_spec):
+    result = run_campaign(fig6a_spec)
+    return [
+        (p.label, p.perf_percent, p.worst_case_latency, p.latency.mean)
+        for p in result.points
     ]
-    nores = experiment.run_without_reservation()
-    rows.append(
-        (
-            "without-reservation",
-            nores.perf_percent,
-            nores.worst_case_latency,
-            nores.latency.mean,
-        )
-    )
-    for result in experiment.sweep_fragmentation(FRAGMENTATIONS):
-        rows.append(
-            (
-                result.label,
-                result.perf_percent,
-                result.worst_case_latency,
-                result.latency.mean,
-            )
-        )
-    return rows
 
 
-def test_fig6a_fragmentation_sweep(benchmark, experiment, fig6a_rows):
-    benchmark.pedantic(
-        lambda: experiment.run(fragmentation=1), rounds=1, iterations=1
-    )
+def test_fig6a_fragmentation_sweep(benchmark, fig6a_spec, fig6a_rows):
+    frag1 = next(p for p in expand(fig6a_spec) if p.label == "frag=1")
+    benchmark.pedantic(lambda: run_point(frag1), rounds=1, iterations=1)
     lines = [
         f"{'configuration':<22} {'perf [%]':>9} {'worst lat':>10} {'mean lat':>9}"
     ]

@@ -5,41 +5,39 @@ KiB in equal steps).
 Paper result: near-ideal core performance (> 95 %) when distributing the
 available bandwidth in favor of the core; the worst-case access latency
 falls to (below) the single-source level.
+
+Runs the shipped declarative campaign (``scenarios/fig6b.toml``) — the
+same path ``python -m repro run scenarios/fig6b.toml`` exercises.
 """
+
+from pathlib import Path
 
 import pytest
 
 from _bench_utils import emit
+from repro.scenario import expand, load_file, run_campaign, run_point
 
+SCENARIO = Path(__file__).resolve().parent.parent / "scenarios" / "fig6b.toml"
 RATIOS = (1, 2, 3, 4, 5)
-PERIOD = 1000
-FULL_BUDGET = 8192
 
 
 @pytest.fixture(scope="module")
-def fig6b_rows(experiment):
-    baseline = experiment.run_single_source()
-    rows = [("single-source", 100.0, baseline.latency.maximum,
-             baseline.latency.mean)]
-    for result in experiment.sweep_budget(
-        ratios=RATIOS, period=PERIOD, full_budget=FULL_BUDGET
-    ):
-        rows.append(
-            (result.label, result.perf_percent, result.worst_case_latency,
-             result.latency.mean)
-        )
-    return rows
+def fig6b_spec():
+    return load_file(SCENARIO)
 
 
-def test_fig6b_budget_imbalance(benchmark, experiment, fig6b_rows):
-    benchmark.pedantic(
-        lambda: experiment.run(
-            fragmentation=1, core_budget=FULL_BUDGET,
-            dma_budget=FULL_BUDGET // 5, period=PERIOD,
-        ),
-        rounds=1,
-        iterations=1,
-    )
+@pytest.fixture(scope="module")
+def fig6b_rows(fig6b_spec):
+    result = run_campaign(fig6b_spec)
+    return [
+        (p.label, p.perf_percent, p.worst_case_latency, p.latency.mean)
+        for p in result.points
+    ]
+
+
+def test_fig6b_budget_imbalance(benchmark, fig6b_spec, fig6b_rows):
+    skewed = next(p for p in expand(fig6b_spec) if p.label == "dma=1/5")
+    benchmark.pedantic(lambda: run_point(skewed), rounds=1, iterations=1)
     lines = [
         f"{'configuration':<16} {'perf [%]':>9} {'worst lat':>10} {'mean lat':>9}"
     ]

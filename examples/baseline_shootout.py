@@ -1,75 +1,64 @@
 #!/usr/bin/env python3
 """Regulator shootout: AXI-REALM vs. the related work (paper Section II).
 
-Puts the same aggressive DMA behind four different regulators (and none)
-on a shared memory, measures what the latency-critical core experiences,
-and checks who survives the W-channel stall DoS.  Every topology is one
-``SystemBuilder`` declaration; the baselines plug in through the
-``regulator=`` factory hook.
+The contention half — what the latency-critical core experiences with
+the same aggressive DMA behind each regulator — is the declarative
+campaign in ``scenarios/baseline_shootout.toml``; every regulator is one
+campaign point swapping the regulation stage on the aggressor's port.
+The W-channel stall-DoS half needs scripted mid-run interaction (poison
+the interconnect, then probe with a victim write), so it stays in code,
+built through the same ``SystemBuilder`` hook the scenario runner uses.
 
 Run:  python examples/baseline_shootout.py
 """
 
+from pathlib import Path
+
 from repro.baselines import AbeEqualizer, AbuRegulator, CutForwardUnit
 from repro.realm import RegionConfig
+from repro.scenario import load_file, run_campaign
 from repro.system import SystemBuilder
-from repro.traffic import CoreModel, DmaEngine, StallingWriter, susan_like_trace
+from repro.traffic import StallingWriter
 
+SCENARIO = (Path(__file__).resolve().parent.parent / "scenarios"
+            / "baseline_shootout.toml")
 MEM_SIZE = 0x40000
 BUDGET = 2048
 PERIOD = 1000
 
 REGULATORS = {
     "none": None,
-    "ABU [1]": lambda up, down: AbuRegulator(up, down, BUDGET, PERIOD),
-    "ABE [12]": lambda up, down: AbeEqualizer(up, down, nominal_burst=1),
-    "C&F [14]": lambda up, down: CutForwardUnit(up, down, depth_beats=256),
+    "abu": lambda up, down: AbuRegulator(up, down, BUDGET, PERIOD),
+    "abe": lambda up, down: AbeEqualizer(up, down, nominal_burst=1),
+    "cnf": lambda up, down: CutForwardUnit(up, down, depth_beats=256),
+}
+
+LABELS = {
+    "none": "none",
+    "abu": "ABU [1]",
+    "abe": "ABE [12]",
+    "cnf": "C&F [14]",
+    "realm": "AXI-REALM",
 }
 
 
-def declare(kind: str, aggressor: str) -> SystemBuilder:
-    """Core + managed aggressor in front of one shared SRAM."""
-    builder = SystemBuilder(name=f"shootout.{kind}").with_crossbar()
-    if aggressor == "core-first":
-        builder.add_manager("core")
-    if kind == "AXI-REALM":
+def dos(kind: str) -> bool:
+    """Does a victim write survive the W-channel stall DoS under *kind*?"""
+    builder = SystemBuilder(name=f"dos.{kind}")
+    if kind == "realm":
         builder.add_manager(
             "dma", protect=True, granularity=1,
             regions=[RegionConfig(0, MEM_SIZE, BUDGET, PERIOD)],
         )
     else:
         builder.add_manager("dma", regulator=REGULATORS[kind])
-    if aggressor == "dma-first":
-        builder.add_manager("core", driver="victim")
-    builder.add_sram("mem", base=0, size=MEM_SIZE,
-                     capacity=4 if aggressor == "core-first" else 2)
-    return builder
-
-
-def contention(kind, with_dma=True):
-    system = declare(kind, "core-first").build()
-    core = system.attach(
-        "core",
-        lambda port: CoreModel(
-            port,
-            susan_like_trace(n_accesses=80, footprint=8192, beats=2, gap_mean=1),
-        ),
-    )
-    if with_dma:
-        system.attach(
-            "dma",
-            lambda port: DmaEngine(port, src_base=0x2000, src_size=0x8000,
-                                   dst_base=0x10000, dst_size=0x8000,
-                                   burst_beats=256),
-        )
-    system.sim.run_until(lambda: core.done, max_cycles=1_000_000, what="core")
-    return core.execution_cycles, core.worst_case_latency
-
-
-def dos(kind):
-    system = declare(kind, "dma-first").build()
+    builder.add_manager("core", driver="victim")
+    builder.add_sram("mem", base=0, size=MEM_SIZE)
+    system = builder.build()
     system.attach("dma", lambda port: StallingWriter(port, beats=16))
     victim = system.driver("core")
+    # Let the attacker's poisoned AW reach the interconnect first (through
+    # whatever regulator is in front of it), then the victim writes.
     system.sim.run(20)
     op = victim.write(0x100, bytes(8))
     system.sim.run(2000)
@@ -77,16 +66,16 @@ def dos(kind):
 
 
 def main() -> None:
-    baseline, _ = contention("none", with_dma=False)
-    print(f"core alone: {baseline} cycles\n")
+    result = run_campaign(load_file(SCENARIO))
+    baseline = result.point("core-alone")
+    print(f"core alone: {baseline.execution_cycles} cycles\n")
     print(f"{'regulator':<12} {'core perf':>10} {'worst lat':>10} "
           f"{'stall-DoS proof':>16}")
     print("-" * 52)
-    for kind in ("none", "ABU [1]", "ABE [12]", "C&F [14]", "AXI-REALM"):
-        cycles, worst = contention(kind)
-        perf = 100.0 * baseline / cycles
-        print(f"{kind:<12} {perf:>9.1f}% {worst:>10} "
-              f"{str(dos(kind)):>16}")
+    for kind, label in LABELS.items():
+        point = result.point(kind)
+        print(f"{label:<12} {point.perf_percent:>9.1f}% "
+              f"{point.worst_case_latency:>10} {str(dos(kind)):>16}")
     print("\nOnly AXI-REALM combines bandwidth reservation, fair "
           "latency, and DoS immunity (plus monitoring, not shown here).")
 

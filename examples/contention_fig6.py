@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Reproduce the paper's Figure 6 on the Cheshire-like SoC.
+"""Reproduce the paper's Figure 6 from the shipped scenario files.
 
 A CVA6-class core runs a Susan-like memory-intense trace while a DSA DMA
 double-buffers 256-beat bursts between the LLC and the SPM — the paper's
-worst-case interference.  Sweeps (a) the REALM fragmentation size and
-(b) the core/DMA budget imbalance, printing the same series the paper
-plots, with ASCII bars.
+worst-case interference.  Both sweeps are declarative campaigns now:
+``scenarios/fig6a.toml`` (fragmentation) and ``scenarios/fig6b.toml``
+(budget imbalance).  This example just runs them and draws ASCII bars;
+edit the TOML to explore different topologies or traffic without
+touching any Python.
 
 Run:  python examples/contention_fig6.py
 """
 
-from repro.analysis import ContentionExperiment
+from pathlib import Path
+
+from repro.scenario import load_file, run_campaign
+
+SCENARIOS = Path(__file__).resolve().parent.parent / "scenarios"
 
 
 def bar(pct: float, width: int = 40) -> str:
@@ -18,26 +24,26 @@ def bar(pct: float, width: int = 40) -> str:
     return "#" * filled + "." * (width - filled)
 
 
+def show(result) -> None:
+    print(f"{'config':<22}{'perf':>7}  {'':40}  worst lat")
+    for point in result.points:
+        if point.label == result.baseline_label:
+            continue
+        print(f"{point.label:<22}{point.perf_percent:>6.1f}%  "
+              f"{bar(point.perf_percent)}  {point.worst_case_latency}")
+
+
 def main() -> None:
-    exp = ContentionExperiment(n_accesses=100)
-    baseline = exp.run_single_source()
+    fig6a = run_campaign(load_file(SCENARIOS / "fig6a.toml"))
+    baseline = fig6a.point("single-source")
     print(f"single-source baseline: {baseline.execution_cycles} cycles, "
-          f"worst access latency {baseline.latency.maximum}")
+          f"worst access latency {baseline.worst_case_latency}")
 
     print("\nFigure 6a — fragmentation sweep (equal budgets, long period)")
-    print(f"{'config':<22}{'perf':>7}  {'':40}  worst lat")
-    nores = exp.run_without_reservation()
-    print(f"{'without reservation':<22}{nores.perf_percent:>6.1f}%  "
-          f"{bar(nores.perf_percent)}  {nores.worst_case_latency}")
-    for result in exp.sweep_fragmentation((256, 64, 16, 4, 1)):
-        print(f"{result.label:<22}{result.perf_percent:>6.1f}%  "
-              f"{bar(result.perf_percent)}  {result.worst_case_latency}")
+    show(fig6a)
 
     print("\nFigure 6b — budget imbalance (fragmentation 1, period 1000)")
-    print(f"{'config':<22}{'perf':>7}  {'':40}  worst lat")
-    for result in exp.sweep_budget():
-        print(f"{result.label:<22}{result.perf_percent:>6.1f}%  "
-              f"{bar(result.perf_percent)}  {result.worst_case_latency}")
+    show(run_campaign(load_file(SCENARIOS / "fig6b.toml")))
 
     print("\npaper reference: 0.7% uncontrolled -> 68.2% at fragmentation 1"
           " -> >95% with budget in favor of the core;"

@@ -1,12 +1,16 @@
 """Experiment runners for the paper's functional evaluation (Figure 6).
 
-:class:`ContentionExperiment` builds the Cheshire-like SoC (through
-:class:`repro.system.SystemBuilder`, via the :class:`CheshireSoC` preset),
-puts a Susan-like trace on the core and the worst-case double-buffering
-burst pattern on the DSA DMA, and measures the core's execution time and
-access latency under a given REALM configuration.  Both Figure 6a
-(fragmentation sweep) and Figure 6b (budget-imbalance sweep) are parameter
-sweeps over :meth:`ContentionExperiment.run`.
+:class:`ContentionExperiment` is now a thin, typed front end over the
+declarative scenario subsystem (:mod:`repro.scenario`): every run is
+expressed as one scenario point — the Cheshire-like topology, a
+Susan-like trace on the core, the worst-case double-buffering burst
+pattern on the DSA DMA, and the REALM configuration under test — and
+executed by the same runner that powers ``python -m repro run
+scenarios/fig6a.toml``.  Both Figure 6a (fragmentation sweep) and
+Figure 6b (budget-imbalance sweep) are parameter sweeps over
+:meth:`ContentionExperiment.run`; the shipped ``scenarios/fig6a.toml``
+and ``scenarios/fig6b.toml`` files declare the same campaigns and
+produce cycle-identical numbers.
 
 ``active_set=False`` runs every simulation on the naive tick-everything
 kernel; the default uses the active-set kernel, which produces
@@ -20,12 +24,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.stats import LatencyStats, performance_percent
-from repro.realm.regions import RegionConfig, UNLIMITED
-from repro.sim.kernel import Simulator
-from repro.soc.cheshire import DRAM_BASE, SPM_BASE, CheshireConfig, CheshireSoC
-from repro.traffic.core_model import CoreModel
-from repro.traffic.dma import DmaEngine
-from repro.traffic.patterns import susan_like_trace
+from repro.realm.regions import UNLIMITED
+from repro.soc.cheshire import DRAM_BASE, PERIPH_BASE, SPM_BASE, CheshireConfig
 
 
 @dataclass(frozen=True)
@@ -46,7 +46,7 @@ class ContentionResult:
 
 @dataclass
 class ContentionExperiment:
-    """Reusable Figure-6 test bench."""
+    """Reusable Figure-6 test bench (a preset over ``repro.scenario``)."""
 
     n_accesses: int = 150
     gap_mean: int = 1
@@ -72,86 +72,174 @@ class ContentionExperiment:
         return DRAM_BASE + self.core_footprint
 
     # ------------------------------------------------------------------
-    def _build(self, with_dma: bool):
-        sim = Simulator(active_set=self.active_set)
-        soc = CheshireSoC(sim, self.soc_config or CheshireConfig())
-        trace = susan_like_trace(
-            n_accesses=self.n_accesses,
-            base=self.core_base,
-            footprint=self.core_footprint,
-            gap_mean=self.gap_mean,
-            beats=self.core_beats,
-            seed=self.seed,
-        )
-        core = sim.add(CoreModel(soc.core_port, trace, name="cva6"))
-        dma = None
-        if with_dma:
-            dma = sim.add(
-                DmaEngine(
-                    soc.dma_port,
-                    src_base=self.dma_src_base,
-                    src_size=self.dma_window,
-                    dst_base=SPM_BASE,
-                    dst_size=self.dma_window,
-                    burst_beats=self.dma_burst_beats,
-                    name="dsa_dma",
-                )
-            )
-        # Hot LLC, as in the paper's measurement phase.
-        soc.warm_llc(self.core_base, self.core_footprint)
-        soc.warm_llc(self.dma_src_base, self.dma_window)
-        return sim, soc, core, dma
-
-    def _configure_realm(
+    def _scenario_dict(
         self,
-        soc: CheshireSoC,
+        with_dma: bool,
         fragmentation: int,
         core_budget: int,
         dma_budget: int,
         period: int,
         regulation: bool,
-        throttle: bool = False,
-    ) -> None:
-        llc_region_size = soc.config.dram_size
-        plans = {
-            "core": core_budget,
-            "dma": dma_budget,
+        throttle: bool,
+    ) -> dict:
+        """One Figure-6 run in canonical scenario-dict form."""
+        from repro.scenario.spec import realm_params_to_dict
+
+        cfg = self.soc_config or CheshireConfig()
+        budgets = {"core": core_budget, "dma": dma_budget}
+        managers = []
+        for name, protected in cfg.managers.items():
+            manager: dict = {"name": name, "protect": protected}
+            if protected:
+                manager["realm"] = realm_params_to_dict(cfg.realm_params)
+            if protected and name in budgets:
+                manager.update(
+                    granularity=fragmentation,
+                    regulation=regulation,
+                    throttle=throttle,
+                    regions=[{
+                        "base": DRAM_BASE,
+                        "size": cfg.dram_size,
+                        "budget_bytes": budgets[name],
+                        "period_cycles": period,
+                    }],
+                )
+            managers.append(manager)
+        return {
+            "scenario": {"name": "fig6", "seed": self.seed,
+                         "active_set": self.active_set},
+            "run": {"until": ["core"], "max_cycles": self.max_cycles},
+            "topology": {
+                "interconnect": "crossbar",
+                "managers": managers,
+                "memories": [
+                    {
+                        "name": "dram", "kind": "cached_dram",
+                        "base": DRAM_BASE, "size": cfg.dram_size,
+                        "timing": {
+                            "t_cas": cfg.dram_timing.t_cas,
+                            "t_rcd": cfg.dram_timing.t_rcd,
+                            "t_rp": cfg.dram_timing.t_rp,
+                            "row_bytes": cfg.dram_timing.row_bytes,
+                            "n_banks": cfg.dram_timing.n_banks,
+                        },
+                        "cache_name": "llc",
+                        "llc_capacity": cfg.llc_capacity,
+                        "llc_ways": cfg.llc_ways,
+                        "line_bytes": cfg.llc_line_bytes,
+                        "hit_latency": cfg.llc_hit_latency,
+                        "front_capacity": 4,
+                    },
+                    {
+                        "name": "spm", "kind": "sram",
+                        "base": SPM_BASE, "size": cfg.spm_size,
+                        "read_latency": cfg.spm_latency,
+                        "write_latency": cfg.spm_latency,
+                    },
+                    {
+                        "name": "periph", "kind": "sram",
+                        "base": PERIPH_BASE, "size": cfg.periph_size,
+                    },
+                ],
+            },
+            "traffic": {
+                "core": {
+                    "kind": "core", "pattern": "susan",
+                    "n_accesses": self.n_accesses, "base": self.core_base,
+                    "footprint": self.core_footprint,
+                    "gap_mean": self.gap_mean, "beats": self.core_beats,
+                    "size": 3, "seed": self.seed,
+                },
+                "dma": {
+                    "kind": "dma", "enabled": with_dma,
+                    "src_base": self.dma_src_base,
+                    "src_size": self.dma_window,
+                    "dst_base": SPM_BASE, "dst_size": self.dma_window,
+                    "burst_beats": self.dma_burst_beats,
+                },
+            },
+            # Hot LLC, as in the paper's measurement phase.
+            "warm": [
+                {"cache": "llc", "base": self.core_base,
+                 "size": self.core_footprint},
+                {"cache": "llc", "base": self.dma_src_base,
+                 "size": self.dma_window},
+            ],
         }
-        for name, budget in plans.items():
-            unit = soc.realm_units.get(name)
-            if unit is None:
-                continue
-            unit.set_regulation_enabled(regulation)
-            unit.set_throttle_enabled(throttle)
-            unit.set_granularity(fragmentation)
-            unit.configure_region(
-                0,
-                RegionConfig(
-                    base=DRAM_BASE,
-                    size=llc_region_size,
-                    budget_bytes=budget,
-                    period_cycles=period,
-                ),
+
+    def build(
+        self,
+        with_dma: bool = True,
+        fragmentation: int = 256,
+        core_budget: int = UNLIMITED,
+        dma_budget: int = UNLIMITED,
+        period: int = UNLIMITED,
+        regulation: bool = True,
+        throttle: bool = False,
+    ):
+        """Elaborate one configured platform without running it.
+
+        Returns ``(system, generators)`` — the assembled
+        :class:`repro.system.System` and the traffic components keyed by
+        manager — for callers that drive the simulation themselves
+        (mid-run monitoring, advisor loops).
+        """
+        from repro.scenario.runner import attach_traffic, build_system
+        from repro.scenario.spec import validate
+
+        spec = validate(
+            self._scenario_dict(
+                with_dma, fragmentation, core_budget, dma_budget, period,
+                regulation, throttle,
             )
+        )
+        system = build_system(spec)
+        generators = attach_traffic(system, spec)
+        for warm in spec.warm:
+            system.warm_cache(warm.base, warm.size, cache=warm.cache)
+        return system, generators
+
+    def _run_point(
+        self,
+        label: str,
+        with_dma: bool,
+        fragmentation: int = 256,
+        core_budget: int = UNLIMITED,
+        dma_budget: int = UNLIMITED,
+        period: int = UNLIMITED,
+        regulation: bool = True,
+        throttle: bool = False,
+    ):
+        # Imported lazily: repro.scenario.report pulls in
+        # repro.analysis.stats, so a module-level import here would cycle.
+        from repro.scenario.runner import run_point
+        from repro.scenario.spec import validate
+        from repro.scenario.sweep import ExpandedPoint
+
+        spec = validate(
+            self._scenario_dict(
+                with_dma, fragmentation, core_budget, dma_budget, period,
+                regulation, throttle,
+            )
+        )
+        return run_point(
+            ExpandedPoint(index=0, label=label, seed=self.seed, spec=spec)
+        )
 
     # ------------------------------------------------------------------
     def run_single_source(self) -> ContentionResult:
         """Core alone (grey dashed baseline of Figure 6)."""
-        sim, soc, core, _ = self._build(with_dma=False)
-        self._configure_realm(
-            soc, fragmentation=256, core_budget=UNLIMITED,
-            dma_budget=UNLIMITED, period=UNLIMITED, regulation=False,
+        point = self._run_point(
+            "single-source", with_dma=False, regulation=False
         )
-        sim.run_until(lambda: core.done, max_cycles=self.max_cycles,
-                      what="single-source core run")
-        self._baseline_cycles = core.execution_cycles
+        self._baseline_cycles = point.execution_cycles
         return ContentionResult(
             label="single-source",
-            execution_cycles=core.execution_cycles,
+            execution_cycles=point.execution_cycles,
             perf_percent=100.0,
-            latency=LatencyStats.from_samples(core.latencies),
+            latency=point.latency,
             dma_bytes=0,
-            sim_cycles=sim.cycle,
+            sim_cycles=point.sim_cycles,
         )
 
     def run(
@@ -167,22 +255,21 @@ class ContentionExperiment:
         """One contended run under the given REALM configuration."""
         if self._baseline_cycles is None:
             self.run_single_source()
-        sim, soc, core, dma = self._build(with_dma=True)
-        self._configure_realm(
-            soc, fragmentation, core_budget, dma_budget, period, regulation,
-            throttle,
+        point = self._run_point(
+            label or f"frag={fragmentation}", with_dma=True,
+            fragmentation=fragmentation, core_budget=core_budget,
+            dma_budget=dma_budget, period=period, regulation=regulation,
+            throttle=throttle,
         )
-        sim.run_until(lambda: core.done, max_cycles=self.max_cycles,
-                      what=f"core run ({label or fragmentation})")
         return ContentionResult(
-            label=label or f"frag={fragmentation}",
-            execution_cycles=core.execution_cycles,
+            label=point.label,
+            execution_cycles=point.execution_cycles,
             perf_percent=performance_percent(
-                self._baseline_cycles, core.execution_cycles
+                self._baseline_cycles, point.execution_cycles
             ),
-            latency=LatencyStats.from_samples(core.latencies),
-            dma_bytes=dma.bytes_read + dma.bytes_written if dma else 0,
-            sim_cycles=sim.cycle,
+            latency=point.latency,
+            dma_bytes=point.dma_bytes(),
+            sim_cycles=point.sim_cycles,
         )
 
     def run_without_reservation(self) -> ContentionResult:

@@ -1,19 +1,25 @@
-"""Command-line interface: regenerate the paper's experiments.
+"""Command-line interface: scenario campaigns and the paper's experiments.
 
 Usage::
 
+    python -m repro run scenarios/fig6a.toml        # run a campaign file
+    python -m repro run campaign.toml --jobs 4 --json report.json
+    python -m repro sweep scenarios/fig6a.toml \\
+        --axis traffic.dma.burst_beats=16,64,256    # ad-hoc sweep
     python -m repro fig6a            # fragmentation sweep
     python -m repro fig6b            # budget-imbalance sweep
     python -m repro table1           # SoC area decomposition
     python -m repro table2           # area-model coefficients
     python -m repro --accesses 200 fig6a
+
+With no subcommand the help text is printed and the exit status is 2.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 
 def _run_fig6a(args: argparse.Namespace) -> int:
@@ -73,19 +79,165 @@ def _run_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# scenario campaigns
+# ----------------------------------------------------------------------
+def parse_cli_value(text: str) -> Any:
+    """Parse one ``--set``/``--axis`` value: int, float, bool, or string."""
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(stripped, 0)  # decimal, hex (0x...), underscores
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return stripped
+
+
+def _split_assignment(text: str, option: str) -> tuple[str, str]:
+    field, sep, value = text.partition("=")
+    if not sep or not field:
+        raise SystemExit(
+            f"repro: error: {option} expects FIELD=VALUE, got {text!r}"
+        )
+    return field, value
+
+
+def _load_scenario(args: argparse.Namespace):
+    from repro.scenario import apply_overrides, load_file
+
+    spec = load_file(args.file)
+    overrides = [
+        _split_assignment(item, "--set") for item in (args.set or [])
+    ]
+    if overrides:
+        spec = apply_overrides(
+            spec, [(field, parse_cli_value(value))
+                   for field, value in overrides]
+        )
+    return spec
+
+
+def _emit_campaign(result, args: argparse.Namespace) -> None:
+    if result.description:
+        print(f"# {result.name} — {result.description}")
+    else:
+        print(f"# {result.name}")
+    print(result.format_table())
+    if args.json:
+        result.write_json(args.json)
+        print(f"report written to {args.json}")
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"csv written to {args.csv}")
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioError, run_campaign
+    from repro.sim import SimulationError
+
+    try:
+        spec = _load_scenario(args)
+        result = run_campaign(
+            spec,
+            jobs=args.jobs,
+            active_set=False if args.naive_kernel else None,
+            smoke=args.smoke,
+        )
+    except (ScenarioError, SimulationError) as exc:
+        print(f"repro: scenario error: {exc}", file=sys.stderr)
+        return 1
+    _emit_campaign(result, args)
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.scenario import (
+        AxisSpec,
+        CampaignSpec,
+        ScenarioError,
+        run_campaign,
+    )
+    from repro.sim import SimulationError
+
+    try:
+        spec = _load_scenario(args)
+        axes = []
+        for item in args.axis:
+            field, values = _split_assignment(item, "--axis")
+            # Validated like a file axis (e.g. an empty value list must
+            # error out, not silently run the unswept base point).
+            axes.append(
+                AxisSpec.from_dict(
+                    {
+                        "field": field,
+                        "values": [parse_cli_value(v)
+                                   for v in values.split(",") if v],
+                    },
+                    f"--axis {field}",
+                )
+            )
+        # Replace the file's campaign with the ad-hoc grid.
+        spec = replace(spec, campaign=CampaignSpec(sweep=tuple(axes)))
+        result = run_campaign(
+            spec,
+            jobs=args.jobs,
+            active_set=False if args.naive_kernel else None,
+            smoke=args.smoke,
+        )
+    except (ScenarioError, SimulationError) as exc:
+        print(f"repro: scenario error: {exc}", file=sys.stderr)
+        return 1
+    _emit_campaign(result, args)
+    return 0
+
+
 _COMMANDS = {
     "fig6a": _run_fig6a,
     "fig6b": _run_fig6b,
     "table1": _run_table1,
     "table2": _run_table2,
+    "run": _run_scenario,
+    "sweep": _run_sweep,
 }
+
+
+def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="scenario file (.toml or .json)")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan campaign points out over N worker processes",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="apply the scenario's [smoke] overrides (quick-run scale)",
+    )
+    parser.add_argument(
+        "--naive-kernel", action="store_true",
+        help="run on the naive tick-everything kernel (equivalence checks)",
+    )
+    parser.add_argument(
+        "--set", action="append", metavar="FIELD=VALUE",
+        help="override a scenario field (dotted path), repeatable",
+    )
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the campaign report as JSON")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="write the campaign result table as CSV")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="AXI-REALM reproduction: regenerate the paper's "
-        "tables and figures.",
+        description="AXI-REALM reproduction: run declarative scenario "
+        "campaigns and regenerate the paper's tables and figures.",
     )
     parser.add_argument(
         "--accesses", type=int, default=100,
@@ -96,13 +248,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=[256, 64, 16, 4, 1],
         help="comma-separated fragmentation sizes for fig6a (e.g. 256,16,1)",
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS),
-                        help="experiment to regenerate")
+    sub = parser.add_subparsers(dest="command", metavar="command")
+    run_parser = sub.add_parser(
+        "run", help="run a scenario/campaign file and print the result table"
+    )
+    _add_campaign_options(run_parser)
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="sweep ad-hoc axes over a scenario file "
+        "(--axis FIELD=V1,V2,... replaces the file's campaign)",
+    )
+    _add_campaign_options(sweep_parser)
+    sweep_parser.add_argument(
+        "--axis", action="append", metavar="FIELD=V1,V2,...", required=True,
+        help="cartesian sweep axis (repeat for a grid)",
+    )
+    fig6a_parser = sub.add_parser("fig6a",
+                                  help="fragmentation sweep (Figure 6a)")
+    fig6b_parser = sub.add_parser("fig6b",
+                                  help="budget-imbalance sweep (Figure 6b)")
+    # The experiment options also work after the subcommand (SUPPRESS
+    # keeps the subparser from clobbering a value parsed at the root).
+    for sub_parser in (fig6a_parser, fig6b_parser):
+        sub_parser.add_argument("--accesses", type=int,
+                                default=argparse.SUPPRESS,
+                                help="core trace length")
+    fig6a_parser.add_argument(
+        "--fragmentations", type=lambda s: [int(v) for v in s.split(",")],
+        default=argparse.SUPPRESS,
+        help="comma-separated fragmentation sizes (e.g. 256,16,1)",
+    )
+    sub.add_parser("table1", help="SoC area decomposition (Table I)")
+    sub.add_parser("table2", help="area-model coefficients (Table II)")
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
     return _COMMANDS[args.command](args)
 
 

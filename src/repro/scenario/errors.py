@@ -1,0 +1,17 @@
+"""Scenario-subsystem error type.
+
+Every malformed scenario file must surface as a :class:`ScenarioError`
+with the offending field's path (``topology.managers[dma].granularity``)
+in the message — never a raw ``KeyError``/``TypeError`` from the guts of
+the loader.  The property suite enforces this contract.
+"""
+
+from __future__ import annotations
+
+
+class ScenarioError(Exception):
+    """A scenario file (or an override applied to one) is invalid."""
+
+    def __init__(self, message: str, *, path: str = "") -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)

@@ -1,0 +1,60 @@
+"""Scenario file loading: TOML or JSON text -> :class:`ScenarioSpec`.
+
+The canonical on-disk form is TOML (readable, supports hex integers and
+comments); JSON is accepted for machine-generated campaigns.  Parsing
+problems — syntax errors, wrong shapes, unknown fields — always raise
+:class:`ScenarioError`; the parsed spec serializes back to a dict (or
+JSON text) that re-parses to an equal spec.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+from typing import Any, Union
+
+from repro.scenario.errors import ScenarioError
+from repro.scenario.spec import ScenarioSpec, validate
+
+
+def loads(text: str, fmt: str = "toml") -> ScenarioSpec:
+    """Parse scenario text in the given format (``toml`` or ``json``)."""
+    if fmt == "toml":
+        try:
+            raw: Any = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"invalid TOML: {exc}") from exc
+    elif fmt == "json":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON: {exc}") from exc
+    else:
+        raise ScenarioError(f"unknown scenario format {fmt!r}")
+    return validate(raw)
+
+
+def load_file(path: Union[str, Path]) -> ScenarioSpec:
+    """Load a scenario file; the suffix picks the format (.toml/.json)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in (".toml", ".json"):
+        raise ScenarioError(
+            f"unsupported scenario file suffix {suffix!r} "
+            "(expected .toml or .json)", path=str(path)
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file: {exc}",
+                            path=str(path)) from exc
+    try:
+        return loads(text, fmt=suffix[1:])
+    except ScenarioError as exc:
+        raise ScenarioError(f"{exc}", path=str(path)) from exc
+
+
+def dumps(spec: ScenarioSpec) -> str:
+    """Serialize a spec to canonical JSON (re-parses to an equal spec)."""
+    return json.dumps(spec.to_dict(), indent=2, sort_keys=False)

@@ -1,0 +1,182 @@
+"""Campaign results: aggregation, relative metrics, JSON/CSV reports.
+
+A :class:`PointResult` is plain data (picklable across the process-pool
+fan-out, JSON-serializable for reports).  :class:`CampaignResult` adds
+the cross-point metrics — performance relative to the campaign's
+baseline point, the quantity Figure 6 plots — and writes the report
+artefacts.  ``digest()`` is the stable observable summary the
+golden-trace regression harness locks down.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.analysis.stats import LatencyStats, performance_percent
+from repro.scenario.spec import ScenarioSpec
+
+
+@dataclass
+class PointResult:
+    """Outcome of one campaign point (plain data)."""
+
+    label: str
+    index: int
+    seed: int
+    sim_cycles: int
+    primary_manager: Optional[str]
+    execution_cycles: Optional[int]
+    observables: dict[str, Any]
+    latencies: dict[str, list[int]] = field(default_factory=dict)
+    perf_percent: Optional[float] = None  # filled by CampaignResult
+
+    @cached_property
+    def latency(self) -> LatencyStats:
+        """Latency statistics of the primary core (empty stats if none).
+
+        Cached: the sample list never changes after construction, and the
+        table/JSON/CSV emitters all read these stats repeatedly.
+        """
+        samples = self.latencies.get(self.primary_manager or "", [])
+        return LatencyStats.from_samples(samples)
+
+    @property
+    def worst_case_latency(self) -> int:
+        return self.latency.maximum
+
+    def dma_bytes(self) -> int:
+        """Total bytes moved by DMA-style generators in this point."""
+        total = 0
+        for counters in self.observables.get("managers", {}).values():
+            total += counters.get("bytes_read", 0)
+            total += counters.get("bytes_written", 0)
+        return total
+
+    def to_dict(self) -> dict[str, Any]:
+        stats = self.latency
+        return {
+            "label": self.label,
+            "index": self.index,
+            "seed": self.seed,
+            "sim_cycles": self.sim_cycles,
+            "primary_manager": self.primary_manager,
+            "execution_cycles": self.execution_cycles,
+            "perf_percent": self.perf_percent,
+            "latency": {
+                "count": stats.count,
+                "min": stats.minimum,
+                "max": stats.maximum,
+                "mean": stats.mean,
+                "p95": stats.p95,
+                "p99": stats.p99,
+            },
+            "observables": self.observables,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """All points of one campaign, with relative metrics filled in."""
+
+    name: str
+    description: str
+    seed: int
+    active_set: Optional[bool]
+    baseline_label: str
+    points: list[PointResult]
+
+    @classmethod
+    def from_points(
+        cls,
+        spec: ScenarioSpec,
+        points: list[PointResult],
+        *,
+        active_set: Optional[bool] = None,
+    ) -> "CampaignResult":
+        result = cls(
+            name=spec.name,
+            description=spec.description,
+            seed=spec.seed,
+            active_set=spec.active_set if active_set is None else active_set,
+            baseline_label=spec.campaign.baseline,
+            points=list(points),
+        )
+        result._fill_relative()
+        return result
+
+    def _fill_relative(self) -> None:
+        baseline = self.point(self.baseline_label) if self.baseline_label \
+            else None
+        if baseline is None or not baseline.execution_cycles:
+            return
+        for point in self.points:
+            if point.execution_cycles:
+                point.perf_percent = performance_percent(
+                    baseline.execution_cycles, point.execution_cycles
+                )
+
+    # ------------------------------------------------------------------
+    def point(self, label: str) -> Optional[PointResult]:
+        for candidate in self.points:
+            if candidate.label == label:
+                return candidate
+        return None
+
+    def digest(self) -> dict[str, Any]:
+        """Stable per-point observables, keyed by label (golden traces)."""
+        return {p.label: p.observables for p in self.points}
+
+    # ------------------------------------------------------------------
+    def format_table(self) -> str:
+        lines = [
+            f"{'point':<24} {'perf [%]':>9} {'exec':>8} {'worst lat':>10} "
+            f"{'mean lat':>9} {'sim cycles':>11}"
+        ]
+        for p in self.points:
+            perf = f"{p.perf_percent:>9.1f}" if p.perf_percent is not None \
+                else f"{'-':>9}"
+            execu = f"{p.execution_cycles:>8d}" if p.execution_cycles \
+                else f"{'-':>8}"
+            stats = p.latency
+            lines.append(
+                f"{p.label:<24} {perf} {execu} {stats.maximum:>10d} "
+                f"{stats.mean:>9.1f} {p.sim_cycles:>11d}"
+            )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "active_set": self.active_set,
+            "baseline": self.baseline_label or None,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def write_json(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json_dict(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    def write_csv(self, path: Union[str, Path]) -> None:
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["label", "seed", "sim_cycles", "execution_cycles",
+                 "perf_percent", "latency_count", "latency_mean",
+                 "latency_p95", "latency_max", "dma_bytes"]
+            )
+            for p in self.points:
+                stats = p.latency
+                writer.writerow(
+                    [p.label, p.seed, p.sim_cycles, p.execution_cycles,
+                     p.perf_percent, stats.count, stats.mean, stats.p95,
+                     stats.maximum, p.dma_bytes()]
+                )

@@ -1,0 +1,386 @@
+"""Execute scenarios: build through SystemBuilder, run, collect observables.
+
+One :class:`ExpandedPoint` maps onto exactly one simulation:
+
+* the topology section becomes a :class:`repro.system.SystemBuilder`
+  declaration (managers with REALM units / baseline regulators, the
+  interconnect flavor, the memory backends) — built in file order so a
+  scenario reproduces a hand-wired system cycle-for-cycle;
+* traffic bindings become generator components attached in file order;
+* ``[[warm]]`` directives pre-load caches;
+* the run section either waits for the named core traces to finish or
+  simulates a fixed horizon.
+
+Campaigns run sequentially or fan out over a process pool
+(``jobs > 1``); every point is an independent simulation with a
+deterministic seed, so the fan-out cannot change any result, only the
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Optional
+
+from repro.baselines import AbeEqualizer, AbuRegulator, CutForwardUnit
+from repro.scenario.errors import ScenarioError
+from repro.scenario.report import CampaignResult, PointResult
+from repro.scenario.spec import (
+    ManagerScenario,
+    MemoryScenario,
+    ScenarioSpec,
+    TrafficScenario,
+)
+from repro.scenario.sweep import ExpandedPoint, apply_smoke, expand
+from repro.sim.kernel import Component
+from repro.system.builder import System, SystemBuilder
+from repro.traffic import (
+    BandwidthHog,
+    CoreModel,
+    DmaEngine,
+    StallingWriter,
+    TricklingWriter,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+    susan_like_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# topology -> SystemBuilder
+# ----------------------------------------------------------------------
+def _regulator_factory(spec: ManagerScenario) -> Callable:
+    reg = spec.regulator
+    assert reg is not None
+    if reg.kind == "abu":
+        return lambda up, down: AbuRegulator(
+            up, down, budget_bytes=reg.budget_bytes,
+            period_cycles=reg.period_cycles,
+        )
+    if reg.kind == "abe":
+        return lambda up, down: AbeEqualizer(
+            up, down, nominal_burst=reg.nominal_burst,
+            max_outstanding=reg.max_outstanding,
+        )
+    return lambda up, down: CutForwardUnit(up, down,
+                                           depth_beats=reg.depth_beats)
+
+
+def _declare_manager(builder: SystemBuilder, spec: ManagerScenario) -> None:
+    builder.add_manager(
+        spec.name,
+        protect=spec.protect,
+        realm_params=spec.realm,
+        granularity=spec.granularity,
+        regions=spec.regions,
+        regulation=spec.regulation,
+        throttle=spec.throttle,
+        regulator=_regulator_factory(spec) if spec.regulator else None,
+        capacity=spec.capacity,
+        node=spec.node,
+    )
+
+
+def _declare_memory(builder: SystemBuilder, spec: MemoryScenario) -> None:
+    if spec.kind == "sram":
+        builder.add_sram(
+            spec.name, base=spec.base, size=spec.size,
+            read_latency=spec.read_latency,
+            write_latency=spec.write_latency,
+            capacity=spec.capacity, node=spec.node,
+        )
+    elif spec.kind == "dram":
+        builder.add_dram(
+            spec.name, base=spec.base, size=spec.size, timing=spec.timing,
+            capacity=spec.capacity, node=spec.node,
+        )
+    else:
+        builder.add_cached_dram(
+            spec.name, base=spec.base, size=spec.size, timing=spec.timing,
+            cache_name=spec.cache_name, llc_capacity=spec.llc_capacity,
+            llc_ways=spec.llc_ways, line_bytes=spec.line_bytes,
+            hit_latency=spec.hit_latency,
+            front_capacity=spec.front_capacity, node=spec.node,
+        )
+
+
+def build_system(
+    spec: ScenarioSpec, *, active_set: Optional[bool] = None
+) -> System:
+    """Elaborate the scenario's topology (no traffic attached yet)."""
+    builder = SystemBuilder(
+        name=spec.name,
+        active_set=spec.active_set if active_set is None else active_set,
+    )
+    flavor = spec.topology.interconnect
+    if flavor == "crossbar":
+        builder.with_crossbar(qos_arbitration=spec.topology.qos_arbitration)
+    elif flavor == "noc":
+        builder.with_noc(
+            spec.topology.noc_width,
+            spec.topology.noc_height,
+            router_depth=spec.topology.router_depth,
+        )
+    elif flavor == "direct":
+        builder.with_direct()
+    for manager in spec.topology.managers:
+        _declare_manager(builder, manager)
+    for memory in spec.topology.memories:
+        _declare_memory(builder, memory)
+    try:
+        return builder.build()
+    except ValueError as exc:  # builder-level config error -> scenario error
+        raise ScenarioError(f"topology does not elaborate: {exc}",
+                            path="topology") from exc
+
+
+# ----------------------------------------------------------------------
+# traffic bindings
+# ----------------------------------------------------------------------
+def _build_trace(binding: TrafficScenario):
+    p = binding.param
+    pattern = p("pattern")
+    if pattern == "susan":
+        return susan_like_trace(
+            n_accesses=p("n_accesses"), base=p("base"),
+            footprint=p("footprint"), read_fraction=p("read_fraction"),
+            gap_mean=p("gap_mean"), beats=p("beats"), size=p("size"),
+            seed=p("seed", 42),
+        )
+    if pattern == "sequential":
+        return sequential_trace(
+            n_accesses=p("n_accesses"), base=p("base"), kind=p("rw"),
+            beats=p("beats"), size=p("size"), gap=p("gap"),
+        )
+    if pattern == "random":
+        return random_trace(
+            n_accesses=p("n_accesses"), base=p("base"),
+            footprint=p("footprint"), read_fraction=p("read_fraction"),
+            beats=p("beats"), size=p("size"), gap=p("gap"), seed=p("seed", 7),
+        )
+    return strided_trace(
+        n_accesses=p("n_accesses"), base=p("base"), stride=p("stride"),
+        kind=p("rw"), beats=p("beats"), size=p("size"), gap=p("gap"),
+    )
+
+
+def _traffic_factory(binding: TrafficScenario) -> Callable:
+    p = binding.param
+    name = f"{binding.manager}.{binding.kind}"
+    if binding.kind == "core":
+        trace = _build_trace(binding)
+        return lambda port: CoreModel(port, trace, name=name)
+    if binding.kind == "dma":
+        return lambda port: DmaEngine(
+            port, src_base=p("src_base"), src_size=p("src_size"),
+            dst_base=p("dst_base"), dst_size=p("dst_size"),
+            burst_beats=p("burst_beats"), size=p("size"),
+            n_buffers=p("n_buffers"), inter_burst_gap=p("inter_burst_gap"),
+            name=name,
+        )
+    if binding.kind == "hog":
+        return lambda port: BandwidthHog(
+            port, target_base=p("target_base"), window=p("window"),
+            beats=p("beats"), size=p("size"),
+            max_outstanding=p("max_outstanding"), name=name,
+        )
+    if binding.kind == "staller":
+        return lambda port: StallingWriter(
+            port, target=p("target"), beats=p("beats"), size=p("size"),
+            repeat=p("repeat"), name=name,
+        )
+    return lambda port: TricklingWriter(
+        port, target=p("target"), beats=p("beats"), size=p("size"),
+        gap=p("gap"), name=name,
+    )
+
+
+def attach_traffic(system: System, spec: ScenarioSpec) -> dict[str, Component]:
+    """Instantiate enabled traffic generators in file order."""
+    generators: dict[str, Component] = {}
+    for binding in spec.traffic:
+        if not binding.enabled:
+            continue
+        generators[binding.manager] = system.attach(
+            binding.manager, _traffic_factory(binding)
+        )
+    return generators
+
+
+# ----------------------------------------------------------------------
+# observables
+# ----------------------------------------------------------------------
+def _latency_digest(latencies: list[int]) -> dict:
+    return {
+        "count": len(latencies),
+        "sum": sum(latencies),
+        "min": min(latencies) if latencies else 0,
+        "max": max(latencies) if latencies else 0,
+    }
+
+
+def _manager_counters(kind: str, component: Component) -> dict[str, Any]:
+    if kind == "core":
+        return {
+            "done": component.done,
+            "execution_cycles": component.execution_cycles,
+            "progress": component.progress,
+        }
+    if kind == "dma":
+        return {
+            "bytes_read": component.bytes_read,
+            "bytes_written": component.bytes_written,
+            "read_bursts": component.read_bursts,
+            "write_bursts": component.write_bursts,
+        }
+    if kind == "hog":
+        return {"bytes_stolen": component.bytes_stolen}
+    if kind == "staller":
+        return {"aws_sent": component.aws_sent}
+    return {"bursts_completed": component.bursts_completed}
+
+
+def collect_observables(
+    system: System,
+    spec: ScenarioSpec,
+    generators: dict[str, Component],
+) -> dict[str, Any]:
+    """A JSON-plain, kernel-independent digest of the run's end state."""
+    obs: dict[str, Any] = {"sim_cycles": system.sim.cycle}
+    groups = set(spec.metrics)
+    if "counters" in groups:
+        managers: dict[str, Any] = {}
+        for binding in spec.traffic:
+            component = generators.get(binding.manager)
+            if component is None:
+                continue
+            managers[binding.manager] = _manager_counters(binding.kind,
+                                                          component)
+        obs["managers"] = managers
+    if "latency" in groups:
+        obs["latency"] = {
+            binding.manager: _latency_digest(
+                generators[binding.manager].latencies
+            )
+            for binding in spec.traffic
+            if binding.kind == "core" and binding.manager in generators
+        }
+    if "realms" in groups:
+        realms: dict[str, Any] = {}
+        for name, unit in system.realms.items():
+            snap = unit.region_snapshot(0)
+            realms[name] = {
+                "total_bytes": snap.total_bytes,
+                "stall_cycles": snap.stall_cycles,
+                "txn_count": snap.txn_count,
+                "cycles_into_period": snap.cycles_into_period,
+                "denied_by_budget": unit.mr.denied_by_budget,
+                "denied_by_throttle": unit.mr.denied_by_throttle,
+                "blocked_beats": (unit.isolation.blocked_aw
+                                  + unit.isolation.blocked_ar),
+                "isolated": unit.isolated,
+            }
+        obs["realms"] = realms
+    if "channels" in groups:
+        obs["channels"] = {
+            name: [
+                [ch.sent_total, ch.recv_total, ch.busy_cycles]
+                for ch in port.channels
+            ]
+            for name, port in system.ports.items()
+        }
+    return obs
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+def run_point(
+    point: ExpandedPoint, *, active_set: Optional[bool] = None
+) -> PointResult:
+    """Simulate one expanded campaign point and digest its observables."""
+    spec = point.spec
+    system = build_system(spec, active_set=active_set)
+    generators = attach_traffic(system, spec)
+    for warm in spec.warm:
+        system.warm_cache(warm.base, warm.size, cache=warm.cache)
+    if spec.run.until:
+        waiting = [
+            generators[name] for name in spec.run.until if name in generators
+        ]
+        if not waiting:
+            raise ScenarioError(
+                "every manager named in run.until has enabled=false traffic",
+                path="run.until",
+            )
+        system.sim.run_until(
+            lambda: all(core.done for core in waiting),
+            max_cycles=spec.run.max_cycles,
+            what=f"{spec.name}[{point.label}] traffic to finish",
+        )
+    else:
+        system.sim.run(spec.run.horizon)
+
+    primary = _primary_core(spec, generators)
+    latencies = {
+        binding.manager: list(generators[binding.manager].latencies)
+        for binding in spec.traffic
+        if binding.kind == "core" and binding.manager in generators
+    }
+    return PointResult(
+        label=point.label,
+        index=point.index,
+        seed=point.seed,
+        sim_cycles=system.sim.cycle,
+        primary_manager=primary,
+        execution_cycles=(
+            generators[primary].execution_cycles if primary else None
+        ),
+        observables=collect_observables(system, spec, generators),
+        latencies=latencies,
+    )
+
+
+def _primary_core(
+    spec: ScenarioSpec, generators: dict[str, Component]
+) -> Optional[str]:
+    """The manager whose execution time is *the* result of the point."""
+    for name in spec.run.until:
+        if name in generators:
+            return name
+    for binding in spec.traffic:
+        if binding.kind == "core" and binding.manager in generators:
+            return binding.manager
+    return None
+
+
+def _run_expanded(args: tuple[ExpandedPoint, Optional[bool]]) -> PointResult:
+    point, active_set = args
+    return run_point(point, active_set=active_set)
+
+
+def run_campaign(
+    spec: ScenarioSpec,
+    *,
+    jobs: int = 1,
+    active_set: Optional[bool] = None,
+    smoke: bool = False,
+) -> CampaignResult:
+    """Expand and execute a whole campaign.
+
+    ``jobs > 1`` fans points out over a process pool; per-point seeds are
+    derived from (master seed, index, label) before dispatch, so the
+    parallel run is bit-identical to the sequential one.
+    """
+    if smoke:
+        spec = apply_smoke(spec)
+    points = expand(spec)
+    if jobs > 1 and len(points) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(
+                pool.map(_run_expanded, [(p, active_set) for p in points])
+            )
+    else:
+        results = [run_point(p, active_set=active_set) for p in points]
+    return CampaignResult.from_points(spec, results, active_set=active_set)

@@ -1,0 +1,205 @@
+"""Campaign expansion: overrides, cartesian sweep grids, per-point seeds.
+
+Overrides address any scenario field by a dotted path over the canonical
+dict form, with list elements resolved by their ``name`` key::
+
+    topology.managers.dma.granularity = 16
+    topology.managers.dma.regions.0.budget_bytes = 2048
+    traffic.core.n_accesses = 30
+    run.max_cycles = 100000
+
+A campaign expands into an ordered list of concrete points: the explicit
+``[[campaign.points]]`` variants first, then the cartesian product of the
+``[[campaign.sweep]]`` axes.  Every point is re-validated, so an override
+that produces an inconsistent scenario fails with a precise
+:class:`ScenarioError` instead of a crash deep inside the simulator.
+
+Determinism: the per-point seed is ``derive_seed(master, index, label)``
+and traffic generators that take a seed but do not pin one in the file
+get ``derive_seed(point_seed, manager)`` — so any point of any campaign
+can be reproduced in isolation from the scenario file alone, independent
+of execution order or process fan-out (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping
+
+from repro.scenario.errors import ScenarioError
+from repro.scenario.spec import ScenarioSpec, validate
+
+_SEEDED_PATTERNS = ("susan", "random")
+
+
+def derive_seed(master: int, *parts: Any) -> int:
+    """Deterministic 63-bit seed from a master seed and context parts."""
+    text = "|".join([str(master), *map(str, parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# ----------------------------------------------------------------------
+# dotted-path overrides on the canonical dict form
+# ----------------------------------------------------------------------
+def _descend(node: Any, segment: str, path: str) -> Any:
+    if isinstance(node, dict):
+        if segment not in node:
+            raise ScenarioError(
+                f"unknown path segment {segment!r} "
+                f"(available: {', '.join(sorted(map(str, node)))})",
+                path=path,
+            )
+        return node[segment]
+    if isinstance(node, list):
+        return node[_list_index(node, segment, path)]
+    raise ScenarioError(
+        f"cannot descend into a {type(node).__name__} value", path=path
+    )
+
+
+def _list_index(node: list, segment: str, path: str) -> int:
+    if segment.isdigit():
+        index = int(segment)
+        if index >= len(node):
+            raise ScenarioError(
+                f"index {index} out of range (length {len(node)})", path=path
+            )
+        return index
+    for i, item in enumerate(node):
+        if isinstance(item, dict) and item.get("name") == segment:
+            return i
+    names = [item.get("name") for item in node
+             if isinstance(item, dict) and "name" in item]
+    raise ScenarioError(
+        f"no element named {segment!r} "
+        f"(available: {', '.join(sorted(names)) or 'indices only'})",
+        path=path,
+    )
+
+
+def set_by_path(tree: dict, dotted: str, value: Any) -> None:
+    """Set one override on a canonical scenario dict (in place)."""
+    segments = dotted.split(".")
+    if not all(segments):
+        raise ScenarioError("empty path segment", path=dotted)
+    node: Any = tree
+    for i, segment in enumerate(segments[:-1]):
+        node = _descend(node, segment, ".".join(segments[: i + 1]))
+    last = segments[-1]
+    if isinstance(node, dict):
+        node[last] = value  # new keys allowed: validation vets them
+    elif isinstance(node, list):
+        node[_list_index(node, last, dotted)] = value
+    else:
+        raise ScenarioError(
+            f"cannot assign into a {type(node).__name__} value", path=dotted
+        )
+
+
+def apply_overrides(
+    spec: ScenarioSpec,
+    overrides: Mapping[str, Any] | Iterable[tuple[str, Any]],
+) -> ScenarioSpec:
+    """A new validated spec with dotted-path overrides applied."""
+    tree = spec.to_dict()
+    items = overrides.items() if isinstance(overrides, Mapping) else overrides
+    for dotted, value in items:
+        set_by_path(tree, dotted, copy.deepcopy(value))
+    return validate(tree)
+
+
+def apply_smoke(spec: ScenarioSpec) -> ScenarioSpec:
+    """Apply the scenario's own ``[smoke]`` overrides (quick-run scale)."""
+    if not spec.smoke:
+        return spec
+    return apply_overrides(spec, spec.smoke)
+
+
+# ----------------------------------------------------------------------
+# expansion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExpandedPoint:
+    """One concrete, runnable scenario of a campaign."""
+
+    index: int
+    label: str
+    seed: int
+    spec: ScenarioSpec  # campaign/smoke stripped, traffic seeds resolved
+
+
+def _axis_label(axis, value_index: int) -> str:
+    if axis.labels:
+        return axis.labels[value_index]
+    stem = axis.fields[0].rsplit(".", 1)[-1]
+    return f"{stem}={axis.values[value_index]}"
+
+
+def _resolve_seeds(spec: ScenarioSpec, point_seed: int) -> ScenarioSpec:
+    """Pin a derived seed on every seeded generator that didn't set one."""
+    traffic = []
+    for binding in spec.traffic:
+        needs_seed = (
+            binding.kind == "core"
+            and binding.param("pattern") in _SEEDED_PATTERNS
+            and binding.param("seed") is None
+        )
+        if needs_seed:
+            binding = binding.with_params(
+                seed=derive_seed(point_seed, binding.manager)
+            )
+        traffic.append(binding)
+    return replace(spec, traffic=tuple(traffic))
+
+
+def expand(spec: ScenarioSpec) -> list[ExpandedPoint]:
+    """Expand a campaign into its ordered list of concrete points."""
+    base = spec.to_dict()
+    base.pop("campaign", None)
+    base.pop("smoke", None)
+
+    labelled: list[tuple[str, list[tuple[str, Any]]]] = []
+    for point in spec.campaign.points:
+        labelled.append((point.label, list(point.set)))
+    axes = spec.campaign.sweep
+    if axes:
+        for combo in itertools.product(
+            *[range(len(axis.values)) for axis in axes]
+        ):
+            label = ",".join(
+                _axis_label(axis, vi) for axis, vi in zip(axes, combo)
+            )
+            overrides = [
+                (field, axis.values[vi])
+                for axis, vi in zip(axes, combo)
+                for field in axis.fields
+            ]
+            labelled.append((label, overrides))
+    if not labelled:
+        labelled.append((spec.name, []))
+
+    seen: set[str] = set()
+    points: list[ExpandedPoint] = []
+    for index, (label, overrides) in enumerate(labelled):
+        if label in seen:
+            raise ScenarioError(f"duplicate point label {label!r}",
+                                path="campaign")
+        seen.add(label)
+        tree = copy.deepcopy(base)
+        for dotted, value in overrides:
+            set_by_path(tree, dotted, copy.deepcopy(value))
+        point_spec = validate(tree)
+        point_seed = derive_seed(spec.seed, index, label)
+        points.append(
+            ExpandedPoint(
+                index=index,
+                label=label,
+                seed=point_seed,
+                spec=_resolve_seeds(point_spec, point_seed),
+            )
+        )
+    return points

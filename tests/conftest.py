@@ -11,6 +11,17 @@ import pytest
 from repro.sim import Simulator
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="re-record tests/golden/*.json from the current simulation "
+        "(the naive-kernel runs still assert against the fresh goldens, "
+        "so cycle-identity is verified during the update)",
+    )
+
+
 @pytest.fixture
 def sim():
     return Simulator()

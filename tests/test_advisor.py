@@ -95,14 +95,16 @@ def test_advisor_closes_the_loop_in_system():
     exp = ContentionExperiment(n_accesses=60)
     base = exp.run_single_source()
     # Phase 1: observe under uncontrolled contention.
-    sim, soc, core, dma = exp._build(with_dma=True)
-    exp._configure_realm(soc, 1, 1 << 40, 1 << 40, 1000, True)
-    sim.run(3000)
+    system, _generators = exp.build(
+        with_dma=True, fragmentation=1, core_budget=1 << 40,
+        dma_budget=1 << 40, period=1000, regulation=True,
+    )
+    system.sim.run(3000)
     advisor = BudgetAdvisor(link_bytes_per_cycle=8)
     observations = [
-        ManagerObservation("core", soc.realm("core").region_snapshot(0),
+        ManagerObservation("core", system.realm("core").region_snapshot(0),
                            weight=4.0),
-        ManagerObservation("dma", soc.realm("dma").region_snapshot(0),
+        ManagerObservation("dma", system.realm("dma").region_snapshot(0),
                            weight=1.0),
     ]
     plans = {p.name: p for p in advisor.plan(observations, 1000)}

@@ -1,8 +1,53 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, parse_cli_value
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+TINY_SCENARIO = """
+[scenario]
+name = "tiny"
+seed = 3
+
+[run]
+until = ["core"]
+max_cycles = 50_000
+
+[topology]
+[[topology.managers]]
+name = "core"
+
+[[topology.memories]]
+name = "mem"
+kind = "sram"
+base = 0x0
+size = 0x1_0000
+
+[traffic.core]
+kind = "core"
+pattern = "sequential"
+n_accesses = 8
+
+[campaign]
+baseline = "base"
+[[campaign.points]]
+label = "base"
+[[campaign.points]]
+label = "gapped"
+[campaign.points.set]
+"traffic.core.gap" = 4
+
+[smoke.set]
+"traffic.core.n_accesses" = 2
+"""
 
 
 def test_table1_command(capsys):
@@ -32,6 +77,136 @@ def test_fig6b_command_small(capsys):
     assert "dma=1/5" in out
 
 
+def test_experiment_options_accepted_after_the_subcommand(capsys):
+    # The pre-subparser CLI accepted options in either position.
+    assert main(["fig6a", "--accesses", "30", "--fragmentations",
+                 "256,1"]) == 0
+    assert "frag=1" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["nope"])
+
+
+# ----------------------------------------------------------------------
+# no subcommand: help + exit status 2 (not a traceback)
+# ----------------------------------------------------------------------
+def test_no_subcommand_prints_help_and_returns_2(capsys):
+    assert main([]) == 2
+    out = capsys.readouterr().out
+    assert "usage: repro" in out
+    assert "run" in out and "fig6a" in out
+
+
+def test_module_invocation_without_subcommand_exits_2():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"], capture_output=True, text=True,
+        env=env,
+    )
+    assert proc.returncode == 2
+    assert "usage: repro" in proc.stdout
+    assert "Traceback" not in proc.stderr
+
+
+# ----------------------------------------------------------------------
+# scenario subcommands
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_scenario(tmp_path):
+    path = tmp_path / "tiny.toml"
+    path.write_text(TINY_SCENARIO)
+    return path
+
+
+def test_run_command_prints_table_and_writes_reports(
+    tiny_scenario, tmp_path, capsys
+):
+    json_path = tmp_path / "report.json"
+    csv_path = tmp_path / "report.csv"
+    assert main(["run", str(tiny_scenario), "--json", str(json_path),
+                 "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "base" in out and "gapped" in out
+    report = json.loads(json_path.read_text())
+    assert report["scenario"] == "tiny"
+    assert [p["label"] for p in report["points"]] == ["base", "gapped"]
+    assert report["points"][0]["perf_percent"] == 100.0
+    assert csv_path.read_text().startswith("label,")
+
+
+def test_run_command_smoke_applies_overrides(tiny_scenario, tmp_path):
+    json_path = tmp_path / "report.json"
+    assert main(["run", str(tiny_scenario), "--smoke",
+                 "--json", str(json_path)]) == 0
+    report = json.loads(json_path.read_text())
+    latency = report["points"][0]["latency"]
+    assert latency["count"] == 2  # smoke trims the trace to 2 accesses
+
+
+def test_run_command_set_overrides(tiny_scenario, tmp_path):
+    json_path = tmp_path / "report.json"
+    assert main(["run", str(tiny_scenario),
+                 "--set", "traffic.core.n_accesses=3",
+                 "--json", str(json_path)]) == 0
+    report = json.loads(json_path.read_text())
+    assert report["points"][0]["latency"]["count"] == 3
+
+
+def test_run_command_scenario_error_exits_1(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text("[scenario]\nname = 'x'\n")
+    assert main(["run", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "scenario error" in err
+
+
+def test_run_command_missing_file_exits_1(tmp_path, capsys):
+    assert main(["run", str(tmp_path / "ghost.toml")]) == 1
+    assert "scenario error" in capsys.readouterr().err
+
+
+def test_sweep_command_replaces_campaign(tiny_scenario, tmp_path, capsys):
+    json_path = tmp_path / "report.json"
+    assert main(["sweep", str(tiny_scenario),
+                 "--axis", "traffic.core.gap=0,6",
+                 "--json", str(json_path)]) == 0
+    report = json.loads(json_path.read_text())
+    assert [p["label"] for p in report["points"]] == ["gap=0", "gap=6"]
+    # The ad-hoc sweep dropped the file's explicit points.
+    out = capsys.readouterr().out
+    assert "gapped" not in out
+
+
+def test_sweep_command_empty_axis_values_errors(tiny_scenario, capsys):
+    assert main(["sweep", str(tiny_scenario),
+                 "--axis", "traffic.core.gap="]) == 1
+    assert "at least one value" in capsys.readouterr().err
+
+
+def test_run_command_watchdog_timeout_exits_1(tiny_scenario, capsys):
+    assert main(["run", str(tiny_scenario),
+                 "--set", "run.max_cycles=2"]) == 1
+    err = capsys.readouterr().err
+    assert "scenario error" in err
+    assert "Traceback" not in err
+
+
+def test_sweep_command_bad_axis_value_errors(tiny_scenario, capsys):
+    assert main(["sweep", str(tiny_scenario),
+                 "--axis", "traffic.core.gap=zzz,1"]) == 1
+    assert "scenario error" in capsys.readouterr().err
+
+
+def test_parse_cli_value_types():
+    assert parse_cli_value("256") == 256
+    assert parse_cli_value("0x40") == 64
+    assert parse_cli_value("2_000") == 2000
+    assert parse_cli_value("1.5") == 1.5
+    assert parse_cli_value("true") is True
+    assert parse_cli_value("False") is False
+    assert parse_cli_value("unlimited") == "unlimited"

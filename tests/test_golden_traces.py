@@ -1,0 +1,93 @@
+"""Golden-trace regression harness for the shipped scenario files.
+
+Every ``scenarios/*.toml`` campaign runs at smoke scale on BOTH kernels
+and its observable digest (per-manager counters, latency summaries,
+REALM bookkeeping, channel statistics, execution cycles) is diffed
+against the checked-in ``tests/golden/<name>.json``.  Because the two
+kernel variants assert against the *same* golden file, any change that
+breaks cycle-accuracy — in either kernel, the builder, the traffic
+models, or the scenario expansion itself — fails here before it can
+drift silently.
+
+Regenerate after an intentional behaviour change with::
+
+    python -m pytest tests/test_golden_traces.py --update-golden
+
+(the active-set runs re-record the files; the naive-kernel runs still
+assert against the fresh goldens, so cycle-identity is re-verified
+during the update).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import load_file, run_campaign
+
+SCENARIO_DIR = Path(__file__).resolve().parent.parent / "scenarios"
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+SCENARIOS = sorted(SCENARIO_DIR.glob("*.toml"))
+
+# active_set=True first: an --update-golden run records from the
+# active-set pass, then the naive pass checks against the fresh file.
+_CASES = [
+    pytest.param(path, active_set,
+                 id=f"{path.stem}-{'active' if active_set else 'naive'}")
+    for path in SCENARIOS
+    for active_set in (True, False)
+]
+
+
+def _campaign_digest(path: Path, active_set: bool) -> dict:
+    spec = load_file(path)
+    result = run_campaign(spec, smoke=True, active_set=active_set)
+    return result.digest()
+
+
+def test_scenarios_are_shipped():
+    assert SCENARIOS, f"no scenario files found in {SCENARIO_DIR}"
+
+
+def test_every_scenario_has_a_golden():
+    missing = [
+        path.stem for path in SCENARIOS
+        if not (GOLDEN_DIR / f"{path.stem}.json").exists()
+    ]
+    assert not missing, (
+        f"missing golden traces for {missing}; run "
+        "`python -m pytest tests/test_golden_traces.py --update-golden`"
+    )
+
+
+def test_no_stale_goldens():
+    stems = {path.stem for path in SCENARIOS}
+    stale = [
+        path.name for path in sorted(GOLDEN_DIR.glob("*.json"))
+        if path.stem not in stems
+    ]
+    assert not stale, f"golden traces without a scenario file: {stale}"
+
+
+@pytest.mark.parametrize("scenario_path,active_set", _CASES)
+def test_golden_trace(scenario_path: Path, active_set: bool, request):
+    digest = _campaign_digest(scenario_path, active_set)
+    golden_path = GOLDEN_DIR / f"{scenario_path.stem}.json"
+    if request.config.getoption("--update-golden") and active_set:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(
+            json.dumps(digest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    assert golden_path.exists(), (
+        f"no golden trace for {scenario_path.stem}; run with --update-golden"
+    )
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    assert digest == golden, (
+        f"{scenario_path.stem} drifted from its golden trace on the "
+        f"{'active-set' if active_set else 'naive'} kernel; if the change "
+        "is intentional, regenerate with --update-golden"
+    )

@@ -9,12 +9,17 @@ kernels and diff the observables.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.realm import RegionConfig
+from repro.scenario import load_file, run_campaign, run_point, expand, validate
 from repro.sim import Simulator
 from repro.system import SystemBuilder
 from repro.traffic import BandwidthHog, CoreModel, DmaEngine, susan_like_trace
+
+SCENARIO_DIR = Path(__file__).resolve().parent.parent / "scenarios"
 
 
 def _regulated_contention(active_set: bool):
@@ -167,3 +172,96 @@ def test_reset_restores_deterministic_replay(active_set):
 
 def test_reset_replay_matches_across_kernels():
     assert _reset_determinism(False) == _reset_determinism(True)
+
+
+# ----------------------------------------------------------------------
+# scenario-axis sweeps: the declarative campaign layer lets the
+# equivalence suite cover far more of the configuration space than the
+# original hand-coded period sweep — interconnect flavor x memory
+# backend x (malicious) traffic mix, each diffed kernel-vs-kernel.
+# ----------------------------------------------------------------------
+def _axis_scenario(interconnect: str, memory: str, aggressor: str) -> dict:
+    """One point of the equivalence grid in canonical scenario form."""
+    managers = [
+        {
+            "name": "core",
+            "granularity": 8,
+            "regions": [{"base": 0x8000_0000, "size": 0x4_0000,
+                         "budget_bytes": "unlimited",
+                         "period_cycles": "unlimited"}],
+        },
+        {
+            "name": "bad",
+            "granularity": 1,
+            "regions": [{"base": 0x8000_0000, "size": 0x4_0000,
+                         "budget_bytes": 1024, "period_cycles": 400}],
+        },
+    ]
+    memories = [{
+        "name": "dram",
+        "kind": memory,
+        "base": 0x8000_0000,
+        "size": 0x4_0000,
+    }]
+    if memory == "cached_dram":
+        memories[0].update(llc_capacity=0x8000, llc_ways=4, front_capacity=4)
+    topology: dict = {"interconnect": interconnect,
+                      "managers": managers, "memories": memories}
+    if interconnect == "noc":
+        topology["noc"] = {"width": 3, "height": 2}
+    aggressors = {
+        "hog": {"kind": "hog", "target_base": 0x8000_0000,
+                "window": 0x8000, "beats": 64},
+        "trickler": {"kind": "trickler", "target": 0x8000_0000,
+                     "beats": 8, "gap": 32},
+        "dma": {"kind": "dma", "src_base": 0x8000_4000, "src_size": 0x4000,
+                "dst_base": 0x8000_8000, "dst_size": 0x4000,
+                "burst_beats": 64},
+    }
+    warm = []
+    if memory == "cached_dram":
+        warm = [{"cache": "llc", "base": 0x8000_0000, "size": 8192}]
+    return {
+        "scenario": {"name": "equiv-axis", "seed": 3},
+        "run": {"horizon": 6_000},
+        "topology": topology,
+        "traffic": {
+            "core": {"kind": "core", "pattern": "susan", "n_accesses": 200,
+                     "base": 0x8000_0000, "footprint": 8192, "gap_mean": 3,
+                     "beats": 2},
+            "bad": aggressors[aggressor],
+        },
+        "warm": warm,
+    }
+
+
+AXIS_GRID = [
+    ("crossbar", "cached_dram", "hog"),
+    ("crossbar", "dram", "trickler"),
+    ("noc", "cached_dram", "dma"),
+    ("noc", "sram", "hog"),
+    ("crossbar", "sram", "dma"),
+]
+
+
+@pytest.mark.parametrize("interconnect,memory,aggressor", AXIS_GRID)
+def test_scenario_axes_are_cycle_identical(interconnect, memory, aggressor):
+    spec = validate(_axis_scenario(interconnect, memory, aggressor))
+    point = expand(spec)[0]
+    naive = run_point(point, active_set=False)
+    active = run_point(point, active_set=True)
+    assert naive.observables == active.observables
+    assert naive.latencies == active.latencies
+
+
+@pytest.mark.parametrize(
+    "name", [path.stem for path in sorted(SCENARIO_DIR.glob("*.toml"))]
+)
+def test_shipped_campaigns_are_cycle_identical(name):
+    """Whole shipped campaigns (smoke scale) diffed kernel-vs-kernel —
+    independent of the checked-in goldens, so a stale golden can never
+    mask an equivalence break."""
+    spec = load_file(SCENARIO_DIR / f"{name}.toml")
+    naive = run_campaign(spec, smoke=True, active_set=False)
+    active = run_campaign(spec, smoke=True, active_set=True)
+    assert naive.digest() == active.digest()

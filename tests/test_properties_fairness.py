@@ -1,0 +1,131 @@
+"""Property-based fairness tests for the crossbar and its arbiters.
+
+The round-robin arbiter is what stands between a well-behaved manager
+and starvation (before REALM regulation even enters the picture), so
+its fairness contract is checked under randomized request patterns:
+
+* grants only go to requesters, and some request always wins (work
+  conservation);
+* between managers that request continuously, grant counts never drift
+  apart by more than one (strict round-robin fairness);
+* two symmetric aggressors through a real crossbar split a subordinate's
+  bandwidth equally (system-level fairness).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.arbiter import FixedPriorityArbiter, RoundRobinArbiter
+from repro.sim import Simulator
+from repro.system import SystemBuilder
+from repro.traffic import BandwidthHog
+
+
+# ----------------------------------------------------------------------
+# round-robin arbiter
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_property_rr_grants_only_requesters_and_is_work_conserving(n, data):
+    arb = RoundRobinArbiter(n)
+    steps = data.draw(
+        st.lists(st.lists(st.booleans(), min_size=n, max_size=n),
+                 min_size=1, max_size=40)
+    )
+    for requests in steps:
+        granted = arb.grant(requests)
+        if any(requests):
+            assert granted is not None, "work conservation violated"
+            assert requests[granted], "granted a non-requester"
+        else:
+            assert granted is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    hot=st.data(),
+)
+def test_property_rr_continuous_requesters_stay_within_one_grant(n, hot):
+    """Any set of always-requesting managers shares grants evenly (max
+    spread 1), regardless of what the other request lines do."""
+    arb = RoundRobinArbiter(n)
+    always = hot.draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), min_size=2,
+                max_size=n)
+    )
+    noise = hot.draw(
+        st.lists(st.lists(st.booleans(), min_size=n, max_size=n),
+                 min_size=10, max_size=60)
+    )
+    counts = {i: 0 for i in always}
+    for pattern in noise:
+        requests = [bool(v) or (i in always) for i, v in enumerate(pattern)]
+        granted = arb.grant(requests)
+        if granted in counts:
+            counts[granted] += 1
+    spread = max(counts.values()) - min(counts.values())
+    assert spread <= 1, f"unfair grant spread {spread}: {counts}"
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(min_value=2, max_value=6),
+       rounds=st.integers(min_value=1, max_value=5))
+def test_property_rr_full_contention_is_exactly_even(n, rounds):
+    arb = RoundRobinArbiter(n)
+    counts = [0] * n
+    for _ in range(rounds * n):
+        counts[arb.grant([True] * n)] += 1
+    assert counts == [rounds] * n
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(min_value=1, max_value=6), data=st.data())
+def test_property_fixed_priority_always_prefers_lowest(n, data):
+    arb = FixedPriorityArbiter(n)
+    requests = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    granted = arb.grant(requests)
+    if any(requests):
+        assert granted == requests.index(True)
+    else:
+        assert granted is None
+
+
+# ----------------------------------------------------------------------
+# crossbar-level fairness
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    beats=st.sampled_from([4, 8, 16]),
+    read_latency=st.sampled_from([1, 4]),
+    horizon=st.sampled_from([3000, 6000]),
+)
+def test_property_symmetric_hogs_split_bandwidth_evenly(
+    beats, read_latency, horizon
+):
+    """Two identical saturating readers behind the crossbar get the same
+    throughput to within one burst (round-robin at burst granularity)."""
+    sim = Simulator()
+    builder = SystemBuilder(sim).with_crossbar()
+    builder.add_manager("a").add_manager("b")
+    builder.add_sram("mem", base=0, size=0x10000,
+                     read_latency=read_latency, capacity=4)
+    system = builder.build()
+    hogs = [
+        system.attach(
+            name,
+            lambda port: BandwidthHog(port, target_base=0, window=0x8000,
+                                      beats=beats),
+        )
+        for name in ("a", "b")
+    ]
+    sim.run(horizon)
+    stolen = [hog.bytes_stolen for hog in hogs]
+    assert min(stolen) > 0, "a manager starved outright"
+    burst_bytes = beats * 8
+    assert abs(stolen[0] - stolen[1]) <= burst_bytes, (
+        f"unfair split under symmetric load: {stolen}"
+    )
