@@ -21,8 +21,8 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from repro import analysis, area, axi, baselines, interconnect, mem, realm
-from repro import sim, soc, system, traffic
+from repro import analysis, area, axi, baselines, control, interconnect
+from repro import mem, realm, sim, soc, system, traffic
 
 __all__ = [
     "__version__",
@@ -30,6 +30,7 @@ __all__ = [
     "area",
     "axi",
     "baselines",
+    "control",
     "interconnect",
     "mem",
     "realm",

@@ -1,6 +1,7 @@
 """Analysis: statistics, interference monitoring, experiment runners."""
 
 from repro.analysis.advisor import (
+    AdvisorLoop,
     BudgetAdvisor,
     BudgetPlan,
     ManagerObservation,
@@ -18,6 +19,7 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "AdvisorLoop",
     "BudgetAdvisor",
     "BudgetPlan",
     "ContentionExperiment",

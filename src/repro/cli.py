@@ -6,6 +6,8 @@ Usage::
     python -m repro run campaign.toml --jobs 4 --json report.json
     python -m repro sweep scenarios/fig6a.toml \\
         --axis traffic.dma.burst_beats=16,64,256    # ad-hoc sweep
+    python -m repro probes scenarios/fig6a.toml     # control-plane probes
+    python -m repro knobs scenarios/fig6a.toml      # control-plane knobs
     python -m repro fig6a            # fragmentation sweep
     python -m repro fig6b            # budget-imbalance sweep
     python -m repro table1           # SoC area decomposition
@@ -135,6 +137,9 @@ def _emit_campaign(result, args: argparse.Namespace) -> None:
     if args.csv:
         result.write_csv(args.csv)
         print(f"csv written to {args.csv}")
+    if args.timeseries:
+        result.write_timeseries_csv(args.timeseries)
+        print(f"timeseries written to {args.timeseries}")
 
 
 def _run_scenario(args: argparse.Namespace) -> int:
@@ -199,6 +204,66 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _elaborate(args: argparse.Namespace):
+    """Build the scenario's base-point system with traffic attached, so
+    every probe/knob path — including ``traffic.*`` — is registered."""
+    from dataclasses import replace
+
+    from repro.scenario import (
+        CampaignSpec,
+        attach_traffic,
+        build_system,
+        expand,
+        install_control,
+    )
+
+    spec = _load_scenario(args)
+    # The base scenario, not a campaign point: strip the campaign so the
+    # listing reflects the file's own topology and traffic sections.
+    point = expand(replace(spec, campaign=CampaignSpec()))[0]
+    system = build_system(point.spec)
+    attach_traffic(system, point.spec)
+    install_control(system, point.spec)
+    return spec, system
+
+
+def _run_probes(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioError
+    from repro.sim import SimulationError
+
+    try:
+        spec, system = _elaborate(args)
+    except (ScenarioError, SimulationError) as exc:
+        print(f"repro: scenario error: {exc}", file=sys.stderr)
+        return 1
+    inventory = system.control.describe()["probes"]
+    print(f"# {spec.name}: {len(inventory)} probes")
+    print(f"{'path':<44} {'kind':<8} {'value':>12}  doc")
+    for entry in inventory:
+        print(f"{entry['path']:<44} {entry['kind']:<8} "
+              f"{entry['value']:>12}  {entry['doc']}")
+    return 0
+
+
+def _run_knobs(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioError
+    from repro.sim import SimulationError
+
+    try:
+        spec, system = _elaborate(args)
+    except (ScenarioError, SimulationError) as exc:
+        print(f"repro: scenario error: {exc}", file=sys.stderr)
+        return 1
+    inventory = system.control.describe()["knobs"]
+    print(f"# {spec.name}: {len(inventory)} knobs")
+    print(f"{'path':<44} {'kind':<6} {'value':>12}  doc")
+    for entry in inventory:
+        flags = " [intrusive]" if entry["intrusive"] else ""
+        print(f"{entry['path']:<44} {entry['kind']:<6} "
+              f"{str(entry['value']):>12}  {entry['doc']}{flags}")
+    return 0
+
+
 _COMMANDS = {
     "fig6a": _run_fig6a,
     "fig6b": _run_fig6b,
@@ -206,6 +271,8 @@ _COMMANDS = {
     "table2": _run_table2,
     "run": _run_scenario,
     "sweep": _run_sweep,
+    "probes": _run_probes,
+    "knobs": _run_knobs,
 }
 
 
@@ -231,6 +298,11 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
                         help="write the campaign report as JSON")
     parser.add_argument("--csv", metavar="PATH",
                         help="write the campaign result table as CSV")
+    parser.add_argument(
+        "--timeseries", metavar="PATH",
+        help="write sampled probe timeseries (long-form CSV; needs a "
+        "[probes] or [[schedule]] sampler in the scenario)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,6 +350,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="comma-separated fragmentation sizes (e.g. 256,16,1)",
     )
+    for command, what in (("probes", "probes"), ("knobs", "knobs")):
+        list_parser = sub.add_parser(
+            command,
+            help=f"list the control-plane {what} a scenario's system "
+            "publishes (paths, types, current values)",
+        )
+        list_parser.add_argument("file",
+                                 help="scenario file (.toml or .json)")
+        list_parser.add_argument(
+            "--set", action="append", metavar="FIELD=VALUE",
+            help="override a scenario field (dotted path), repeatable",
+        )
     sub.add_parser("table1", help="SoC area decomposition (Table I)")
     sub.add_parser("table2", help="area-model coefficients (Table II)")
     return parser

@@ -1,0 +1,59 @@
+"""Unified control plane: probes, knobs, and scheduled reconfiguration.
+
+The paper's M&R unit exists so an operator can *observe* per-manager
+demand and *reconfigure* budgets at runtime.  This package is that loop's
+simulation-side API, one seam for all of it:
+
+* :class:`ProbeRegistry` — hierarchical, typed, read-only observables
+  published by every component under dotted paths
+  (``realm.dma.region0.total_bytes``, ``noc.r1c0.occupancy``), plus
+  handshake event sources for tracers;
+* :class:`KnobRegistry` — runtime-settable parameters
+  (``realm.core.region0.budget_bytes``, ``traffic.dma.enabled``), with
+  REALM knobs routed through the memory-mapped register file behind the
+  bus guard so reconfiguration stays hardware-faithful;
+* :class:`Schedule` — ``at`` / ``every`` / ``when``-triggered rules that
+  fire at commit boundaries through the kernel's hook heap, keeping
+  scheduled runs bit-identical across both kernels;
+* :class:`ControlPlane` — the composition every
+  :class:`repro.system.SystemBuilder`-built system carries on
+  ``system.control``.
+
+Scenario files drive the same API declaratively through their
+``[probes]`` and ``[[schedule]]`` sections (see ``repro.scenario``).
+"""
+
+from repro.control.knobs import (
+    CONTROL_TID,
+    Knob,
+    KnobError,
+    KnobRegistry,
+    RegfilePort,
+)
+from repro.control.plane import ControlPlane
+from repro.control.probes import Probe, ProbeError, ProbeRegistry
+from repro.control.schedule import (
+    Comparison,
+    Rule,
+    Schedule,
+    ScheduleError,
+)
+from repro.control.wiring import register_system, register_traffic
+
+__all__ = [
+    "CONTROL_TID",
+    "Comparison",
+    "ControlPlane",
+    "Knob",
+    "KnobError",
+    "KnobRegistry",
+    "Probe",
+    "ProbeError",
+    "ProbeRegistry",
+    "RegfilePort",
+    "Rule",
+    "Schedule",
+    "ScheduleError",
+    "register_system",
+    "register_traffic",
+]

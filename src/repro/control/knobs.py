@@ -1,0 +1,179 @@
+"""Knob registry: the actuation half of the control plane.
+
+A *knob* is a runtime-settable parameter published under a dotted path::
+
+    realm.dma.region0.budget_bytes    int    bytes per period
+    realm.core.ctrl.regulation        bool   regulation enable
+    traffic.dma.enabled               bool   generator run/stop
+    xbar.core.qos                     int    QoS override (-1 = per-beat)
+
+Knob writes on REALM units are *hardware-faithful*: they are routed
+through the shared :class:`~repro.realm.register_file.RealmRegisterFile`
+behind the bus guard — the same memory-mapped path boot software and a
+hypervisor would use — so a scheduled reconfiguration exercises exactly
+the register semantics of the paper (intrusive writes drain the unit,
+budget writes take effect at the next replenish, and so on).  The control
+plane claims the guard lazily with :data:`CONTROL_TID` on its first
+access; if other software owns the configuration space, knob writes are
+refused just like any other non-owner access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Iterable, Optional
+
+from repro.control.probes import check_dotted_path
+from repro.realm.bus_guard import BusGuardError
+from repro.realm.register_file import RegisterError
+
+#: Transaction ID the control plane uses on the configuration bus.
+CONTROL_TID = 0xC0
+
+KNOB_KINDS = ("int", "bool")
+
+
+class KnobError(Exception):
+    """Unknown knob path, bad value type, or a rejected register access."""
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One runtime-settable parameter: metadata plus accessor closures."""
+
+    path: str
+    read: Callable[[], Any]
+    write: Callable[[Any], None]
+    kind: str = "int"  # int | bool
+    doc: str = ""
+    intrusive: bool = False  # write drains/isolates the unit first
+
+    def value(self) -> Any:
+        return self.read()
+
+
+def _check_path(path: str) -> str:
+    return check_dotted_path(path, KnobError, "knob")
+
+
+class KnobRegistry:
+    """Pattern-addressable registry of knobs (insertion-ordered)."""
+
+    def __init__(self) -> None:
+        self._knobs: dict[str, Knob] = {}
+
+    # ------------------------------------------------------------------
+    # registration (build-time)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        path: str,
+        read: Callable[[], Any],
+        write: Callable[[Any], None],
+        *,
+        kind: str = "int",
+        doc: str = "",
+        intrusive: bool = False,
+    ) -> Knob:
+        _check_path(path)
+        if kind not in KNOB_KINDS:
+            raise KnobError(f"unknown knob kind {kind!r}")
+        if path in self._knobs:
+            raise KnobError(f"knob {path!r} registered twice")
+        knob = Knob(path=path, read=read, write=write, kind=kind, doc=doc,
+                    intrusive=intrusive)
+        self._knobs[path] = knob
+        return knob
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __contains__(self, path: str) -> bool:
+        return path in self._knobs
+
+    def __len__(self) -> int:
+        return len(self._knobs)
+
+    def knob(self, path: str) -> Knob:
+        try:
+            return self._knobs[path]
+        except KeyError:
+            raise KnobError(f"no knob named {path!r}") from None
+
+    def paths(self) -> list[str]:
+        return list(self._knobs)
+
+    def knobs(self) -> Iterable[Knob]:
+        return self._knobs.values()
+
+    def match(self, pattern: str) -> list[str]:
+        return [
+            p for p in self._knobs
+            if p == pattern or fnmatchcase(p, pattern)
+        ]
+
+    def get(self, path: str) -> Any:
+        return self.knob(path).read()
+
+    def check_value(self, path: str, value: Any) -> Knob:
+        """Verify *value*'s type matches the knob's kind (no write)."""
+        knob = self.knob(path)
+        if knob.kind == "bool":
+            if not isinstance(value, bool):
+                raise KnobError(
+                    f"knob {path!r} takes a bool, got {type(value).__name__}"
+                )
+        elif isinstance(value, bool) or not isinstance(value, int):
+            raise KnobError(
+                f"knob {path!r} takes an int, got {type(value).__name__}"
+            )
+        return knob
+
+    def set(self, path: str, value: Any) -> None:
+        """Type-check *value* and write it through the knob's route."""
+        knob = self.check_value(path, value)
+        try:
+            knob.write(value)
+        except BusGuardError as exc:
+            raise KnobError(
+                f"knob {path!r} rejected by the bus guard: {exc}"
+            ) from exc
+        except (RegisterError, ValueError) as exc:
+            # Register semantics can refuse a well-typed value (e.g. a
+            # zero splitter granularity fails config validation).
+            raise KnobError(f"knob {path!r} rejected: {exc}") from exc
+
+
+class RegfilePort:
+    """The control plane's seat on the configuration bus.
+
+    Wraps a :class:`~repro.realm.register_file.RealmRegisterFile` with the
+    control plane's TID.  The bus guard is claimed lazily on first use
+    (mirroring a hypervisor claiming the space early in boot); accesses
+    while some other TID owns the space raise
+    :class:`~repro.realm.bus_guard.BusGuardError`, which knob writes
+    surface as :class:`KnobError`.
+    """
+
+    def __init__(self, regfile, tid: int = CONTROL_TID) -> None:
+        self.regfile = regfile
+        self.tid = tid
+
+    def _ensure_claimed(self) -> None:
+        guard = self.regfile.guard
+        if not guard.claimed:
+            guard.write_guard(self.tid, self.tid)
+
+    def read(self, offset: int) -> int:
+        self._ensure_claimed()
+        return self.regfile.read(offset, tid=self.tid)
+
+    def write(self, offset: int, value: int) -> None:
+        self._ensure_claimed()
+        self.regfile.write(offset, value, tid=self.tid)
+
+    def rmw_bit(self, offset: int, bit: int, set_it: bool) -> None:
+        value = self.read(offset)
+        value = (value | bit) if set_it else (value & ~bit)
+        self.write(offset, value)

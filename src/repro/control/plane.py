@@ -1,0 +1,91 @@
+"""The control plane: one object tying probes, knobs, and the schedule.
+
+Every system built through :class:`repro.system.SystemBuilder` carries a
+:class:`ControlPlane` on ``system.control``.  It is the single seam for
+runtime observation and reconfiguration:
+
+* ``control.probes`` — the probe registry (read-only observables);
+* ``control.knobs``  — the knob registry (runtime-settable parameters,
+  REALM knobs routed through the register file / bus guard);
+* ``control.schedule`` — commit-boundary scheduled rules.
+
+Convenience forwarding keeps the common cases one call deep::
+
+    system.control.read("realm.dma.region0.total_bytes")
+    system.control.set("realm.dma.region0.budget_bytes", 4096)
+    system.control.every(1000, sample=["realm.*.region0.stall_cycles"])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.control.knobs import KnobRegistry, RegfilePort
+from repro.control.probes import ProbeRegistry
+from repro.control.schedule import Rule, Schedule
+from repro.sim.kernel import Simulator
+
+
+class ControlPlane:
+    """Probe + knob registries and the schedule engine of one system."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.probes = ProbeRegistry()
+        self.knobs = KnobRegistry()
+        self.schedule = Schedule(sim, self.probes, self.knobs)
+        self.regfile_port: Optional[RegfilePort] = None  # set when realms exist
+
+    # ------------------------------------------------------------------
+    # probe shortcuts
+    # ------------------------------------------------------------------
+    def read(self, path: str) -> int:
+        return self.probes.read(path)
+
+    def sample(self, *patterns: str) -> dict[str, int]:
+        return self.probes.sample(*patterns)
+
+    # ------------------------------------------------------------------
+    # knob shortcuts
+    # ------------------------------------------------------------------
+    def set(self, path: str, value: Any) -> None:
+        self.knobs.set(path, value)
+
+    def get(self, path: str) -> Any:
+        return self.knobs.get(path)
+
+    # ------------------------------------------------------------------
+    # schedule shortcuts
+    # ------------------------------------------------------------------
+    def at(self, cycle: int, action=None, **options) -> Rule:
+        return self.schedule.at(cycle, action, **options)
+
+    def every(self, period: int, action=None, **options) -> Rule:
+        return self.schedule.every(period, action, **options)
+
+    def sampler(self, patterns: Sequence[str], every: int, **options) -> Rule:
+        return self.schedule.sampler(patterns, every, **options)
+
+    # ------------------------------------------------------------------
+    @property
+    def configured(self) -> bool:
+        """True once any schedule rule exists (drives digest emission)."""
+        return self.schedule.configured
+
+    def digest(self) -> dict[str, Any]:
+        return self.schedule.digest()
+
+    def describe(self) -> dict[str, list[dict[str, Any]]]:
+        """JSON-plain inventory of every probe and knob (CLI listing)."""
+        return {
+            "probes": [
+                {"path": p.path, "kind": p.kind, "value": p.read(),
+                 "doc": p.doc}
+                for p in self.probes.probes()
+            ],
+            "knobs": [
+                {"path": k.path, "kind": k.kind, "value": k.read(),
+                 "doc": k.doc, "intrusive": k.intrusive}
+                for k in self.knobs.knobs()
+            ],
+        }

@@ -1,0 +1,203 @@
+"""Probe registry: the observation half of the control plane.
+
+Every component of a built system publishes *probes* — named, typed,
+read-only observables — under hierarchical dotted paths::
+
+    realm.dma.region0.total_bytes     counter   bytes forwarded so far
+    realm.core.region0.budget_remaining gauge   credit left this period
+    noc.r1c0.occupancy                gauge     flits queued in the router
+    port.core.ar.sent                 counter   AR beats the core issued
+
+Reading a probe never perturbs simulation state (lazy REALM clocks are
+synced through the last committed cycle first, exactly like a hardware
+status read).  All shipped probes read as integers so that sampled
+timeseries are golden-trace safe; rates are published in milli units
+(e.g. ``bandwidth_milli``).
+
+Channel-backed probes double as *event sources*: :meth:`ProbeRegistry.attach`
+subscribes a sink (e.g. :class:`repro.sim.Tracer`) to every handshake on
+the channels matching a dotted-path pattern — the probe-event API that
+replaces ad-hoc per-channel tracer wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Iterable, Optional
+
+PROBE_KINDS = ("counter", "gauge", "flag")
+
+
+class ProbeError(KeyError):
+    """Unknown probe path, duplicate registration, or bad pattern."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; undo that
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One named observable: metadata plus its read closure."""
+
+    path: str
+    read: Callable[[], int]
+    kind: str = "counter"  # counter | gauge | flag
+    doc: str = ""
+
+    def value(self) -> int:
+        return self.read()
+
+
+def check_dotted_path(path: str, error: type, what: str) -> str:
+    """Shared dotted-path grammar check for probe and knob registries."""
+    if not path or not all(
+        seg and all(c.isalnum() or c in "_-" for c in seg)
+        for seg in path.split(".")
+    ):
+        raise error(f"malformed {what} path {path!r}")
+    return path
+
+
+def _check_path(path: str) -> str:
+    return check_dotted_path(path, ProbeError, "probe")
+
+
+class ProbeRegistry:
+    """Hierarchical, pattern-addressable registry of probes.
+
+    Registration order is preserved and is the iteration/sampling order,
+    so any digest built from a sweep over the registry is deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._probes: dict[str, Probe] = {}
+        self._sources: dict[str, Any] = {}  # path -> Channel event source
+
+    # ------------------------------------------------------------------
+    # registration (build-time)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        path: str,
+        read: Callable[[], int],
+        *,
+        kind: str = "counter",
+        doc: str = "",
+    ) -> Probe:
+        _check_path(path)
+        if kind not in PROBE_KINDS:
+            raise ProbeError(f"unknown probe kind {kind!r}")
+        if path in self._probes:
+            raise ProbeError(f"probe {path!r} registered twice")
+        probe = Probe(path=path, read=read, kind=kind, doc=doc)
+        self._probes[path] = probe
+        return probe
+
+    def register_channel(self, path: str, channel) -> None:
+        """Publish one channel's statistics and its event stream.
+
+        Registers ``<path>.sent`` / ``<path>.recv`` / ``<path>.busy_cycles``
+        counters and an ``<path>.occupancy`` gauge, and records *channel*
+        as the event source behind *path* for :meth:`attach`.
+        """
+        _check_path(path)
+        if path in self._sources:
+            raise ProbeError(f"event source {path!r} registered twice")
+        self._sources[path] = channel
+        self.register(f"{path}.sent", lambda: channel.sent_total,
+                      doc="beats sent")
+        self.register(f"{path}.recv", lambda: channel.recv_total,
+                      doc="beats received")
+        self.register(f"{path}.busy_cycles", lambda: channel.busy_cycles,
+                      doc="cycles with a committed beat buffered")
+        self.register(f"{path}.occupancy", lambda: channel.occupancy,
+                      kind="gauge", doc="beats buffered right now")
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def __contains__(self, path: str) -> bool:
+        return path in self._probes
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def probe(self, path: str) -> Probe:
+        try:
+            return self._probes[path]
+        except KeyError:
+            raise ProbeError(self._unknown(path)) from None
+
+    def read(self, path: str) -> int:
+        return self.probe(path).read()
+
+    def paths(self) -> list[str]:
+        return list(self._probes)
+
+    def probes(self) -> Iterable[Probe]:
+        return self._probes.values()
+
+    def match(self, *patterns: str) -> list[str]:
+        """Probe paths matching any ``fnmatch`` pattern, in registration
+        order; an exact path matches itself.  Raises :class:`ProbeError`
+        if a pattern matches nothing (silent-miss protection for scenario
+        files)."""
+        out: list[str] = []
+        seen: set[str] = set()
+        for pattern in patterns:
+            hits = [
+                p for p in self._probes
+                if p == pattern or fnmatchcase(p, pattern)
+            ]
+            if not hits:
+                raise ProbeError(self._unknown(pattern))
+            for path in hits:
+                if path not in seen:
+                    seen.add(path)
+                    out.append(path)
+        return out
+
+    def sample(self, *patterns: str) -> dict[str, int]:
+        """Read every probe matching the patterns (all when none given)."""
+        paths = self.match(*patterns) if patterns else list(self._probes)
+        return {path: self._probes[path].read() for path in paths}
+
+    def _unknown(self, path: str) -> str:
+        hint = ""
+        prefix = path.split(".")[0].rstrip("*")
+        if prefix:
+            roots = sorted({p.split(".")[0] for p in self._probes})
+            close = [r for r in roots if r.startswith(prefix[:2])]
+            if close:
+                hint = f" (roots: {', '.join(close)})"
+        return f"no probe matches {path!r}{hint}"
+
+    # ------------------------------------------------------------------
+    # event subscription
+    # ------------------------------------------------------------------
+    def source_paths(self) -> list[str]:
+        return list(self._sources)
+
+    def attach(self, pattern: str, sink) -> list[str]:
+        """Subscribe *sink* to every event source matching *pattern*.
+
+        *sink* needs ``on_send(channel, item)`` / ``on_recv(channel, item)``;
+        returns the matched source paths.  Raises :class:`ProbeError` when
+        nothing matches.
+        """
+        hits = [
+            (path, ch) for path, ch in self._sources.items()
+            if path == pattern or fnmatchcase(path, pattern)
+        ]
+        if not hits:
+            raise ProbeError(f"no probe event source matches {pattern!r}")
+        for _, channel in hits:
+            channel.attach_tracer(sink)
+        return [path for path, _ in hits]
+
+    def detach(self, pattern: str, sink) -> None:
+        """Unsubscribe *sink* from every source matching *pattern*."""
+        for path, channel in self._sources.items():
+            if path == pattern or fnmatchcase(path, pattern):
+                channel.detach_tracer(sink)

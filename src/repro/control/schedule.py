@@ -1,0 +1,297 @@
+"""Schedule engine: scripted observation and reconfiguration over time.
+
+Rules fire at *commit boundaries* via the kernel's hook heap
+(:meth:`repro.sim.Simulator.call_at`), the instant after a cycle's channel
+commits and watchers when all state is final — so a rule observes and
+mutates exactly the same machine state on the active-set and the naive
+kernel, and scheduled runs stay bit-identical across both (and across the
+process-pool campaign fan-out).  Three trigger shapes:
+
+* ``at(cycle)``         — one-shot;
+* ``every(period)``     — periodic, optionally phase-shifted (``start``)
+  and bounded (``until``);
+* ``when="probe OP k"`` — a comparison over a probe, evaluated at the
+  rule's cycles; the rule's actions run only while it holds.
+
+A rule's actions are knob writes (``set``), probe sampling into a
+timeseries (``sample``), and/or an arbitrary callable — the building
+blocks of the paper's operator loop (observe demand, reconfigure
+budgets) as scripted, reproducible simulation input.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.control.knobs import KnobError, KnobRegistry
+from repro.control.probes import ProbeRegistry
+from repro.sim.kernel import Simulator
+
+
+class ScheduleError(Exception):
+    """Malformed rule, bad trigger expression, or conflicting options."""
+
+
+_OPS: dict[str, Callable[[int, int], bool]] = {
+    ">=": operator.ge,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+    ">": operator.gt,
+    "<": operator.lt,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A parsed ``when`` expression: ``<probe path> <op> <integer>``."""
+
+    path: str
+    op: str
+    value: int
+
+    @classmethod
+    def parse(cls, text: str) -> "Comparison":
+        stripped = text.strip()
+        for token in _OPS:  # two-char operators first (dict order above)
+            if token in stripped:
+                lhs, _, rhs = stripped.partition(token)
+                lhs, rhs = lhs.strip(), rhs.strip()
+                if not lhs or not rhs:
+                    break
+                try:
+                    value = int(rhs, 0)
+                except ValueError:
+                    raise ScheduleError(
+                        f"right-hand side of {text!r} must be an integer"
+                    ) from None
+                return cls(path=lhs, op=token, value=value)
+        raise ScheduleError(
+            f"cannot parse trigger {text!r}; expected "
+            "'<probe path> <op> <integer>' with op one of "
+            + ", ".join(_OPS)
+        )
+
+    def evaluate(self, probes: ProbeRegistry) -> bool:
+        return _OPS[self.op](probes.read(self.path), self.value)
+
+    def __str__(self) -> str:
+        return f"{self.path} {self.op} {self.value}"
+
+
+@dataclass
+class Rule:
+    """One installed schedule rule (internal; build via :class:`Schedule`)."""
+
+    label: str
+    at: Optional[int] = None
+    every: Optional[int] = None
+    start: Optional[int] = None
+    until: Optional[int] = None
+    when: Optional[Comparison] = None
+    once: bool = False
+    set: tuple[tuple[str, Any], ...] = ()
+    sample: tuple[str, ...] = ()  # concrete probe paths, resolved at install
+    action: Optional[Callable[[int], None]] = None
+    fired: int = 0
+    evaluations: int = 0
+    active: bool = True
+
+
+class Schedule:
+    """Owns the rules, their timeseries, and the kernel hook chain."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probes: ProbeRegistry,
+        knobs: KnobRegistry,
+    ) -> None:
+        self.sim = sim
+        self.probes = probes
+        self.knobs = knobs
+        self.rules: list[Rule] = []
+        #: label -> [{"cycle": c, "values": {path: value}}, ...]
+        self.series: dict[str, list[dict[str, Any]]] = {}
+        # A simulator reset drops the hook heap; re-arm every rule so a
+        # reset-and-rerun fires the same schedule as a fresh build.
+        sim.add_reset_hook(self.reset)
+
+    # ------------------------------------------------------------------
+    # rule construction
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        cycle: int,
+        action: Optional[Callable[[int], None]] = None,
+        *,
+        set: Optional[Mapping[str, Any]] = None,
+        sample: Sequence[str] = (),
+        when: Optional[str] = None,
+        label: str = "",
+    ) -> Rule:
+        """One-shot rule at the commit boundary of *cycle*."""
+        if cycle < 0:
+            raise ScheduleError("at-cycle must be >= 0")
+        rule = self._make_rule(label, action, set, sample, when, once=True)
+        rule.at = cycle
+        self._arm(rule)
+        return rule
+
+    def every(
+        self,
+        period: int,
+        action: Optional[Callable[[int], None]] = None,
+        *,
+        start: Optional[int] = None,
+        until: Optional[int] = None,
+        set: Optional[Mapping[str, Any]] = None,
+        sample: Sequence[str] = (),
+        when: Optional[str] = None,
+        once: bool = False,
+        label: str = "",
+    ) -> Rule:
+        """Periodic rule: fires at ``start`` (default *period*), then every
+        *period* cycles until *until* (inclusive) or, with ``once=True``,
+        until its condition first holds and the actions run."""
+        if period < 1:
+            raise ScheduleError("period must be >= 1")
+        rule = self._make_rule(label, action, set, sample, when, once)
+        rule.every = period
+        rule.start = start
+        rule.until = until
+        first = period if start is None else start
+        if first < 0:
+            raise ScheduleError("start must be >= 0")
+        if until is not None and until < first:
+            raise ScheduleError("until precedes the first firing")
+        self._arm(rule)
+        return rule
+
+    def sampler(
+        self,
+        patterns: Sequence[str],
+        every: int,
+        *,
+        start: Optional[int] = None,
+        label: str = "probes",
+    ) -> Rule:
+        """Periodic probe sampler recording into ``series[label]``."""
+        return self.every(every, start=start, sample=patterns, label=label)
+
+    def _make_rule(
+        self,
+        label: str,
+        action: Optional[Callable[[int], None]],
+        set: Optional[Mapping[str, Any]],
+        sample: Sequence[str],
+        when: Optional[str],
+        once: bool,
+    ) -> Rule:
+        label = label or f"rule{len(self.rules)}"
+        if any(r.label == label for r in self.rules):
+            raise ScheduleError(f"duplicate rule label {label!r}")
+        writes = tuple((set or {}).items())
+        for path, value in writes:
+            # Unknown paths and kind mismatches fail at install time, not
+            # at the rule's firing cycle deep inside a run.
+            self.knobs.check_value(path, value)
+        resolved = tuple(self.probes.match(*sample)) if sample else ()
+        condition = Comparison.parse(when) if when is not None else None
+        if condition is not None:
+            self.probes.probe(condition.path)  # unknown-path check
+        if not writes and not resolved and action is None:
+            raise ScheduleError(
+                f"rule {label!r} has no actions (set/sample/callable)"
+            )
+        rule = Rule(label=label, when=condition, once=once, set=writes,
+                    sample=resolved, action=action)
+        self.rules.append(rule)
+        if resolved:
+            self.series.setdefault(label, [])
+        return rule
+
+    # ------------------------------------------------------------------
+    # arming and reset
+    # ------------------------------------------------------------------
+    def _arm(self, rule: Rule) -> None:
+        if rule.at is not None:
+            self.sim.call_at(
+                rule.at, lambda committed, r=rule: self._fire(r, committed)
+            )
+        else:
+            first = rule.every if rule.start is None else rule.start
+            self.sim.call_at(
+                first, lambda committed, r=rule: self._tick_rule(r, committed)
+            )
+
+    def reset(self) -> None:
+        """Return every rule to its post-install state and re-arm it.
+
+        Called automatically when the owning simulator resets (the reset
+        drops the kernel's hook heap), so a reset-and-rerun fires the
+        same schedule as a freshly built system.
+        """
+        for samples in self.series.values():
+            samples.clear()
+        for rule in self.rules:
+            rule.fired = 0
+            rule.evaluations = 0
+            rule.active = True
+            self._arm(rule)
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def _tick_rule(self, rule: Rule, committed: int) -> None:
+        self._fire(rule, committed)
+        if not rule.active:
+            return
+        next_cycle = committed + rule.every
+        if rule.until is not None and next_cycle > rule.until:
+            rule.active = False
+            return
+        self.sim.call_at(
+            next_cycle, lambda c, r=rule: self._tick_rule(r, c)
+        )
+
+    def _fire(self, rule: Rule, committed: int) -> None:
+        if not rule.active:
+            return
+        rule.evaluations += 1
+        if rule.when is not None and not rule.when.evaluate(self.probes):
+            return
+        for path, value in rule.set:
+            try:
+                self.knobs.set(path, value)
+            except KnobError as exc:
+                raise ScheduleError(
+                    f"rule {rule.label!r} at cycle {committed}: {exc}"
+                ) from exc
+        if rule.sample:
+            self.series[rule.label].append({
+                "cycle": committed,
+                "values": {p: self.probes.read(p) for p in rule.sample},
+            })
+        if rule.action is not None:
+            rule.action(committed)
+        rule.fired += 1
+        if rule.once:
+            rule.active = False
+
+    # ------------------------------------------------------------------
+    # digest
+    # ------------------------------------------------------------------
+    @property
+    def configured(self) -> bool:
+        return bool(self.rules)
+
+    def digest(self) -> dict[str, Any]:
+        """JSON-plain summary: firing counts plus every timeseries."""
+        return {
+            "fired": {r.label: r.fired for r in self.rules},
+            "series": {label: list(samples)
+                       for label, samples in self.series.items()},
+        }

@@ -64,6 +64,10 @@ class AxiCrossbar(Component):
         self.watch(*self.subs, role="manager")
         self.addr_map = addr_map
         self.idmap = IdMap(inner_id_bits)
+        self.qos_arbitration = qos_arbitration
+        # Per-manager QoS override (control-plane knob): when set, it
+        # replaces the per-beat AxQOS value at the arbitration points.
+        self.qos_override: dict[int, int] = {}
         n_mgr, n_sub = len(self.managers), len(self.subs)
 
         # Per-subordinate arbiters over managers.  Default: round-robin at
@@ -73,10 +77,16 @@ class AxiCrossbar(Component):
             from repro.baselines.qos400 import QosArbiter
 
             def aw_priority(mi: int) -> int:
+                override = self.qos_override.get(mi)
+                if override is not None:
+                    return override
                 ch = self.managers[mi].aw
                 return ch.peek().qos if ch.can_recv() else 0
 
             def ar_priority(mi: int) -> int:
+                override = self.qos_override.get(mi)
+                if override is not None:
+                    return override
                 ch = self.managers[mi].ar
                 return ch.peek().qos if ch.can_recv() else 0
 
@@ -148,6 +158,9 @@ class AxiCrossbar(Component):
         self.aw_forwarded = 0
         self.ar_forwarded = 0
         self.decode_errors = 0
+        # qos_override is runtime *configuration* (a control-plane knob),
+        # not machine state: it survives reset like the REALM units'
+        # register-programmed config does.
 
     # ------------------------------------------------------------------
     # request path

@@ -213,6 +213,37 @@ class RealmUnit(Component):
         self._sync_clocks()
         return self.mr.region_snapshot(index)
 
+    def region_remaining(self, index: int) -> int:
+        """Budget credit left in region *index* this period, synced to the
+        last committed cycle (what a hardware status read would return)."""
+        self._sync_clocks()
+        return self.mr.regions[index].remaining
+
+    # Synced views of the linear denial/blockage counters.  While the
+    # unit sleeps through a frozen stall, the raw fields lag behind the
+    # clock until the replay on wake-up; external observers (probes, the
+    # scenario digest) must read through here so both kernels report the
+    # same value at any commit boundary.
+    @property
+    def denied_by_budget(self) -> int:
+        self._sync_clocks()
+        return self.mr.denied_by_budget
+
+    @property
+    def denied_by_throttle(self) -> int:
+        self._sync_clocks()
+        return self.mr.denied_by_throttle
+
+    @property
+    def blocked_aw(self) -> int:
+        self._sync_clocks()
+        return self.isolation.blocked_aw
+
+    @property
+    def blocked_ar(self) -> int:
+        self._sync_clocks()
+        return self.isolation.blocked_ar
+
     def _sync_clocks(self) -> None:
         """Catch the lazy period clocks up for an external observer.
 

@@ -23,18 +23,22 @@ from repro.scenario.runner import (
     attach_traffic,
     build_system,
     collect_observables,
+    install_control,
     run_campaign,
     run_point,
 )
 from repro.scenario.spec import (
+    AdviseSpec,
     AxisSpec,
     CampaignSpec,
     ManagerScenario,
     MemoryScenario,
     PointSpec,
+    ProbesSpec,
     RegulatorSpec,
     RunSpec,
     ScenarioSpec,
+    ScheduleActionSpec,
     TopologySpec,
     TrafficScenario,
     WarmSpec,
@@ -51,6 +55,7 @@ from repro.scenario.sweep import (
 )
 
 __all__ = [
+    "AdviseSpec",
     "AxisSpec",
     "CampaignResult",
     "CampaignSpec",
@@ -59,10 +64,12 @@ __all__ = [
     "MemoryScenario",
     "PointResult",
     "PointSpec",
+    "ProbesSpec",
     "RegulatorSpec",
     "RunSpec",
     "ScenarioError",
     "ScenarioSpec",
+    "ScheduleActionSpec",
     "TopologySpec",
     "TrafficScenario",
     "WarmSpec",
@@ -74,6 +81,7 @@ __all__ = [
     "derive_seed",
     "dumps",
     "expand",
+    "install_control",
     "load_file",
     "loads",
     "realm_params_to_dict",

@@ -57,6 +57,17 @@ class PointResult:
             total += counters.get("bytes_written", 0)
         return total
 
+    @property
+    def timeseries(self) -> dict[str, list[dict[str, Any]]]:
+        """Sampled probe timeseries by rule label (empty when the point
+        declared no ``[probes]``/``[[schedule]]`` sampling)."""
+        return self.observables.get("control", {}).get("series", {})
+
+    @property
+    def rules_fired(self) -> dict[str, int]:
+        """Schedule-rule firing counts by label."""
+        return self.observables.get("control", {}).get("fired", {})
+
     def to_dict(self) -> dict[str, Any]:
         stats = self.latency
         return {
@@ -164,6 +175,20 @@ class CampaignResult:
             json.dumps(self.to_json_dict(), indent=2) + "\n",
             encoding="utf-8",
         )
+
+    def write_timeseries_csv(self, path: Union[str, Path]) -> None:
+        """Long-form CSV of every sampled probe value of every point:
+        one ``label,rule,cycle,probe,value`` row per sample entry."""
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["label", "rule", "cycle", "probe", "value"])
+            for p in self.points:
+                for rule, samples in p.timeseries.items():
+                    for entry in samples:
+                        for probe, value in entry["values"].items():
+                            writer.writerow(
+                                [p.label, rule, entry["cycle"], probe, value]
+                            )
 
     def write_csv(self, path: Union[str, Path]) -> None:
         with open(path, "w", newline="", encoding="utf-8") as handle:

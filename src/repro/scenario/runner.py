@@ -23,6 +23,9 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Optional
 
 from repro.baselines import AbeEqualizer, AbuRegulator, CutForwardUnit
+from repro.control.knobs import KnobError
+from repro.control.probes import ProbeError
+from repro.control.schedule import ScheduleError
 from repro.scenario.errors import ScenarioError
 from repro.scenario.report import CampaignResult, PointResult
 from repro.scenario.spec import (
@@ -209,6 +212,91 @@ def attach_traffic(system: System, spec: ScenarioSpec) -> dict[str, Component]:
 
 
 # ----------------------------------------------------------------------
+# control plane: [probes] and [[schedule]] sections
+# ----------------------------------------------------------------------
+def install_control(system: System, spec: ScenarioSpec) -> None:
+    """Translate the scenario's control sections into schedule rules.
+
+    Must run after :func:`attach_traffic` so that ``traffic.*`` probe and
+    knob paths resolve.  Unknown paths, bad patterns, and rejected knob
+    routes surface as precise :class:`ScenarioError`\\ s.
+    """
+    if not spec.probes and not spec.schedule:
+        return
+    control = system.control
+    if control is None:
+        raise ScenarioError(
+            "scenario declares [probes]/[[schedule]] but the system was "
+            "built without a control plane", path="probes"
+        )
+    if spec.probes:
+        _install_rule(
+            "probes",
+            lambda: control.schedule.sampler(
+                spec.probes.sample,
+                spec.probes.every,
+                start=spec.probes.start,
+                label="probes",
+            ),
+        )
+    for index, action in enumerate(spec.schedule):
+        if not action.enabled:
+            continue
+        path = f"schedule[{index}]"
+        callback = (
+            _advisor_callback(control, action.advise, path)
+            if action.advise is not None
+            else None
+        )
+        if action.at is not None:
+            _install_rule(
+                path,
+                lambda a=action, cb=callback: control.schedule.at(
+                    a.at, cb, set=dict(a.set), sample=a.sample,
+                    when=a.when, label=a.label,
+                ),
+            )
+        else:
+            _install_rule(
+                path,
+                lambda a=action, cb=callback: control.schedule.every(
+                    a.every, cb, start=a.start, until=a.until,
+                    set=dict(a.set), sample=a.sample, when=a.when,
+                    once=a.once, label=a.label,
+                ),
+            )
+
+
+def _install_rule(path: str, install: Callable[[], Any]) -> None:
+    try:
+        install()
+    except (ProbeError, KnobError, ScheduleError) as exc:
+        raise ScenarioError(f"control plane: {exc}", path=path) from exc
+
+
+def _advisor_callback(control, advise, path: str) -> Callable[[int], None]:
+    # Imported lazily: repro.analysis pulls in the experiment preset,
+    # which itself imports this package.
+    from repro.analysis.advisor import AdvisorLoop
+
+    try:
+        loop = AdvisorLoop(
+            control,
+            advise.managers,
+            period_cycles=advise.period_cycles,
+            weights=advise.weights or None,
+            region=advise.region,
+            link_bytes_per_cycle=advise.link_bytes_per_cycle,
+            headroom=advise.headroom,
+            set_period=advise.set_period,
+        )
+    except (ProbeError, KnobError, ValueError) as exc:
+        raise ScenarioError(f"control plane: {exc}",
+                            path=f"{path}.advise") from exc
+    return loop.step
+
+
+# ----------------------------------------------------------------------
 # observables
 # ----------------------------------------------------------------------
 def _latency_digest(latencies: list[int]) -> dict:
@@ -275,10 +363,9 @@ def collect_observables(
                 "stall_cycles": snap.stall_cycles,
                 "txn_count": snap.txn_count,
                 "cycles_into_period": snap.cycles_into_period,
-                "denied_by_budget": unit.mr.denied_by_budget,
-                "denied_by_throttle": unit.mr.denied_by_throttle,
-                "blocked_beats": (unit.isolation.blocked_aw
-                                  + unit.isolation.blocked_ar),
+                "denied_by_budget": unit.denied_by_budget,
+                "denied_by_throttle": unit.denied_by_throttle,
+                "blocked_beats": unit.blocked_aw + unit.blocked_ar,
                 "isolated": unit.isolated,
             }
         obs["realms"] = realms
@@ -290,6 +377,8 @@ def collect_observables(
             ]
             for name, port in system.ports.items()
         }
+    if system.control is not None and system.control.configured:
+        obs["control"] = system.control.digest()
     return obs
 
 
@@ -303,24 +392,31 @@ def run_point(
     spec = point.spec
     system = build_system(spec, active_set=active_set)
     generators = attach_traffic(system, spec)
+    install_control(system, spec)
     for warm in spec.warm:
         system.warm_cache(warm.base, warm.size, cache=warm.cache)
-    if spec.run.until:
-        waiting = [
-            generators[name] for name in spec.run.until if name in generators
-        ]
-        if not waiting:
-            raise ScenarioError(
-                "every manager named in run.until has enabled=false traffic",
-                path="run.until",
+    try:
+        if spec.run.until:
+            waiting = [
+                generators[name] for name in spec.run.until
+                if name in generators
+            ]
+            if not waiting:
+                raise ScenarioError(
+                    "every manager named in run.until has enabled=false "
+                    "traffic", path="run.until",
+                )
+            system.sim.run_until(
+                lambda: all(core.done for core in waiting),
+                max_cycles=spec.run.max_cycles,
+                what=f"{spec.name}[{point.label}] traffic to finish",
             )
-        system.sim.run_until(
-            lambda: all(core.done for core in waiting),
-            max_cycles=spec.run.max_cycles,
-            what=f"{spec.name}[{point.label}] traffic to finish",
-        )
-    else:
-        system.sim.run(spec.run.horizon)
+        else:
+            system.sim.run(spec.run.horizon)
+    except (ScheduleError, KnobError, ProbeError) as exc:
+        # A rule fired mid-run and its action was refused (e.g. register
+        # semantics rejected a well-typed knob value).
+        raise ScenarioError(f"control plane: {exc}", path="schedule") from exc
 
     primary = _primary_core(spec, generators)
     latencies = {

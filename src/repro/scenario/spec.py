@@ -108,7 +108,9 @@ def _take_budget(table: dict, key: str, path: str, default: Any = _MISSING):
                 path=f"{path}.{key}",
             )
         return UNLIMITED
-    return value
+    # Clamp to the sentinel so values at or above it round-trip exactly
+    # ("unlimited" is the canonical spelling of every such value).
+    return min(value, UNLIMITED)
 
 
 def _budget_out(value: int):
@@ -725,6 +727,246 @@ class WarmSpec:
         return {"cache": self.cache, "base": self.base, "size": self.size}
 
 
+@dataclass(frozen=True)
+class ProbesSpec:
+    """The ``[probes]`` section: the default periodic probe sampler."""
+
+    sample: tuple[str, ...] = ()  # probe paths / fnmatch patterns
+    every: int = 0
+    start: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, raw: Any, path: str) -> "ProbesSpec":
+        table = _as_table(raw, path)
+        _reject_unknown(table, ("sample", "every", "start"), path)
+        sample = tuple(
+            _check_type(p, (str,), f"{path}.sample[{i}]")
+            for i, p in enumerate(_as_list(table.get("sample", []),
+                                           f"{path}.sample"))
+        )
+        spec = cls(
+            sample=sample,
+            every=_take(table, "every", path, (int,), default=0),
+            start=_take(table, "start", path, (int,), default=None),
+        )
+        if spec.sample and spec.every < 1:
+            raise ScenarioError(
+                "sampling probes needs a positive `every` interval",
+                path=f"{path}.every",
+            )
+        if not spec.sample and (spec.every or spec.start is not None):
+            raise ScenarioError(
+                "`every`/`start` without any `sample` paths", path=path
+            )
+        if spec.start is not None and spec.start < 0:
+            raise ScenarioError("start must be >= 0", path=f"{path}.start")
+        return spec
+
+    def __bool__(self) -> bool:
+        return bool(self.sample)
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {"sample": list(self.sample),
+                               "every": self.every}
+        if self.start is not None:
+            out["start"] = self.start
+        return out
+
+
+@dataclass(frozen=True)
+class AdviseSpec:
+    """One advisor-loop action payload (sample -> plan -> write budgets)."""
+
+    managers: tuple[str, ...]
+    period_cycles: int
+    weights: tuple[float, ...] = ()
+    region: int = 0
+    link_bytes_per_cycle: float = 8.0
+    headroom: float = 1.25
+    set_period: bool = True
+
+    @classmethod
+    def from_dict(cls, raw: Any, path: str) -> "AdviseSpec":
+        table = _as_table(raw, path)
+        _reject_unknown(
+            table,
+            ("managers", "period_cycles", "weights", "region",
+             "link_bytes_per_cycle", "headroom", "set_period"),
+            path,
+        )
+        managers = tuple(
+            _check_type(m, (str,), f"{path}.managers[{i}]")
+            for i, m in enumerate(
+                _as_list(_take(table, "managers", path, (list,)),
+                         f"{path}.managers")
+            )
+        )
+        if not managers:
+            raise ScenarioError("advise needs at least one manager",
+                                path=f"{path}.managers")
+        weights = tuple(
+            _check_type(w, (float, int), f"{path}.weights[{i}]")
+            for i, w in enumerate(_as_list(table.get("weights", []),
+                                           f"{path}.weights"))
+        )
+        if weights and len(weights) != len(managers):
+            raise ScenarioError(
+                f"{len(weights)} weights for {len(managers)} managers",
+                path=f"{path}.weights",
+            )
+        spec = cls(
+            managers=managers,
+            period_cycles=_take(table, "period_cycles", path, (int,)),
+            weights=tuple(float(w) for w in weights),
+            region=_take(table, "region", path, (int,), default=0),
+            link_bytes_per_cycle=float(
+                _take(table, "link_bytes_per_cycle", path, (float, int),
+                      default=8.0)
+            ),
+            headroom=float(
+                _take(table, "headroom", path, (float, int), default=1.25)
+            ),
+            set_period=_take(table, "set_period", path, (bool,),
+                             default=True),
+        )
+        if spec.period_cycles < 1:
+            raise ScenarioError("period_cycles must be positive",
+                                path=f"{path}.period_cycles")
+        if spec.region < 0:
+            raise ScenarioError("region must be >= 0", path=f"{path}.region")
+        return spec
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {
+            "managers": list(self.managers),
+            "period_cycles": self.period_cycles,
+            "region": self.region,
+            "link_bytes_per_cycle": self.link_bytes_per_cycle,
+            "headroom": self.headroom,
+            "set_period": self.set_period,
+        }
+        if self.weights:
+            out["weights"] = list(self.weights)
+        return out
+
+
+@dataclass(frozen=True)
+class ScheduleActionSpec:
+    """One ``[[schedule]]`` rule: trigger (at/every/when) plus actions."""
+
+    label: str
+    at: Optional[int] = None
+    every: Optional[int] = None
+    start: Optional[int] = None
+    until: Optional[int] = None
+    when: Optional[str] = None
+    once: bool = False
+    enabled: bool = True
+    set: tuple[tuple[str, Any], ...] = ()
+    sample: tuple[str, ...] = ()
+    advise: Optional[AdviseSpec] = None
+
+    _FIELDS = ("label", "at", "every", "start", "until", "when", "once",
+               "enabled", "set", "sample", "advise")
+
+    @classmethod
+    def from_dict(cls, raw: Any, path: str) -> "ScheduleActionSpec":
+        table = _as_table(raw, path)
+        _reject_unknown(table, cls._FIELDS, path)
+        label = _check_name(_take(table, "label", path, (str,)),
+                            f"{path}.label")
+        writes = _overrides_from_dict(table.get("set", {}), f"{path}.set")
+        for key, value in writes:
+            if isinstance(value, (dict, list, float)) or value is None:
+                raise ScenarioError(
+                    "knob values must be integers or booleans",
+                    path=f"{path}.set.{key}",
+                )
+        sample = tuple(
+            _check_type(p, (str,), f"{path}.sample[{i}]")
+            for i, p in enumerate(_as_list(table.get("sample", []),
+                                           f"{path}.sample"))
+        )
+        advise = (
+            AdviseSpec.from_dict(table["advise"], f"{path}.advise")
+            if "advise" in table
+            else None
+        )
+        spec = cls(
+            label=label,
+            at=_take(table, "at", path, (int,), default=None),
+            every=_take(table, "every", path, (int,), default=None),
+            start=_take(table, "start", path, (int,), default=None),
+            until=_take(table, "until", path, (int,), default=None),
+            when=_take(table, "when", path, (str,), default=None),
+            once=_take(table, "once", path, (bool,), default=False),
+            enabled=_take(table, "enabled", path, (bool,), default=True),
+            set=writes,
+            sample=sample,
+            advise=advise,
+        )
+        if (spec.at is None) == (spec.every is None):
+            raise ScenarioError(
+                "give exactly one trigger: `at = N` (one-shot) or "
+                "`every = P` (periodic)", path=path
+            )
+        if spec.at is not None:
+            if spec.at < 0:
+                raise ScenarioError("at must be >= 0", path=f"{path}.at")
+            for option in ("start", "until"):
+                if getattr(spec, option) is not None:
+                    raise ScenarioError(
+                        f"`{option}` applies to periodic rules only",
+                        path=f"{path}.{option}",
+                    )
+            if spec.once:
+                raise ScenarioError(
+                    "`once` is implied by `at` (set it on `every` rules)",
+                    path=f"{path}.once",
+                )
+        else:
+            if spec.every < 1:
+                raise ScenarioError("every must be >= 1",
+                                    path=f"{path}.every")
+            if spec.start is not None and spec.start < 0:
+                raise ScenarioError("start must be >= 0",
+                                    path=f"{path}.start")
+            first = spec.every if spec.start is None else spec.start
+            if spec.until is not None and spec.until < first:
+                raise ScenarioError("until precedes the first firing",
+                                    path=f"{path}.until")
+        if spec.when is not None:
+            from repro.control.schedule import Comparison, ScheduleError
+
+            try:
+                Comparison.parse(spec.when)
+            except ScheduleError as exc:
+                raise ScenarioError(str(exc), path=f"{path}.when") from exc
+        if not writes and not sample and advise is None:
+            raise ScenarioError(
+                "rule has no actions: give `set`, `sample`, and/or "
+                "`advise`", path=path
+            )
+        return spec
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {"label": self.label}
+        for option in ("at", "every", "start", "until", "when"):
+            value = getattr(self, option)
+            if value is not None:
+                out[option] = value
+        if self.once:
+            out["once"] = True
+        out["enabled"] = self.enabled
+        if self.set:
+            out["set"] = dict(self.set)
+        if self.sample:
+            out["sample"] = list(self.sample)
+        if self.advise is not None:
+            out["advise"] = self.advise.to_dict()
+        return out
+
+
 def _overrides_from_dict(raw: Any, path: str) -> tuple[tuple[str, Any], ...]:
     table = _as_table(raw, path)
     for key in table:
@@ -870,11 +1112,13 @@ class ScenarioSpec:
     active_set: bool = True
     warm: tuple[WarmSpec, ...] = ()
     metrics: tuple[str, ...] = _METRIC_GROUPS
+    probes: ProbesSpec = field(default_factory=ProbesSpec)
+    schedule: tuple[ScheduleActionSpec, ...] = ()
     campaign: CampaignSpec = field(default_factory=CampaignSpec)
     smoke: tuple[tuple[str, Any], ...] = ()
 
     _TOP_LEVEL = ("scenario", "run", "topology", "traffic", "warm",
-                  "metrics", "campaign", "smoke")
+                  "metrics", "probes", "schedule", "campaign", "smoke")
 
     @classmethod
     def from_dict(cls, raw: Any) -> "ScenarioSpec":
@@ -948,6 +1192,38 @@ class ScenarioSpec:
                     f" got {group!r}",
                     path=f"metrics.collect[{i}]",
                 )
+        probes = ProbesSpec.from_dict(table.get("probes", {}), "probes")
+        schedule = tuple(
+            ScheduleActionSpec.from_dict(a, f"schedule[{i}]")
+            for i, a in enumerate(_as_list(table.get("schedule", []),
+                                           "schedule"))
+        )
+        rule_labels = [a.label for a in schedule]
+        for label in rule_labels:
+            if rule_labels.count(label) > 1:
+                raise ScenarioError(f"duplicate rule label {label!r}",
+                                    path="schedule")
+        realm_managers = {m.name for m in topology.managers if m.wants_realm}
+        for i, action in enumerate(schedule):
+            if action.advise is None:
+                continue
+            advise = action.advise
+            for manager in advise.managers:
+                if manager not in realm_managers:
+                    raise ScenarioError(
+                        f"advise names {manager!r}, which has no REALM "
+                        "unit (only protected managers publish demand "
+                        "probes and budget knobs)",
+                        path=f"schedule[{i}].advise.managers",
+                    )
+                spec = topology.manager(manager)
+                params = spec.realm or RealmUnitParams()
+                if advise.region >= params.n_regions:
+                    raise ScenarioError(
+                        f"region {advise.region} out of range for "
+                        f"{manager!r} ({params.n_regions} regions)",
+                        path=f"schedule[{i}].advise.region",
+                    )
         campaign = CampaignSpec.from_dict(table.get("campaign", {}),
                                           "campaign")
         smoke_table = _as_table(table.get("smoke", {}), "smoke")
@@ -966,6 +1242,8 @@ class ScenarioSpec:
             run=run,
             warm=warm,
             metrics=collect,
+            probes=probes,
+            schedule=schedule,
             campaign=campaign,
             smoke=smoke,
         )
@@ -991,6 +1269,10 @@ class ScenarioSpec:
         if self.warm:
             out["warm"] = [w.to_dict() for w in self.warm]
         out["metrics"] = {"collect": list(self.metrics)}
+        if self.probes:
+            out["probes"] = self.probes.to_dict()
+        if self.schedule:
+            out["schedule"] = [a.to_dict() for a in self.schedule]
         campaign = self.campaign.to_dict()
         if campaign:
             out["campaign"] = campaign

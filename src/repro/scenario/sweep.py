@@ -70,10 +70,13 @@ def _list_index(node: list, segment: str, path: str) -> int:
             )
         return index
     for i, item in enumerate(node):
-        if isinstance(item, dict) and item.get("name") == segment:
+        if isinstance(item, dict) and (
+            item.get("name") == segment or item.get("label") == segment
+        ):
             return i
-    names = [item.get("name") for item in node
-             if isinstance(item, dict) and "name" in item]
+    names = [item.get("name", item.get("label")) for item in node
+             if isinstance(item, dict)
+             and ("name" in item or "label" in item)]
     raise ScenarioError(
         f"no element named {segment!r} "
         f"(available: {', '.join(sorted(names)) or 'indices only'})",

@@ -30,6 +30,28 @@ from repro.sim.kernel import Component, SimulationError, Simulator
 T = TypeVar("T")
 
 
+class _TracerFan:
+    """Fans one channel's handshake events out to several tracer sinks.
+
+    Installed transparently by :meth:`Channel.attach_tracer` when a second
+    sink attaches, so the channel hot path stays a single ``is not None``
+    check no matter how many observers subscribe.
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, sinks: list) -> None:
+        self.sinks = sinks
+
+    def on_send(self, channel, item) -> None:
+        for sink in self.sinks:
+            sink.on_send(channel, item)
+
+    def on_recv(self, channel, item) -> None:
+        for sink in self.sinks:
+            sink.on_recv(channel, item)
+
+
 class Channel(Generic[T]):
     """Point-to-point, single-producer/single-consumer registered channel."""
 
@@ -181,8 +203,31 @@ class Channel(Generic[T]):
         return self._busy_cycles
 
     def attach_tracer(self, tracer) -> None:
-        """Attach a tracer with ``on_send(ch, item)`` / ``on_recv(ch, item)``."""
-        self._tracer = tracer
+        """Attach a sink with ``on_send(ch, item)`` / ``on_recv(ch, item)``.
+
+        Several sinks may attach (a fan-out shim multiplexes them);
+        attaching the same sink twice is a no-op.
+        """
+        current = self._tracer
+        if current is None:
+            self._tracer = tracer
+        elif current is tracer:
+            return
+        elif isinstance(current, _TracerFan):
+            if tracer not in current.sinks:
+                current.sinks.append(tracer)
+        else:
+            self._tracer = _TracerFan([current, tracer])
+
+    def detach_tracer(self, tracer) -> None:
+        """Remove one sink previously attached with :meth:`attach_tracer`."""
+        current = self._tracer
+        if current is tracer:
+            self._tracer = None
+        elif isinstance(current, _TracerFan) and tracer in current.sinks:
+            current.sinks.remove(tracer)
+            if len(current.sinks) == 1:
+                self._tracer = current.sinks[0]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Channel {self.name!r} occ={self.occupancy}/{self.capacity}>"

@@ -156,6 +156,12 @@ class Simulator:
         self._hot_channels: set = set()  # channels that need a commit
         self._wake_heap: list[tuple[int, int, Component]] = []
         self._wake_seq = 0
+        # Commit-boundary hooks: (cycle, seq, fn) fired after the commit
+        # (and the watchers) of *cycle*.  The control plane's schedule
+        # engine is built on these; see DESIGN.md section 8.
+        self._hook_heap: list[tuple[int, int, Callable[[int], None]]] = []
+        self._hook_seq = 0
+        self._reset_hooks: list[Callable[[], None]] = []
         # Introspection counters.
         self.ticks_executed = 0
         self.ticks_skipped = 0
@@ -214,6 +220,48 @@ class Simulator:
         """Called by channels on send/recv; schedules the commit."""
         self._hot_channels.add(channel)
 
+    # ------------------------------------------------------------------
+    # commit-boundary hooks
+    # ------------------------------------------------------------------
+    def call_at(self, cycle: int, fn: Callable[[int], None]) -> None:
+        """Run *fn(cycle)* at the commit boundary of *cycle*.
+
+        The hook fires after the commit phase (and the watchers) of
+        *cycle*, when every channel has published and every component's
+        state is final for that cycle — the same instant on both kernel
+        variants, which is what makes scheduled observation and
+        reconfiguration bit-identical across them.  Hooks scheduled for a
+        cycle that already committed fire at the next boundary.  A hook
+        may wake components, write configuration, and schedule further
+        hooks (periodic schedules re-arm themselves this way).
+        """
+        self._hook_seq += 1
+        heapq.heappush(self._hook_heap, (cycle, self._hook_seq, fn))
+
+    def next_hook_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending hook, or ``None``."""
+        return self._hook_heap[0][0] if self._hook_heap else None
+
+    def add_reset_hook(self, fn: Callable[[], None]) -> None:
+        """Run *fn* after every :meth:`reset` (the reset drops the hook
+        heap; clients like the schedule engine re-arm themselves here)."""
+        self._reset_hooks.append(fn)
+
+    def _fire_hooks(self, committed: int) -> None:
+        """Fire every hook due at or before the just-committed cycle.
+
+        Drained in two phases so a hook that schedules another hook for
+        an already-committed cycle defers it to the next boundary (the
+        documented contract) instead of re-entering this drain — which
+        would also let a self-rescheduling hook loop forever.
+        """
+        heap = self._hook_heap
+        due = []
+        while heap and heap[0][0] <= committed:
+            due.append(heapq.heappop(heap))
+        for _, _, fn in due:
+            fn(committed)
+
     def _process_due_wakes(self, cycle: int) -> None:
         heap = self._wake_heap
         while heap and heap[0][0] <= cycle:
@@ -269,6 +317,8 @@ class Simulator:
         self.cycle = cycle + 1
         for watcher in self._watchers:
             watcher(cycle)
+        if self._hook_heap:
+            self._fire_hooks(cycle)
 
     def _fast_forward(self, target: int) -> None:
         """Jump the clock to *target* while the system is quiescent.
@@ -300,10 +350,18 @@ class Simulator:
                     channel._busy_cycles += skipped
             self.cycles_fast_forwarded += skipped
             self.ticks_skipped += skipped * len(self._components)
+        if self._hook_heap:
+            # _next_stop capped the jump at the earliest hook's boundary,
+            # so at most the hooks of the just-committed cycle are due.
+            self._fire_hooks(self.cycle - 1)
 
     def _next_stop(self, limit: int) -> int:
         if self._wake_heap:
-            return min(limit, self._wake_heap[0][0])
+            limit = min(limit, self._wake_heap[0][0])
+        if self._hook_heap:
+            # A hook due at cycle C fires at the C -> C+1 boundary, so a
+            # quiescent jump may pass through C but no further.
+            limit = min(limit, self._hook_heap[0][0] + 1)
         return limit
 
     def run(self, cycles: int) -> int:
@@ -358,10 +416,13 @@ class Simulator:
             channel.reset()
         self._active = set(self._components)
         self._wake_heap.clear()
+        self._hook_heap.clear()
         self._hot_channels.clear()
         self.ticks_executed = 0
         self.ticks_skipped = 0
         self.cycles_fast_forwarded = 0
+        for fn in self._reset_hooks:
+            fn()
 
     # ------------------------------------------------------------------
     # introspection

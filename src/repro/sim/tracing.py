@@ -4,10 +4,17 @@ The tracer records ``(cycle, channel, event, payload)`` tuples.  It is the
 simulation-side analogue of the observability story of the paper: the M&R
 unit exposes statistics in hardware, while the tracer lets a user inspect
 every handshake when debugging a model.
+
+A tracer is a *probe-event sink*: it can attach to bare channels
+(:meth:`Tracer.watch`, for hand-wired benches) or, preferably, subscribe
+to a system's probe registry by dotted-path pattern
+(:meth:`Tracer.watch_probes` / ``System.trace``), which is the
+control-plane API every built system publishes its channels under.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
@@ -30,16 +37,31 @@ class TraceEvent:
 class Tracer:
     """Collects handshake events from the channels it is attached to.
 
-    Attach with :meth:`watch`; filter later with :meth:`events`.
+    Attach with :meth:`watch` (bare channels) or :meth:`watch_probes`
+    (a probe registry pattern); filter later with :meth:`events`.
     A *max_events* bound protects long benchmark runs from unbounded
-    memory growth (oldest events are dropped first).
+    memory growth: the bound is exact — once full, each new event evicts
+    exactly the oldest one, so the newest *max_events* events are always
+    retained.
     """
 
     def __init__(self, sim: Simulator, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
         self._sim = sim
-        self._events: list[TraceEvent] = []
+        self._events: deque[TraceEvent] = deque(maxlen=max_events)
         self._max_events = max_events
         self._enabled = True
+        self._recorded = 0
+
+    @property
+    def max_events(self) -> int:
+        return self._max_events
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted so far to honour the *max_events* bound."""
+        return self._recorded - len(self._events)
 
     # ------------------------------------------------------------------
     # channel callbacks
@@ -54,16 +76,23 @@ class Tracer:
 
     def _record(self, channel: str, kind: str, payload: Any) -> None:
         self._events.append(TraceEvent(self._sim.cycle, channel, kind, payload))
-        if len(self._events) > self._max_events:
-            del self._events[: len(self._events) // 2]
+        self._recorded += 1
 
     # ------------------------------------------------------------------
     # control
     # ------------------------------------------------------------------
     def watch(self, *channels) -> None:
-        """Attach this tracer to every channel given."""
+        """Attach this tracer to every bare channel given."""
         for channel in channels:
             channel.attach_tracer(self)
+
+    def watch_probes(self, probes, pattern: str = "*") -> list[str]:
+        """Attach to every channel event source matching *pattern*.
+
+        *probes* is a :class:`repro.control.ProbeRegistry` (or anything
+        with its ``attach(pattern, sink)``); returns the attached paths.
+        """
+        return probes.attach(pattern, self)
 
     def enable(self) -> None:
         self._enabled = True
@@ -73,6 +102,7 @@ class Tracer:
 
     def clear(self) -> None:
         self._events.clear()
+        self._recorded = 0
 
     # ------------------------------------------------------------------
     # queries
@@ -83,7 +113,11 @@ class Tracer:
         kind: Optional[str] = None,
         predicate: Optional[Callable[[TraceEvent], bool]] = None,
     ) -> list[TraceEvent]:
-        """Return recorded events, optionally filtered."""
+        """Return retained events, optionally filtered.
+
+        Filtering sees exactly the retained window: after an eviction the
+        oldest surviving event is the first one any filter can match.
+        """
         out: Iterable[TraceEvent] = self._events
         if channel is not None:
             out = (e for e in out if e.channel == channel)
@@ -98,5 +132,7 @@ class Tracer:
 
     def dump(self, limit: int = 50) -> str:
         """Human-readable dump of the last *limit* events."""
-        lines = [str(e) for e in self._events[-limit:]]
-        return "\n".join(lines)
+        window = list(self._events)
+        if limit > 0:
+            window = window[-limit:]
+        return "\n".join(str(e) for e in window)

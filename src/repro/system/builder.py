@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.axi.ports import AxiBundle
+from repro.control.plane import ControlPlane
+from repro.control.wiring import register_system, register_traffic
 from repro.interconnect.address_map import AddressMap
 from repro.interconnect.crossbar import AxiCrossbar
 from repro.interconnect.noc import AxiNoc
@@ -104,6 +106,7 @@ class System:
     addr_map: AddressMap
     bus_guard: Optional[BusGuard] = None
     regfile: Optional[RealmRegisterFile] = None
+    control: Optional[ControlPlane] = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -133,11 +136,32 @@ class System:
             self.drivers[name] = self.sim.add(
                 ManagerDriver(self.ports[name], name=driver_name or f"{name}.drv")
             )
+            if self.control is not None:
+                register_traffic(self.control, name, self.drivers[name])
         return self.drivers[name]
 
     def attach(self, name: str, factory: Callable[[AxiBundle], Component]):
-        """Build a traffic generator on manager *name*'s port and add it."""
-        return self.sim.add(factory(self.ports[name]))
+        """Build a traffic generator on manager *name*'s port and add it.
+
+        The generator's counters and rate/enable knobs are published on
+        the control plane under ``traffic.<name>.*``.
+        """
+        component = self.sim.add(factory(self.ports[name]))
+        if self.control is not None:
+            register_traffic(self.control, name, component)
+        return component
+
+    def trace(self, pattern: str = "port.*", max_events: int = 1_000_000):
+        """A :class:`~repro.sim.Tracer` subscribed through the probe-event
+        API to every channel matching *pattern* (default: all manager
+        ports)."""
+        from repro.sim.tracing import Tracer
+
+        if self.control is None:
+            raise SimulationError("system was built without a control plane")
+        tracer = Tracer(self.sim, max_events=max_events)
+        tracer.watch_probes(self.control.probes, pattern)
+        return tracer
 
     def warm_cache(self, addr: int, size: int, cache: str = "llc") -> None:
         """Pre-load cache lines from the backing DRAM (hot-LLC scenarios)."""
@@ -174,9 +198,11 @@ class SystemBuilder:
         sim: Optional[Simulator] = None,
         name: str = "system",
         active_set: bool = True,
+        control: bool = True,
     ) -> None:
         self.sim = sim if sim is not None else Simulator(name, active_set=active_set)
         self.name = name
+        self._control_enabled = control
         self._managers: list[ManagerSpec] = []
         self._memories: list[MemorySpec] = []
         self._interconnect = "auto"  # auto | direct | crossbar | noc
@@ -481,6 +507,9 @@ class SystemBuilder:
             regfile=regfile,
         )
         system._backing_of = backing
+        if self._control_enabled:
+            system.control = ControlPlane(sim)
+            register_system(system.control, system)
         for spec in self._managers:
             if spec.driver:
                 name = spec.driver if isinstance(spec.driver, str) else ""

@@ -76,12 +76,24 @@ class BandwidthHog(Component):
         self.beats = beats
         self.size = size
         self.max_outstanding = max_outstanding
+        self.enabled = True
         self._offset = 0
         self._outstanding = 0
         self.bytes_stolen = 0
 
+    def stop(self) -> None:
+        self.enabled = False
+
+    def start(self) -> None:
+        self.enabled = True
+        self.wake()
+
     def tick(self, cycle: int) -> None:
-        if self._outstanding < self.max_outstanding and self.port.ar.can_send():
+        if (
+            self.enabled
+            and self._outstanding < self.max_outstanding
+            and self.port.ar.can_send()
+        ):
             burst_bytes = self.beats * bytes_per_beat(self.size)
             addr = self.target_base + self._offset
             self.port.ar.send(
@@ -99,7 +111,8 @@ class BandwidthHog(Component):
 
     def is_idle(self) -> bool:
         wants_ar = (
-            self._outstanding < self.max_outstanding
+            self.enabled
+            and self._outstanding < self.max_outstanding
             and self.port.ar.can_send()
         )
         return not wants_ar and not self.port.r.can_recv()

@@ -210,3 +210,61 @@ def test_parse_cli_value_types():
     assert parse_cli_value("true") is True
     assert parse_cli_value("False") is False
     assert parse_cli_value("unlimited") == "unlimited"
+
+
+# ----------------------------------------------------------------------
+# control-plane subcommands
+# ----------------------------------------------------------------------
+PROTECTED_SCENARIO = TINY_SCENARIO.replace(
+    'name = "core"',
+    'name = "core"\nprotect = true\ngranularity = 8',
+)
+
+
+@pytest.fixture
+def protected_scenario(tmp_path):
+    path = tmp_path / "protected.toml"
+    path.write_text(PROTECTED_SCENARIO)
+    return path
+
+
+def test_probes_command_lists_paths(protected_scenario, capsys):
+    assert main(["probes", str(protected_scenario)]) == 0
+    out = capsys.readouterr().out
+    assert "probes" in out
+    assert "port.core.ar.sent" in out
+    assert "realm.core.region0.budget_remaining" in out
+    assert "traffic.core.progress" in out
+
+
+def test_knobs_command_lists_paths_and_values(protected_scenario, capsys):
+    assert main(["knobs", str(protected_scenario)]) == 0
+    out = capsys.readouterr().out
+    assert "realm.core.region0.budget_bytes" in out
+    assert "realm.core.granularity" in out
+    assert "[intrusive]" in out
+    assert "8" in out  # the declared granularity reads back
+
+
+def test_probes_command_scenario_error_exits_1(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text("[scenario]\nname = 'x'\n")
+    assert main(["probes", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "scenario error" in err and "Traceback" not in err
+
+
+def test_run_command_writes_timeseries_csv(protected_scenario, tmp_path):
+    spec = protected_scenario.read_text() + """
+[probes]
+every = 50
+sample = ["realm.core.region0.total_bytes"]
+"""
+    path = tmp_path / "sampled.toml"
+    path.write_text(spec)
+    ts_path = tmp_path / "ts.csv"
+    assert main(["run", str(path), "--timeseries", str(ts_path)]) == 0
+    lines = ts_path.read_text().splitlines()
+    assert lines[0] == "label,rule,cycle,probe,value"
+    assert any("realm.core.region0.total_bytes" in line
+               for line in lines[1:])

@@ -155,3 +155,92 @@ def test_regfile_needs_units():
 def test_outstanding_register(sim):
     drv, realm, regfile = claimed_regfile(sim)
     assert regfile.read(rf.unit_base(0) + rf.OUTSTANDING, tid=CVA6_TID) == 0
+
+
+# ----------------------------------------------------------------------
+# error paths: offsets, guard rejections, knob-path equivalence
+# ----------------------------------------------------------------------
+def test_out_of_range_unit_offsets(sim):
+    _, realm, regfile = claimed_regfile(sim)
+    # Offsets below the first unit block (but not the guard register).
+    with pytest.raises(RegisterError, match="maps to no unit"):
+        regfile.read(0x8, tid=CVA6_TID)
+    with pytest.raises(RegisterError, match="maps to no unit"):
+        regfile.write(0x8, 1, tid=CVA6_TID)
+    # One past the last mapped unit.
+    beyond = rf.unit_base(len(regfile.units))
+    with pytest.raises(RegisterError, match="maps to no unit"):
+        regfile.read(beyond + rf.CTRL, tid=CVA6_TID)
+
+
+def test_out_of_range_region_offsets(sim):
+    _, realm, regfile = claimed_regfile(sim)
+    beyond = rf.unit_base(0) + rf.region_base(realm.params.n_regions)
+    with pytest.raises(RegisterError, match="maps to no region"):
+        regfile.read(beyond + rf.BUDGET, tid=CVA6_TID)
+    with pytest.raises(RegisterError, match="maps to no region"):
+        regfile.write(beyond + rf.BUDGET, 1, tid=CVA6_TID)
+    # A hole between the unit registers and the first region block.
+    with pytest.raises(RegisterError):
+        regfile.read(rf.unit_base(0) + 0x20, tid=CVA6_TID)
+
+
+def test_statistics_registers_are_read_only(sim):
+    _, realm, regfile = claimed_regfile(sim)
+    base = rf.unit_base(0) + rf.region_base(0)
+    for stat in (rf.STAT_BYTES_PERIOD, rf.STAT_TOTAL_BYTES,
+                 rf.STAT_TXN_COUNT, rf.STAT_LATENCY_MAX,
+                 rf.STAT_STALL_CYCLES, rf.STAT_BANDWIDTH_MILLI):
+        with pytest.raises(RegisterError, match="read-only|unmapped"):
+            regfile.write(base + stat, 1, tid=CVA6_TID)
+    with pytest.raises(RegisterError, match="read-only"):
+        regfile.write(rf.unit_base(0) + rf.OUTSTANDING, 1, tid=CVA6_TID)
+
+
+def test_guard_rejections_do_not_touch_register_state(sim):
+    _, realm, regfile = claimed_regfile(sim)
+    budget = rf.unit_base(0) + rf.region_base(0) + rf.BUDGET
+    regfile.write(budget, 4096, tid=CVA6_TID)
+    rejected = regfile.guard.rejected_accesses
+    with pytest.raises(BusGuardError):
+        regfile.write(budget, 1, tid=EVIL_TID)
+    assert regfile.guard.rejected_accesses == rejected + 1
+    assert regfile.read(budget, tid=CVA6_TID) == 4096
+
+
+def test_knob_path_writes_match_raw_register_writes():
+    """The control plane's knob route and a raw guarded write must land
+    on the same register state, bit for bit."""
+    from repro.sim import Simulator
+    from repro.system import SystemBuilder
+
+    def build():
+        return (
+            SystemBuilder(Simulator())
+            .add_manager("mgr", protect=True)
+            .add_manager("other")
+            .add_sram("mem", base=0x0, size=0x10000)
+            .build()
+        )
+
+    knob_side, raw_side = build(), build()
+    writes = [
+        (rf.region_base(0) + rf.BUDGET, "realm.mgr.region0.budget_bytes",
+         2048),
+        (rf.region_base(0) + rf.PERIOD, "realm.mgr.region0.period_cycles",
+         750),
+        (rf.region_base(0) + rf.REGION_SIZE, "realm.mgr.region0.size",
+         0x8000),
+        (rf.GRANULARITY, "realm.mgr.granularity", 16),
+    ]
+    raw_side.regfile.write(0x0, CVA6_TID, tid=CVA6_TID)
+    for offset, path, value in writes:
+        knob_side.control.set(path, value)
+        raw_side.regfile.write(rf.unit_base(0) + offset, value, tid=CVA6_TID)
+    knob_side.sim.run(20)  # intrusive writes drain + apply
+    raw_side.sim.run(20)
+    for offset, path, value in writes:
+        raw = raw_side.regfile._read(rf.unit_base(0) + offset)
+        via_knob = knob_side.regfile._read(rf.unit_base(0) + offset)
+        assert via_knob == raw == value
+        assert knob_side.control.get(path) == value

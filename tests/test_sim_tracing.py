@@ -62,3 +62,56 @@ def test_tracer_bounds_memory():
         sim.step()
         ch.recv()
     assert len(tr) <= 10
+
+
+def test_tracer_eviction_is_exact_at_the_boundary():
+    """Regression: the bound used to halve the buffer once exceeded;
+    drop-oldest must evict exactly one event per overflow."""
+    sim = Simulator()
+    ch = Channel(sim, "c", capacity=64)
+    tr = Tracer(sim, max_events=5)
+    tr.watch(ch)
+    for i in range(5):
+        ch.send(i)
+    assert len(tr) == 5 and tr.dropped_events == 0
+    ch.send(5)  # one past the bound: exactly the oldest goes
+    assert len(tr) == 5
+    assert tr.dropped_events == 1
+    assert [e.payload for e in tr.events()] == [1, 2, 3, 4, 5]
+    ch.send(6)
+    assert [e.payload for e in tr.events()] == [2, 3, 4, 5, 6]
+    # Filtering sees exactly the retained window.
+    assert [e.payload for e in tr.events(kind="send")] == [2, 3, 4, 5, 6]
+    tr.clear()
+    assert len(tr) == 0 and tr.dropped_events == 0
+
+
+def test_multiple_tracers_fan_out_on_one_channel():
+    sim = Simulator()
+    ch = Channel(sim, "c")
+    a, b = Tracer(sim), Tracer(sim)
+    a.watch(ch)
+    b.watch(ch)
+    a.watch(ch)  # re-attach is a no-op, not a duplicate subscription
+    ch.send("x")
+    assert len(a) == 1 and len(b) == 1
+    ch.detach_tracer(a)
+    sim.step()
+    ch.recv()
+    assert len(a) == 1 and len(b) == 2
+
+
+def test_tracer_attaches_through_the_probe_event_api():
+    from repro.control import ProbeRegistry
+
+    sim = Simulator()
+    reg = ProbeRegistry()
+    data = Channel(sim, "data")
+    ctrl = Channel(sim, "ctrl")
+    reg.register_channel("port.m.data", data)
+    reg.register_channel("port.m.ctrl", ctrl)
+    tr = Tracer(sim)
+    assert tr.watch_probes(reg, "port.m.*") == ["port.m.data", "port.m.ctrl"]
+    data.send(1)
+    ctrl.send(2)
+    assert {e.channel for e in tr.events()} == {"data", "ctrl"}
