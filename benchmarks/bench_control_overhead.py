@@ -12,10 +12,12 @@ no idle stretches to fast-forward) three ways —
 * ``control=True``    (registries built, nothing scheduled), and
 * ``control=True`` + a periodic sampler (informational),
 
-interleaving the runs and taking each variant's best of *ROUNDS* so the
-compared numbers see the same machine state.  The smoke assertion bounds
-the unconfigured overhead at <2 % and appends the datapoint to
-``BENCH_control.json``.
+interleaving the runs and estimating each variant's overhead as the
+**median of the per-round, back-to-back time ratios** (paired runs see
+the same machine state, so frequency drift over the bench cancels out of
+the ratio; the best-of seconds are kept in the payload for reference).
+The smoke assertion bounds the unconfigured overhead at <2 % and appends
+the datapoint to ``BENCH_control.json``.
 
 Run:  python benchmarks/bench_control_overhead.py [output.json]
 """
@@ -36,7 +38,11 @@ from repro.realm import RegionConfig  # noqa: E402
 from repro.system import SystemBuilder  # noqa: E402
 from repro.traffic import BandwidthHog, DmaEngine  # noqa: E402
 
-CYCLES = 6_000
+# Sized so each measured run is a few hundred milliseconds: the batched
+# datapath (PR 4) tripled the throughput of this streaming workload, and
+# a <2% gate needs the runs long enough that timer noise stays well
+# under the limit.
+CYCLES = 20_000
 ROUNDS = 7
 OVERHEAD_LIMIT_PERCENT = 2.0
 SAMPLER_EVERY = 200
@@ -84,7 +90,10 @@ def _run_once(control: bool, sampler: bool) -> tuple[float, int]:
 
 
 def measure() -> dict:
+    from statistics import median
+
     best = {"off": float("inf"), "on": float("inf"), "sampled": float("inf")}
+    ratios = {"on": [], "sampled": []}
     ticks = {}
     variants = (
         ("off", False, False),
@@ -94,16 +103,22 @@ def measure() -> dict:
     for key, control, sampler in variants:  # warm-up pass, untimed ranking
         _run_once(control, sampler)
     for _ in range(ROUNDS):
-        # Interleaved so no variant owns the warm caches.
+        # Interleaved so no variant owns the warm caches; per-round
+        # ratios pair each variant with the immediately preceding
+        # baseline run.
+        round_times = {}
         for key, control, sampler in variants:
             elapsed, executed = _run_once(control, sampler)
+            round_times[key] = elapsed
             best[key] = min(best[key], elapsed)
             ticks[key] = executed
+        ratios["on"].append(round_times["on"] / round_times["off"])
+        ratios["sampled"].append(round_times["sampled"] / round_times["off"])
     assert ticks["off"] == ticks["on"] == ticks["sampled"], (
         "the control plane changed scheduling on an identical workload"
     )
-    overhead = 100.0 * (best["on"] - best["off"]) / best["off"]
-    sampled_overhead = 100.0 * (best["sampled"] - best["off"]) / best["off"]
+    overhead = 100.0 * (median(ratios["on"]) - 1.0)
+    sampled_overhead = 100.0 * (median(ratios["sampled"]) - 1.0)
     return {
         "benchmark": "control_overhead/streaming_hot_path",
         "python": platform.python_version(),

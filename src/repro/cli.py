@@ -131,6 +131,8 @@ def _emit_campaign(result, args: argparse.Namespace) -> None:
     else:
         print(f"# {result.name}")
     print(result.format_table())
+    if getattr(args, "profile", False):
+        _emit_profile(result)
     if args.json:
         result.write_json(args.json)
         print(f"report written to {args.json}")
@@ -140,6 +142,26 @@ def _emit_campaign(result, args: argparse.Namespace) -> None:
     if args.timeseries:
         result.write_timeseries_csv(args.timeseries)
         print(f"timeseries written to {args.timeseries}")
+
+
+def _emit_profile(result) -> None:
+    """Campaign-wide per-component share of wall-clock tick time."""
+    seconds: dict[str, float] = {}
+    ticks: dict[str, int] = {}
+    for point in result.points:
+        for name, secs, count in point.profile or []:
+            seconds[name] = seconds.get(name, 0.0) + secs
+            ticks[name] = ticks.get(name, 0) + count
+    total = sum(seconds.values())
+    if not total:
+        print("\n(no tick time recorded)")
+        return
+    print(f"\n# tick-time profile ({total:.3f}s total tick time)")
+    print(f"{'component':<28} {'share':>7} {'seconds':>9} {'ticks':>10}")
+    rows = sorted(seconds.items(), key=lambda kv: kv[1], reverse=True)
+    for name, secs in rows:
+        print(f"{name:<28} {100 * secs / total:>6.1f}% {secs:>9.3f} "
+              f"{ticks[name]:>10d}")
 
 
 def _run_scenario(args: argparse.Namespace) -> int:
@@ -152,7 +174,9 @@ def _run_scenario(args: argparse.Namespace) -> int:
             spec,
             jobs=args.jobs,
             active_set=False if args.naive_kernel else None,
+            batched=False if args.per_beat else None,
             smoke=args.smoke,
+            profile=args.profile,
         )
     except (ScenarioError, SimulationError) as exc:
         print(f"repro: scenario error: {exc}", file=sys.stderr)
@@ -195,7 +219,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
             spec,
             jobs=args.jobs,
             active_set=False if args.naive_kernel else None,
+            batched=False if args.per_beat else None,
             smoke=args.smoke,
+            profile=args.profile,
         )
     except (ScenarioError, SimulationError) as exc:
         print(f"repro: scenario error: {exc}", file=sys.stderr)
@@ -289,6 +315,16 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--naive-kernel", action="store_true",
         help="run on the naive tick-everything kernel (equivalence checks)",
+    )
+    parser.add_argument(
+        "--per-beat", action="store_true",
+        help="disable the batched beat datapath (per-beat reference path, "
+        "equivalence checks)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print each component's share of wall-clock tick time after "
+        "the run (hot-path hunting; aggregated across campaign points)",
     )
     parser.add_argument(
         "--set", action="append", metavar="FIELD=VALUE",

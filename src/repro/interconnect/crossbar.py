@@ -18,6 +18,16 @@ evaluation platform (Cheshire) uses:
 The crossbar is a single component; beats traverse it in one cycle (they
 are re-sent on the subordinate-side channels and become visible after the
 commit), matching the one-cycle-per-hop convention of the kernel.
+
+Batched datapath: once a burst has won arbitration, the middle of the
+burst traverses a fixed, uncontended route — the subordinate W channel is
+reserved until ``w.last``, and the R mux is locked to its source until
+``r.last``.  Under ``Simulator(batched=True)`` the crossbar installs an
+:class:`~repro.sim.channel.ExpressRoute` for those spans and leaves the
+active set; the kernel forwards the beats with identical observable
+effects, and the order tears itself down at the burst boundary (or on a
+foreign beat), waking the crossbar so every arbitration, DECERR, and
+``last`` decision still runs on the per-beat reference path.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from repro.axi.ports import AxiBundle
 from repro.axi.types import Resp
 from repro.interconnect.address_map import AddressMap
 from repro.interconnect.arbiter import RoundRobinArbiter
+from repro.sim.channel import ExpressRoute
 from repro.sim.kernel import Component
 
 # Sentinel subordinate index for decode misses.
@@ -114,6 +125,10 @@ class AxiCrossbar(Component):
         self._r_arb = [RoundRobinArbiter(n_sub + 1) for _ in range(n_mgr)]
         # Per-manager R burst lock: source index until r.last.
         self._r_lock: list[Optional[int]] = [None] * n_mgr
+        # Active express orders for burst middles (batched datapath).
+        self._w_express: dict[int, ExpressRoute] = {}
+        self._r_express: dict[int, ExpressRoute] = {}
+        self._batch_mode = False
 
         # Statistics.
         self.aw_forwarded = 0
@@ -122,6 +137,7 @@ class AxiCrossbar(Component):
 
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
+        self._batch_mode = self._sim._batched
         self._route_aw()
         self._route_w()
         self._route_ar()
@@ -131,12 +147,27 @@ class AxiCrossbar(Component):
     def is_idle(self) -> bool:
         # Routing is purely input-driven: with no recv-able beat on any
         # side and no queued DECERR responses, every route pass is a no-op
-        # (arbiters do not advance when no one requests).
-        for mgr in self.managers:
-            if mgr.aw.can_recv() or mgr.w.can_recv() or mgr.ar.can_recv():
+        # (arbiters do not advance when no one requests).  Channels whose
+        # burst middle an express order is forwarding don't count — their
+        # beats move without the crossbar, and the order re-wakes it at
+        # the burst boundary.
+        w_express = self._w_express
+        for mi, mgr in enumerate(self.managers):
+            if mgr.aw.can_recv() or mgr.ar.can_recv():
                 return False
+            if mgr.w.can_recv() and mi not in w_express:
+                return False
+        express_srcs = (
+            {order.src for order in self._r_express.values()}
+            if self._r_express
+            else None
+        )
         for sub in self.subs:
-            if sub.b.can_recv() or sub.r.can_recv():
+            if sub.b.can_recv():
+                return False
+            if sub.r.can_recv() and (
+                express_srcs is None or sub.r not in express_srcs
+            ):
                 return False
         for queue in self._err_b:
             if queue:
@@ -147,6 +178,12 @@ class AxiCrossbar(Component):
         return True
 
     def reset(self) -> None:
+        for order in list(self._w_express.values()) + list(
+            self._r_express.values()
+        ):
+            order.cancel()
+        self._w_express.clear()
+        self._r_express.clear()
         for q in (
             self._w_order + self._w_route + self._err_b + self._err_r
             + self._err_w_ids
@@ -163,6 +200,52 @@ class AxiCrossbar(Component):
         # register-programmed config does.
 
     # ------------------------------------------------------------------
+    # express installation (batched datapath)
+    # ------------------------------------------------------------------
+    def _install_w_express(self, mi: int, dest: int) -> None:
+        """Hand the reserved W route ``manager mi -> subordinate dest``
+        to the kernel for the remainder of the burst middle."""
+        order = ExpressRoute(
+            self.managers[mi].w,
+            self.subs[dest].w,
+            self,
+            on_done=lambda: self._w_express.pop(mi, None),
+        )
+        self._w_express[mi] = order
+        order.install(self._sim)
+
+    def _install_r_express(self, mi: int, src: int) -> None:
+        """Hand the locked R route ``subordinate src -> manager mi`` to
+        the kernel.  The guard cancels the order the moment a beat with a
+        foreign manager prefix surfaces (subordinates emit R bursts
+        contiguously, so this only happens at burst boundaries)."""
+        idmap = self.idmap
+
+        def guard(beat) -> bool:
+            return idmap.manager_of(beat.id) == mi
+
+        def transform(raw) -> RBeat:
+            return RBeat(
+                id=idmap.inner_of(raw.id),
+                data=raw.data,
+                resp=raw.resp,
+                last=raw.last,
+                user=raw.user,
+                txn=raw.txn,
+            )
+
+        order = ExpressRoute(
+            self.subs[src].r,
+            self.managers[mi].r,
+            self,
+            transform=transform,
+            guard=guard,
+            on_done=lambda: self._r_express.pop(mi, None),
+        )
+        self._r_express[mi] = order
+        order.install(self._sim)
+
+    # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
     def _decode(self, addr: int) -> int:
@@ -170,26 +253,35 @@ class AxiCrossbar(Component):
         return _ERR if port is None else port
 
     def _route_aw(self) -> None:
-        heads = [
-            (self._decode(m.aw.peek().addr) if m.aw.can_recv() else None)
-            for m in self.managers
-        ]
-        # Decode misses are absorbed immediately (no subordinate involved).
-        for mi, dest in enumerate(heads):
+        managers = self.managers
+        heads: Optional[list[Optional[int]]] = None
+        for mi, m in enumerate(managers):
+            if not m.aw._queue:
+                continue
+            dest = self._decode(m.aw._queue[0].addr)
             if dest == _ERR:
-                beat = self.managers[mi].aw.recv()
+                # Decode misses are absorbed immediately (no subordinate
+                # involved).
+                beat = m.aw.recv()
                 self._w_route[mi].append(_ERR)
                 self._err_w_ids[mi].append(beat.id)
                 self.decode_errors += 1
-                heads[mi] = None
+            else:
+                if heads is None:
+                    heads = [None] * len(managers)
+                heads[mi] = dest
+        if heads is None:
+            return
         for si, sub in enumerate(self.subs):
             if not sub.aw.can_send():
                 continue
             requests = [dest == si for dest in heads]
+            if True not in requests:
+                continue  # an all-idle grant would be a no-op anyway
             granted = self._aw_arb[si].grant(requests)
             if granted is None:
                 continue
-            beat = self.managers[granted].aw.recv()
+            beat = managers[granted].aw.recv()
             fwd = beat.copy()
             fwd.id = self.idmap.compose(granted, beat.id)
             sub.aw.send(fwd)
@@ -199,8 +291,11 @@ class AxiCrossbar(Component):
             heads[granted] = None  # one AW per manager per cycle
 
     def _route_w(self) -> None:
+        w_express = self._w_express
         for mi, mgr in enumerate(self.managers):
-            if not mgr.w.can_recv() or not self._w_route[mi]:
+            if mi in w_express:
+                continue  # the kernel is forwarding this burst middle
+            if not mgr.w._queue or not self._w_route[mi]:
                 continue
             dest = self._w_route[mi][0]
             if dest == _ERR:
@@ -215,6 +310,11 @@ class AxiCrossbar(Component):
             # head of the AW-grant order; anyone else waits.
             if self._w_order[dest] and self._w_order[dest][0] != mi:
                 continue
+            if self._batch_mode and not mgr.w._queue[0].last:
+                # Reserved, uncontended middle: hand the span to the
+                # kernel (the express phase moves the beat this cycle).
+                self._install_w_express(mi, dest)
+                continue
             if not sub.w.can_send():
                 continue
             beat = mgr.w.recv()
@@ -224,32 +324,40 @@ class AxiCrossbar(Component):
                 self._w_order[dest].popleft()
 
     def _route_ar(self) -> None:
-        heads = [
-            (self._decode(m.ar.peek().addr) if m.ar.can_recv() else None)
-            for m in self.managers
-        ]
-        for mi, dest in enumerate(heads):
+        managers = self.managers
+        heads: Optional[list[Optional[int]]] = None
+        for mi, m in enumerate(managers):
+            if not m.ar._queue:
+                continue
+            dest = self._decode(m.ar._queue[0].addr)
             if dest == _ERR:
-                beat = self.managers[mi].ar.recv()
-                for i in range(beat.beats):
-                    self._err_r[mi].append(
-                        RBeat(
-                            id=beat.id,
-                            resp=Resp.DECERR,
-                            last=(i == beat.beats - 1),
-                            txn=beat.txn,
-                        )
+                beat = m.ar.recv()
+                self._err_r[mi].extend(
+                    RBeat(
+                        id=beat.id,
+                        resp=Resp.DECERR,
+                        last=(i == beat.beats - 1),
+                        txn=beat.txn,
                     )
+                    for i in range(beat.beats)
+                )
                 self.decode_errors += 1
-                heads[mi] = None
+            else:
+                if heads is None:
+                    heads = [None] * len(managers)
+                heads[mi] = dest
+        if heads is None:
+            return
         for si, sub in enumerate(self.subs):
             if not sub.ar.can_send():
                 continue
             requests = [dest == si for dest in heads]
+            if True not in requests:
+                continue
             granted = self._ar_arb[si].grant(requests)
             if granted is None:
                 continue
-            beat = self.managers[granted].ar.recv()
+            beat = managers[granted].ar.recv()
             fwd = beat.copy()
             fwd.id = self.idmap.compose(granted, beat.id)
             sub.ar.send(fwd)
@@ -267,10 +375,16 @@ class AxiCrossbar(Component):
 
     def _route_b(self) -> None:
         n_sub = len(self.subs)
+        if not any(sub.b._queue for sub in self.subs) and not any(
+            self._err_b
+        ):
+            return
         for mi, mgr in enumerate(self.managers):
             if not mgr.b.can_send():
                 continue
             requests = [self._b_source_ready(mi, s) for s in range(n_sub + 1)]
+            if True not in requests:
+                continue
             granted = self._b_arb[mi].grant(requests)
             if granted is None:
                 continue
@@ -295,17 +409,37 @@ class AxiCrossbar(Component):
 
     def _route_r(self) -> None:
         n_sub = len(self.subs)
+        if not any(sub.r._queue for sub in self.subs) and not any(
+            self._err_r
+        ):
+            return
+        r_express = self._r_express
         for mi, mgr in enumerate(self.managers):
+            if mi in r_express:
+                continue  # the kernel is forwarding this burst middle
             if not mgr.r.can_send():
                 continue
             src = self._r_lock[mi]
             if src is None:
-                requests = [self._r_source_ready(mi, s) for s in range(n_sub + 1)]
+                requests = [
+                    self._r_source_ready(mi, s) for s in range(n_sub + 1)
+                ]
+                if True not in requests:
+                    continue
                 src = self._r_arb[mi].grant(requests)
                 if src is None:
                     continue
                 self._r_lock[mi] = src
             elif not self._r_source_ready(mi, src):
+                continue
+            if (
+                self._batch_mode
+                and src != n_sub
+                and not self.subs[src].r._queue[0].last
+            ):
+                # Locked, uncontended middle: hand the span to the kernel
+                # (the express phase moves the beat this cycle).
+                self._install_r_express(mi, src)
                 continue
             if src == n_sub:
                 beat = self._err_r[mi].popleft()

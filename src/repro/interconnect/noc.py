@@ -97,9 +97,63 @@ class _Router:
             self.staged[out] = self.inputs[dirs[granted]].popleft()
             self.flits_routed += 1
 
+    def route_batched(self) -> None:
+        """:meth:`route` with the no-request arbitrations skipped.
+
+        Request vectors are still rebuilt per output from the live queue
+        heads (an earlier output's grant may expose a new head that wants
+        a later output — the reference routes it in the same cycle), but
+        an output nobody requests never reaches its arbiter, which is
+        bit-identical because an all-idle grant does not advance the
+        round-robin pointer.
+        """
+        dirs = self.DIRECTIONS
+        inputs = self.inputs
+        staged = self.staged
+        for out in dirs:
+            if staged[out] is not None:
+                continue
+            requests = None
+            for i, d in enumerate(dirs):
+                queue = inputs[d]
+                if queue and self._output_for(queue[0]) == out:
+                    if requests is None:
+                        requests = [False] * 5
+                    requests[i] = True
+            if requests is None:
+                continue
+            granted = self._arbiters[out].grant(requests)
+            if granted is None:
+                continue
+            staged[out] = inputs[dirs[granted]].popleft()
+            self.flits_routed += 1
+
+    def busy(self) -> bool:
+        """True while any flit is queued or staged in this router."""
+        for queue in self.inputs.values():
+            if queue:
+                return True
+        for flit in self.staged.values():
+            if flit is not None:
+                return True
+        return False
+
 
 class _MeshNetwork:
-    """One physical network: a grid of routers moved once per cycle."""
+    """One physical network: a grid of routers moved once per cycle.
+
+    The batched datapath keeps an *active* set of router coordinates —
+    exactly those holding at least one flit — so a step visits only the
+    few routers a burst is streaming through instead of scanning the
+    whole (mostly empty) mesh.  Routing and link movement are per-router
+    independent, so visiting the active subset in sorted order is
+    bit-identical to the reference full scan.
+    """
+
+    _OPPOSITE = {"north": "south", "south": "north",
+                 "east": "west", "west": "east"}
+    _DELTA = {"north": (0, 1), "south": (0, -1),
+              "east": (1, 0), "west": (-1, 0)}
 
     def __init__(self, width: int, height: int, depth: int = 4) -> None:
         self.width = width
@@ -110,6 +164,9 @@ class _MeshNetwork:
             for x in range(width)
             for y in range(height)
         }
+        # Coordinates of routers that may hold flits (batched datapath);
+        # a superset of the truly busy ones, pruned during step().
+        self._active: set[tuple[int, int]] = set()
 
     def router(self, node: tuple[int, int]) -> _Router:
         return self.routers[node]
@@ -119,6 +176,7 @@ class _MeshNetwork:
         if not router.can_accept("local"):
             return False
         router.accept("local", flit)
+        self._active.add(node)
         self.flits += 1
         return True
 
@@ -133,14 +191,15 @@ class _MeshNetwork:
     def peek_eject(self, node: tuple[int, int]) -> Optional[Flit]:
         return self.routers[node].staged["local"]
 
-    def step(self) -> None:
+    def step(self, batched: bool = False) -> None:
         """Route inside every router, then move staged flits over links."""
+        if batched:
+            self._step_batched()
+            return
         for router in self.routers.values():
             router.route()
-        opposite = {"north": "south", "south": "north",
-                    "east": "west", "west": "east"}
-        delta = {"north": (0, 1), "south": (0, -1),
-                 "east": (1, 0), "west": (-1, 0)}
+        opposite = self._OPPOSITE
+        delta = self._DELTA
         for (x, y), router in self.routers.items():
             for out, (dx, dy) in delta.items():
                 flit = router.staged[out]
@@ -152,6 +211,46 @@ class _MeshNetwork:
                 if neighbor.can_accept(opposite[out]):
                     neighbor.accept(opposite[out], flit)
                     router.staged[out] = None
+
+    def _step_batched(self) -> None:
+        active = self._active
+        if not active:
+            return
+        routers = self.routers
+        order = sorted(active)
+        for node in order:
+            routers[node].route_batched()
+        opposite = self._OPPOSITE
+        delta = self._DELTA
+        idle = None
+        for node in order:
+            router = routers[node]
+            x, y = node
+            busy = False
+            for out, (dx, dy) in delta.items():
+                flit = router.staged[out]
+                if flit is None:
+                    continue
+                neighbor = routers.get((x + dx, y + dy))
+                if neighbor is None:  # pragma: no cover - routing bug guard
+                    raise SimulationError("flit routed off the mesh edge")
+                if neighbor.can_accept(opposite[out]):
+                    neighbor.accept(opposite[out], flit)
+                    active.add((x + dx, y + dy))
+                    router.staged[out] = None
+                else:
+                    busy = True
+            if not busy and not router.busy():
+                if idle is None:
+                    idle = [node]
+                else:
+                    idle.append(node)
+        if idle is not None:
+            # Re-check before pruning: a later router's link movement may
+            # have pushed a flit into a router already found empty.
+            for node in idle:
+                if not routers[node].busy():
+                    active.discard(node)
 
 
 class AxiNoc(Component):
@@ -209,12 +308,13 @@ class AxiNoc(Component):
 
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
+        batched = self._sim._batched
         self._manager_inject()
         self._subordinate_eject()
         self._subordinate_inject()
         self._manager_eject()
-        self.request_net.step()
-        self.response_net.step()
+        self.request_net.step(batched)
+        self.response_net.step(batched)
 
     def is_idle(self) -> bool:
         if self.request_net.flits or self.response_net.flits:
@@ -373,8 +473,9 @@ class AxiNoc(Component):
     def reset(self) -> None:
         width = self.request_net.width
         height = self.request_net.height
-        self.request_net = _MeshNetwork(width, height)
-        self.response_net = _MeshNetwork(width, height)
+        depth = next(iter(self.request_net.routers.values())).depth
+        self.request_net = _MeshNetwork(width, height, depth)
+        self.response_net = _MeshNetwork(width, height, depth)
         for q in self._w_route.values():
             q.clear()
         for q in self._sub_aw_order.values():

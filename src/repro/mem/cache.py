@@ -71,6 +71,7 @@ class CacheLLC(Component):
         self._addrs: list[int] = []
         self._index = 0
         self._wait = 0
+        self._latency_ready = 0  # batched: first-serve cycle
         self._resume = "idle"
         self._rr_read_first = True
         # Front-end staging: the next transaction is accepted and its tag
@@ -79,6 +80,9 @@ class CacheLLC(Component):
         self._staged: Optional[ARBeat | AWBeat] = None
         self._staged_is_read = True
         self._staged_wait = 0
+        self._staged_ready = 0  # batched: lookup-complete cycle
+        self._now = 0
+        self._batch_mode = False
         # Miss-handling scratch.
         self._wb_addr = 0
         self._wb_line: Optional[_Line] = None
@@ -157,6 +161,8 @@ class CacheLLC(Component):
     # FSM
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
+        self._now = cycle
+        self._batch_mode = self._sim._batched
         self._front_accept()
         handler = getattr(self, f"_st_{self._state}", None)
         if handler is None:  # pragma: no cover - defensive
@@ -164,18 +170,61 @@ class CacheLLC(Component):
         handler()
 
     def is_idle(self) -> bool:
-        return (
-            self._state == "idle"
-            and self._staged is None
-            and not self.front.ar.can_recv()
-            and not self.front.aw.can_recv()
-        )
+        if not self._batch_mode:
+            return (
+                self._state == "idle"
+                and self._staged is None
+                and not self.front.ar.can_recv()
+                and not self.front.aw.can_recv()
+            )
+        return self._is_idle_batched()
+
+    def _is_idle_batched(self) -> bool:
+        """Blocked-state sleeping: every FSM state whose tick is provably
+        a no-op until a channel event (or the scheduled lookup completion)
+        lets the cache leave the active set."""
+        front = self.front
+        if self._staged is None and (
+            front.ar.can_recv() or front.aw.can_recv()
+        ):
+            return False  # a new front transaction would be staged
+        state = self._state
+        if state == "idle":
+            return self._staged is None
+        if state == "latency":
+            self.wake_at(self._latency_ready)
+            return True
+        if state == "r_serve":
+            beat = self._txn
+            if self._index >= beat.beats or front.r.can_send():
+                return False
+            addr = self._addrs[self._index]
+            line_addr = addr & ~(self.line_bytes - 1)
+            # A resident line streams as soon as front.r frees; a miss
+            # would start the writeback/refill sequence right away.
+            return self.lookup(line_addr, touch=False) is not None
+        if state == "w_collect":
+            return self._pending_wbeat is None and not front.w.can_recv()
+        if state == "b_resp":
+            return not front.b.can_send()
+        back = self.back
+        if state == "wb_aw":
+            return not back.aw.can_send()
+        if state == "wb_w":
+            return not back.w.can_send()
+        if state == "wb_b":
+            return not back.b.can_recv()
+        if state == "refill_ar":
+            return not back.ar.can_send()
+        if state == "refill_r":
+            return not back.r.can_recv()
+        return False  # pragma: no cover - unknown state stays active
 
     def _front_accept(self) -> None:
         """Stage the next front transaction and run its lookup latency in
         parallel with the current transaction."""
         if self._staged is not None:
-            if self._staged_wait > 0:
+            if not self._batch_mode and self._staged_wait > 0:
                 self._staged_wait -= 1
             return
         want_read = self.front.ar.can_recv()
@@ -189,13 +238,17 @@ class CacheLLC(Component):
         )
         self._staged_is_read = take_read
         self._staged_wait = self.hit_latency
+        self._staged_ready = self._now + self.hit_latency
 
     def reset(self) -> None:
         self._sets = [OrderedDict() for _ in range(self.n_sets)]
         self._state = "idle"
         self._txn = None
+        self._staged = None
         self._pending_wbeat = None
         self._wait = 0
+        self._latency_ready = 0
+        self._staged_ready = 0
         self.hits = self.misses = 0
         self.writebacks = self.refills = 0
         self.reads_served = self.writes_served = 0
@@ -209,7 +262,11 @@ class CacheLLC(Component):
         self._staged = None
         self._addrs = beat_addresses(self._txn)
         self._index = 0
-        self._wait = self._staged_wait
+        if self._batch_mode:
+            self._wait = max(0, self._staged_ready - self._now)
+        else:
+            self._wait = self._staged_wait
+        self._latency_ready = self._now + self._wait
         self._w_error = False
         self._state = "latency"
         if self._wait == 0:
@@ -218,6 +275,12 @@ class CacheLLC(Component):
             self._state = "r_serve" if self._is_read else "w_collect"
 
     def _st_latency(self) -> None:
+        if self._batch_mode:
+            if self._now < self._latency_ready:
+                return
+            self._state = "r_serve" if self._is_read else "w_collect"
+            self.tick_current()
+            return
         if self._wait > 0:
             self._wait -= 1
         if self._wait == 0:

@@ -66,9 +66,11 @@ class DramModel(Component):
         self._addrs: list[int] = []
         self._index = 0
         self._wait = 0
+        self._ready = 0  # batched: event-driven completion cycle
         self._w_done = False
         self._w_error = False
         self._rr_read_first = True  # alternate read/write service
+        self._batch_mode = False
 
         # Statistics.
         self.row_hits = 0
@@ -96,20 +98,39 @@ class DramModel(Component):
 
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
+        self._batch_mode = self._sim._batched
         if self._kind is None:
-            self._accept()
+            self._accept(cycle)
             return
         if self._kind == "r":
-            self._serve_read()
+            self._serve_read(cycle)
         else:
-            self._serve_write()
+            self._serve_write(cycle)
 
     def is_idle(self) -> bool:
-        return (
-            self._kind is None
-            and not self.port.ar.can_recv()
-            and not self.port.aw.can_recv()
-        )
+        if not self._batch_mode:
+            return (
+                self._kind is None
+                and not self.port.ar.can_recv()
+                and not self.port.aw.can_recv()
+            )
+        # Batched: the access-latency countdown is event-driven, so the
+        # controller sleeps through it (and through blocked channels).
+        port = self.port
+        if self._kind is None:
+            return not port.ar.can_recv() and not port.aw.can_recv()
+        now = self._sim.cycle
+        if self._kind == "r":
+            if now < self._ready:
+                self.wake_at(self._ready)
+                return True
+            return not port.r.can_send()
+        if not self._w_done:
+            return not port.w.can_recv()
+        if now < self._ready:
+            self.wake_at(self._ready)
+            return True
+        return not port.b.can_send()
 
     def reset(self) -> None:
         self._open_rows = {b: None for b in range(self.timing.n_banks)}
@@ -117,13 +138,14 @@ class DramModel(Component):
         self._beat = None
         self._index = 0
         self._wait = 0
+        self._ready = 0
         self._w_done = False
         self._w_error = False
         self.row_hits = self.row_misses = 0
         self.reads_served = self.writes_served = 0
 
     # ------------------------------------------------------------------
-    def _accept(self) -> None:
+    def _accept(self, cycle: int) -> None:
         want_read = self.port.ar.can_recv()
         want_write = self.port.aw.can_recv()
         if not want_read and not want_write:
@@ -142,9 +164,13 @@ class DramModel(Component):
         self._w_error = False
         self._addrs = beat_addresses(beat)
         self._wait = self.access_latency(beat.addr)
+        self._ready = cycle + self._wait + 1
 
-    def _serve_read(self) -> None:
-        if self._wait > 0:
+    def _serve_read(self, cycle: int) -> None:
+        if self._batch_mode:
+            if cycle < self._ready:
+                return
+        elif self._wait > 0:
             self._wait -= 1
             return
         if not self.port.r.can_send():
@@ -167,7 +193,7 @@ class DramModel(Component):
             self._kind = None
             self.reads_served += 1
 
-    def _serve_write(self) -> None:
+    def _serve_write(self, cycle: int) -> None:
         if not self._w_done:
             if not self.port.w.can_recv():
                 return
@@ -181,8 +207,12 @@ class DramModel(Component):
             self._index += 1
             if wbeat.last:
                 self._w_done = True
+                self._ready = cycle + self._wait + 1
             return
-        if self._wait > 0:
+        if self._batch_mode:
+            if cycle < self._ready:
+                return
+        elif self._wait > 0:
             self._wait -= 1
             return
         if not self.port.b.can_send():

@@ -46,14 +46,17 @@ class SramMemory(Component):
         self._rd_addrs: list[bytes] = []
         self._rd_index = 0
         self._rd_wait = 0
+        self._rd_ready = 0  # batched: first-serve cycle (event-driven)
         self._rd_error = False
         # Write state machine.
         self._wr: Optional[AWBeat] = None
         self._wr_addrs: list[int] = []
         self._wr_index = 0
         self._wr_wait = 0
+        self._wr_ready = 0  # batched: B-response cycle (event-driven)
         self._wr_error = False
         self._wr_done = False
+        self._batch_mode = False
         # Pending read-data response of an atomic operation (old value).
         self._atomic_r: Optional[RBeat] = None
 
@@ -66,24 +69,57 @@ class SramMemory(Component):
 
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
-        self._tick_read()
-        self._tick_write()
+        self._batch_mode = self._sim._batched
+        self._tick_read(cycle)
+        self._tick_write(cycle)
 
     def is_idle(self) -> bool:
         # W beats that arrive ahead of their AW are ignored until the AW
         # shows up, so they do not make the memory busy.
-        return (
-            self._rd is None
-            and self._wr is None
-            and self._atomic_r is None
-            and not self.port.ar.can_recv()
-            and not self.port.aw.can_recv()
-        )
+        if not self._batch_mode:
+            return (
+                self._rd is None
+                and self._wr is None
+                and self._atomic_r is None
+                and not self.port.ar.can_recv()
+                and not self.port.aw.can_recv()
+            )
+        # Batched: latency windows are event-driven — the tick during a
+        # countdown is a pure comparison, so the memory sleeps until the
+        # scheduled completion (or a channel event on a blocked port).
+        port = self.port
+        now = self._sim.cycle
+        wake = None
+        if self._atomic_r is not None:
+            if port.r.can_send():
+                return False
+        elif self._rd is None:
+            if port.ar.can_recv():
+                return False
+        elif now < self._rd_ready:
+            wake = self._rd_ready
+        elif port.r.can_send():
+            return False
+        if self._wr is None:
+            if port.aw.can_recv():
+                return False
+        elif not self._wr_done:
+            if port.w.can_recv():
+                return False
+        elif now < self._wr_ready:
+            if wake is None or self._wr_ready < wake:
+                wake = self._wr_ready
+        elif port.b.can_send():
+            return False
+        if wake is not None:
+            self.wake_at(wake)
+        return True
 
     def reset(self) -> None:
         self._rd = None
         self._wr = None
         self._rd_wait = self._wr_wait = 0
+        self._rd_ready = self._wr_ready = 0
         self._rd_index = self._wr_index = 0
         self._rd_error = self._wr_error = False
         self._wr_done = False
@@ -95,7 +131,7 @@ class SramMemory(Component):
     # ------------------------------------------------------------------
     # read port
     # ------------------------------------------------------------------
-    def _tick_read(self) -> None:
+    def _tick_read(self, cycle: int) -> None:
         if self._rd is None:
             # The read-data response of a completed atomic goes out when
             # the read port is otherwise idle, so R bursts stay contiguous.
@@ -110,6 +146,7 @@ class SramMemory(Component):
             self._rd = beat
             self._rd_index = 0
             self._rd_wait = self.read_latency
+            self._rd_ready = cycle + self.read_latency + 1
             try:
                 self._rd_addrs = beat_addresses(beat)
                 self._rd_error = False
@@ -117,7 +154,10 @@ class SramMemory(Component):
                 self._rd_addrs = [beat.addr] * beat.beats
                 self._rd_error = True
             return
-        if self._rd_wait > 0:
+        if self._batch_mode:
+            if cycle < self._rd_ready:
+                return
+        elif self._rd_wait > 0:
             self._rd_wait -= 1
             return
         if not self.port.r.can_send():
@@ -146,7 +186,7 @@ class SramMemory(Component):
     # ------------------------------------------------------------------
     # write port
     # ------------------------------------------------------------------
-    def _tick_write(self) -> None:
+    def _tick_write(self, cycle: int) -> None:
         if self._wr is None:
             if not self.port.aw.can_recv():
                 return
@@ -178,8 +218,12 @@ class SramMemory(Component):
             self._wr_index += 1
             if wbeat.last:
                 self._wr_done = True
+                self._wr_ready = cycle + self.write_latency + 1
             return
-        if self._wr_wait > 0:
+        if self._batch_mode:
+            if cycle < self._wr_ready:
+                return
+        elif self._wr_wait > 0:
             self._wr_wait -= 1
             return
         if not self.port.b.can_send():

@@ -159,6 +159,11 @@ class BurstSplitterStage:
     # write response path: coalesce fragment responses
     # ------------------------------------------------------------------
     def _tick_b(self) -> None:
+        if not self._b_expect:
+            # No split write burst in flight yet: pure pass-through via
+            # the batch API's single-call hand-off.
+            self.down.b.move_to(self.up.b)
+            return
         if not self.down.b.can_recv():
             return
         beat: BBeat = self.down.b.peek()
@@ -176,6 +181,10 @@ class BurstSplitterStage:
                 return  # hold the final fragment until upstream is ready
             self.down.b.recv()
             expected.popleft()
+            if not expected:
+                # Drop the drained FIFO so the pass-through fast path
+                # revives once no split burst is in flight.
+                del self._b_expect[beat.id]
             self._b_acc.pop(beat.id, None)
             merged = BBeat(id=beat.id, resp=resp, user=beat.user, txn=beat.txn)
             self.up.b.send(merged)
@@ -187,6 +196,10 @@ class BurstSplitterStage:
     # read response path: gate r.last
     # ------------------------------------------------------------------
     def _tick_r(self) -> None:
+        if not self._r_expect:
+            # No split read burst in flight yet: pure pass-through.
+            self.down.r.move_to(self.up.r)
+            return
         if not self.down.r.can_recv() or not self.up.r.can_send():
             return
         beat: RBeat = self.down.r.recv()
@@ -198,7 +211,9 @@ class BurstSplitterStage:
             self._r_seen[beat.id] += 1
             if self._r_seen[beat.id] >= expected[0]:
                 expected.popleft()
-                self._r_seen[beat.id] = 0
+                if not expected:
+                    del self._r_expect[beat.id]
+                self._r_seen.pop(beat.id, None)
                 self.up.r.send(beat)  # genuine last beat
             else:
                 gated = RBeat(

@@ -187,9 +187,9 @@ class MonitorRegulationStage:
                 self._charge(region_idx, beat.total_bytes, is_read=False)
                 self._write_inflight[beat.id].append((cycle, region_idx))
                 self.outstanding += 1
-        # Write data passes through; the budget was charged at the AW.
-        if self.up.w.can_recv() and self.down.w.can_send():
-            self.down.w.send(self.up.w.recv())
+        # Write data passes through; the budget was charged at the AW
+        # (one guarded hand-off through the batch API).
+        self.up.w.move_to(self.down.w)
         # Read address.
         if self.up.ar.can_recv() and self.down.ar.can_send():
             beat = self.up.ar.peek()

@@ -53,6 +53,20 @@ class Wire(Generic[T]):
         self._item = None
         return item
 
+    def move_to(self, dst) -> bool:
+        """Relay the held beat into *dst* (a Wire or Channel) in one call.
+
+        The wire half of the batch pass-through API: stage code relays a
+        beat to the next hop with one guarded hand-off instead of four
+        protocol calls.  Returns True when a beat moved.
+        """
+        item = self._item
+        if item is None or not dst.can_send():
+            return False
+        self._item = None
+        dst.send(item)
+        return True
+
     @property
     def occupancy(self) -> int:
         return 0 if self._item is None else 1

@@ -65,22 +65,18 @@ class WriteBufferStage:
         else:
             self._ingest()
             self._forward()
-        # Read path is a wire-to-wire passthrough either way.
-        if self.up.ar.can_recv() and self.down.ar.can_send():
-            self.down.ar.send(self.up.ar.recv())
+        # Read path is a wire-to-wire passthrough either way (one guarded
+        # hand-off through the batch API).
+        self.up.ar.move_to(self.down.ar)
 
     def tick_response(self, cycle: int) -> None:
-        if self.down.b.can_recv() and self.up.b.can_send():
-            self.up.b.send(self.down.b.recv())
-        if self.down.r.can_recv() and self.up.r.can_send():
-            self.up.r.send(self.down.r.recv())
+        self.down.b.move_to(self.up.b)
+        self.down.r.move_to(self.up.r)
 
     # ------------------------------------------------------------------
     def _tick_bypass(self) -> None:
-        if self.up.aw.can_recv() and self.down.aw.can_send():
-            self.down.aw.send(self.up.aw.recv())
-        if self.up.w.can_recv() and self.down.w.can_send():
-            self.down.w.send(self.up.w.recv())
+        self.up.aw.move_to(self.down.aw)
+        self.up.w.move_to(self.down.w)
 
     def _ingest(self) -> None:
         if self.up.aw.can_recv() and len(self._aw_q) < self.max_pending_aw:

@@ -34,6 +34,9 @@ class PointResult:
     observables: dict[str, Any]
     latencies: dict[str, list[int]] = field(default_factory=dict)
     perf_percent: Optional[float] = None  # filled by CampaignResult
+    # Per-component (name, seconds, ticks) rows when the point ran with
+    # tick profiling enabled; None otherwise (not part of the digest).
+    profile: Optional[list] = None
 
     @cached_property
     def latency(self) -> LatencyStats:
@@ -100,6 +103,7 @@ class CampaignResult:
     active_set: Optional[bool]
     baseline_label: str
     points: list[PointResult]
+    batched: Optional[bool] = None
 
     @classmethod
     def from_points(
@@ -108,12 +112,14 @@ class CampaignResult:
         points: list[PointResult],
         *,
         active_set: Optional[bool] = None,
+        batched: Optional[bool] = None,
     ) -> "CampaignResult":
         result = cls(
             name=spec.name,
             description=spec.description,
             seed=spec.seed,
             active_set=spec.active_set if active_set is None else active_set,
+            batched=spec.batched if batched is None else batched,
             baseline_label=spec.campaign.baseline,
             points=list(points),
         )
@@ -166,6 +172,7 @@ class CampaignResult:
             "description": self.description,
             "seed": self.seed,
             "active_set": self.active_set,
+            "batched": self.batched,
             "baseline": self.baseline_label or None,
             "points": [p.to_dict() for p in self.points],
         }

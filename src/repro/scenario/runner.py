@@ -109,12 +109,16 @@ def _declare_memory(builder: SystemBuilder, spec: MemoryScenario) -> None:
 
 
 def build_system(
-    spec: ScenarioSpec, *, active_set: Optional[bool] = None
+    spec: ScenarioSpec,
+    *,
+    active_set: Optional[bool] = None,
+    batched: Optional[bool] = None,
 ) -> System:
     """Elaborate the scenario's topology (no traffic attached yet)."""
     builder = SystemBuilder(
         name=spec.name,
         active_set=spec.active_set if active_set is None else active_set,
+        batched=spec.batched if batched is None else batched,
     )
     flavor = spec.topology.interconnect
     if flavor == "crossbar":
@@ -386,11 +390,17 @@ def collect_observables(
 # running
 # ----------------------------------------------------------------------
 def run_point(
-    point: ExpandedPoint, *, active_set: Optional[bool] = None
+    point: ExpandedPoint,
+    *,
+    active_set: Optional[bool] = None,
+    batched: Optional[bool] = None,
+    profile: bool = False,
 ) -> PointResult:
     """Simulate one expanded campaign point and digest its observables."""
     spec = point.spec
-    system = build_system(spec, active_set=active_set)
+    system = build_system(spec, active_set=active_set, batched=batched)
+    if profile:
+        system.sim.enable_profiling()
     generators = attach_traffic(system, spec)
     install_control(system, spec)
     for warm in spec.warm:
@@ -435,6 +445,7 @@ def run_point(
         ),
         observables=collect_observables(system, spec, generators),
         latencies=latencies,
+        profile=system.sim.profile_report() if profile else None,
     )
 
 
@@ -451,9 +462,13 @@ def _primary_core(
     return None
 
 
-def _run_expanded(args: tuple[ExpandedPoint, Optional[bool]]) -> PointResult:
-    point, active_set = args
-    return run_point(point, active_set=active_set)
+def _run_expanded(
+    args: tuple[ExpandedPoint, Optional[bool], Optional[bool], bool]
+) -> PointResult:
+    point, active_set, batched, profile = args
+    return run_point(
+        point, active_set=active_set, batched=batched, profile=profile
+    )
 
 
 def run_campaign(
@@ -461,7 +476,9 @@ def run_campaign(
     *,
     jobs: int = 1,
     active_set: Optional[bool] = None,
+    batched: Optional[bool] = None,
     smoke: bool = False,
+    profile: bool = False,
 ) -> CampaignResult:
     """Expand and execute a whole campaign.
 
@@ -475,8 +492,18 @@ def run_campaign(
     if jobs > 1 and len(points) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             results = list(
-                pool.map(_run_expanded, [(p, active_set) for p in points])
+                pool.map(
+                    _run_expanded,
+                    [(p, active_set, batched, profile) for p in points],
+                )
             )
     else:
-        results = [run_point(p, active_set=active_set) for p in points]
-    return CampaignResult.from_points(spec, results, active_set=active_set)
+        results = [
+            run_point(
+                p, active_set=active_set, batched=batched, profile=profile
+            )
+            for p in points
+        ]
+    return CampaignResult.from_points(
+        spec, results, active_set=active_set, batched=batched
+    )

@@ -1110,6 +1110,7 @@ class ScenarioSpec:
     description: str = ""
     seed: int = 0
     active_set: bool = True
+    batched: bool = True
     warm: tuple[WarmSpec, ...] = ()
     metrics: tuple[str, ...] = _METRIC_GROUPS
     probes: ProbesSpec = field(default_factory=ProbesSpec)
@@ -1127,7 +1128,8 @@ class ScenarioSpec:
         header = _as_table(_take(table, "scenario", "<root>", (dict,)),
                            "scenario")
         _reject_unknown(header,
-                        ("name", "description", "seed", "active_set"),
+                        ("name", "description", "seed", "active_set",
+                         "batched"),
                         "scenario")
         topology = TopologySpec.from_dict(
             _take(table, "topology", "<root>", (dict,)), "topology"
@@ -1237,6 +1239,8 @@ class ScenarioSpec:
             seed=_take(header, "seed", "scenario", (int,), default=0),
             active_set=_take(header, "active_set", "scenario", (bool,),
                              default=True),
+            batched=_take(header, "batched", "scenario", (bool,),
+                          default=True),
             topology=topology,
             traffic=traffic,
             run=run,
@@ -1261,6 +1265,7 @@ class ScenarioSpec:
                 "description": self.description,
                 "seed": self.seed,
                 "active_set": self.active_set,
+                "batched": self.batched,
             },
             "run": self.run.to_dict(),
             "topology": self.topology.to_dict(),

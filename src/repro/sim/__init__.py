@@ -1,12 +1,13 @@
 """Cycle-based simulation kernel (clock, components, channels, tracing)."""
 
-from repro.sim.channel import Channel, ChannelPair, drain
+from repro.sim.channel import Channel, ChannelPair, ExpressRoute, drain
 from repro.sim.kernel import Component, SimulationError, Simulator
 from repro.sim.tracing import TraceEvent, Tracer
 
 __all__ = [
     "Channel",
     "ChannelPair",
+    "ExpressRoute",
     "Component",
     "SimulationError",
     "Simulator",

@@ -23,7 +23,7 @@ receiver, or buffered space was freed for the sender.
 from __future__ import annotations
 
 from collections import deque
-from typing import Generic, Optional, TypeVar
+from typing import Callable, Generic, Iterable, Optional, TypeVar
 
 from repro.sim.kernel import Component, SimulationError, Simulator
 
@@ -109,6 +109,30 @@ class Channel(Generic[T]):
         if self._tracer is not None:
             self._tracer.on_send(self, item)
 
+    def send_many(self, items: Iterable[T]) -> None:
+        """Push a whole run of beats in one call (O(1) bookkeeping).
+
+        All beats become visible together at the next commit, exactly as
+        if :meth:`send` had been called once per beat in the same cycle;
+        the run must fit in the sender's current headroom.  Counters are
+        updated from the batch delta; an attached tracer still sees one
+        ``on_send`` per beat, in order.
+        """
+        items = list(items)
+        if not items:
+            return
+        if self._snapshot + len(self._pending) + len(items) > self.capacity:
+            raise SimulationError(
+                f"send_many of {len(items)} beats overflows channel "
+                f"{self.name!r}"
+            )
+        self._pending.extend(items)
+        self._sent_total += len(items)
+        self._sim.mark_hot(self)
+        if self._tracer is not None:
+            for item in items:
+                self._tracer.on_send(self, item)
+
     # ------------------------------------------------------------------
     # receiver side
     # ------------------------------------------------------------------
@@ -133,6 +157,42 @@ class Channel(Generic[T]):
             self._tracer.on_recv(self, item)
         return item
 
+    def recv_up_to(self, limit: Optional[int] = None) -> list[T]:
+        """Consume every committed beat (up to *limit*) in one call.
+
+        Equivalent to calling :meth:`recv` in a loop within the same
+        cycle — legal wherever a component already drains at line rate —
+        but with counters fed from the batch delta.  Returns the beats in
+        arrival order; an attached tracer sees one ``on_recv`` per beat.
+        """
+        queue = self._queue
+        if not queue:
+            return []
+        n = len(queue) if limit is None or limit > len(queue) else limit
+        if n <= 0:
+            return []
+        out = [queue.popleft() for _ in range(n)]
+        self._recv_total += n
+        self._sim.mark_hot(self)
+        if self._tracer is not None:
+            for item in out:
+                self._tracer.on_recv(self, item)
+        return out
+
+    def move_to(self, dst, transform: Optional[Callable[[T], T]] = None) -> bool:
+        """Relay the head beat into *dst* (a Channel or Wire) in one call.
+
+        The single-beat pass-through primitive of the batch API: one
+        guarded ``recv`` + ``send`` with exactly the per-beat observable
+        effects (counters, tracer events, wake-ups).  Returns True when a
+        beat moved.
+        """
+        if not self._queue or not dst.can_send():
+            return False
+        item = self.recv()
+        dst.send(item if transform is None else transform(item))
+        return True
+
     # ------------------------------------------------------------------
     # kernel interface
     # ------------------------------------------------------------------
@@ -147,6 +207,25 @@ class Channel(Generic[T]):
             self._recv_listeners = self._recv_listeners + (component,)
         if events in ("all", "send") and component not in self._send_listeners:
             self._send_listeners = self._send_listeners + (component,)
+
+    def remove_listener(self, component: Component, events: str = "all") -> bool:
+        """Unsubscribe *component*; returns True if it was subscribed.
+
+        Used by express routes to keep the owning component asleep while
+        the kernel forwards the burst middle on its behalf.
+        """
+        removed = False
+        if events in ("all", "recv") and component in self._recv_listeners:
+            self._recv_listeners = tuple(
+                c for c in self._recv_listeners if c is not component
+            )
+            removed = True
+        if events in ("all", "send") and component in self._send_listeners:
+            self._send_listeners = tuple(
+                c for c in self._send_listeners if c is not component
+            )
+            removed = True
+        return removed
 
     def commit(self) -> None:
         """Clock edge: make this cycle's sends visible, refresh snapshot."""
@@ -231,6 +310,123 @@ class Channel(Generic[T]):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Channel {self.name!r} occ={self.occupancy}/{self.capacity}>"
+
+
+class ExpressRoute:
+    """A kernel-executed forwarding order for the middle of a burst.
+
+    A component that has proven a point-to-point route stable until a
+    burst boundary — e.g. the crossbar once an AW grant has reserved a
+    subordinate's W channel, or an R burst locked to its source — installs
+    an order and goes to sleep; the kernel then performs the component's
+    would-be move (one guarded ``recv`` + ``send``, at most one beat per
+    cycle) in the express phase of every step, so the observable effects
+    are bit-identical to per-beat ticking at a fraction of the cost.
+
+    The order forwards **only the uncontended middle** of the burst: it
+    never moves a beat whose ``last`` flag is set.  Burst boundaries are
+    where same-cycle arbitration hand-offs between managers happen in the
+    owner's scan order, so the order tears itself down — at the commit
+    boundary where the ``last`` beat (or a ``guard``-rejected foreign
+    beat) becomes visible — and wakes the owner, whose next tick handles
+    the boundary on the per-beat reference path, arbiters and all.  This
+    is what makes the batched path bit-identical (DESIGN.md section 9).
+
+    The order suppresses the owner's wake-up subscription on the two
+    channels it manages while installed (restored at teardown), so the
+    owner can leave the active set for the span of the burst middle.
+    ``on_done`` runs at teardown so the owner can drop its bookkeeping
+    for the order.
+    """
+
+    __slots__ = ("src", "dst", "owner", "transform", "guard", "on_done")
+
+    def __init__(
+        self,
+        src: Channel,
+        dst: Channel,
+        owner: Component,
+        transform: Optional[Callable] = None,
+        guard: Optional[Callable] = None,
+        on_done: Optional[Callable] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.owner = owner
+        self.transform = transform
+        self.guard = guard
+        self.on_done = on_done
+
+    # ------------------------------------------------------------------
+    def install(self, sim: Simulator) -> "ExpressRoute":
+        self.src.remove_listener(self.owner, "recv")
+        self.dst.remove_listener(self.owner, "send")
+        sim.install_express(self)
+        return self
+
+    def cancel(self) -> None:
+        """Tear the order down and wake the owner to resume per-beat."""
+        if self.on_done is not None:
+            self.on_done()
+        self.src.add_listener(self.owner, "recv")
+        self.dst.add_listener(self.owner, "send")
+        sim = self.owner._sim
+        if sim is not None:
+            sim.remove_express(self)
+        self.owner.wake()
+
+    # ------------------------------------------------------------------
+    def _boundary(self, beat) -> bool:
+        """A beat the order must not touch: burst end or foreign beat."""
+        return beat.last or (self.guard is not None and not self.guard(beat))
+
+    def ready(self) -> bool:
+        """True if :meth:`step` would act this cycle (move or cancel).
+
+        Consulted by the kernel's quiescence check so a fast-forward can
+        never jump over cycles in which the order has work to do.
+        """
+        queue = self.src._queue
+        if not queue:
+            return False
+        if self._boundary(queue[0]):
+            return True  # the pending cancellation must run
+        return self.dst.can_send()
+
+    def step(self) -> None:
+        """Forward at most one middle beat; run by the kernel every cycle."""
+        queue = self.src._queue
+        if not queue:
+            return
+        beat = queue[0]
+        if self._boundary(beat):
+            # Normally intercepted by after_commit() the cycle the beat
+            # surfaced; kept as a defensive hand-back.
+            self.cancel()
+            return
+        if not self.dst.can_send():
+            return
+        beat = self.src.recv()
+        transform = self.transform
+        self.dst.send(beat if transform is None else transform(beat))
+
+    def after_commit(self) -> None:
+        """Boundary watch, run after every commit phase.
+
+        The cancellation must fire at the commit where the boundary beat
+        becomes visible — before the next tick phase — so the owner's
+        scan handles the boundary in the same cycle the per-beat
+        reference path would have.
+        """
+        queue = self.src._queue
+        if queue and self._boundary(queue[0]):
+            self.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ExpressRoute {self.src.name!r} -> {self.dst.name!r} "
+            f"for {self.owner.name!r}>"
+        )
 
 
 class ChannelPair:

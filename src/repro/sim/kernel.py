@@ -41,11 +41,34 @@ default implementation returns ``False`` (always ticked), which is always
 correct; see ``DESIGN.md`` section 5 for the full contract.  Constructing a
 :class:`Simulator` with ``active_set=False`` restores the naive
 tick-everything kernel, which is useful for equivalence testing.
+
+Batched transport
+-----------------
+
+``Simulator(batched=True)`` (the default) additionally enables the batched
+beat datapath: channels move whole runs of beats through
+:class:`ExpressRoute` orders at the step boundary, memories schedule their
+latency completion with timed wake-ups instead of polled countdowns, and
+interconnects scope their scans to active state.  All of it is a pure
+optimisation — every observable is bit-identical to the per-beat reference
+path, which ``batched=False`` preserves unchanged (see ``DESIGN.md``
+section 9 for the equivalence contract).
+
+An :class:`ExpressRoute` is the kernel half of that contract: a component
+that has proven a point-to-point forwarding decision stable for the middle
+of a burst (e.g. the crossbar's reserved W channel after an AW grant)
+installs an order ``src -> dst``; the kernel then executes the move —
+at most one beat per cycle, exactly as the component's tick would have —
+in the express phase between the tick and commit phases, and the component
+may leave the active set for the burst middle.  The order is torn down at
+the burst boundary (``last``) or cancelled the moment its guard sees a
+beat it does not own, which re-wakes the owner for per-beat stepping.
 """
 
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, Iterable, Optional
 
 
@@ -145,17 +168,27 @@ class Simulator:
     ``active_set=False`` for the naive tick-everything kernel.
     """
 
-    def __init__(self, name: str = "sim", active_set: bool = True) -> None:
+    def __init__(
+        self,
+        name: str = "sim",
+        active_set: bool = True,
+        batched: bool = True,
+    ) -> None:
         self.name = name
         self.cycle = 0
         self._components: list[Component] = []
         self._channels: list = []  # list[Channel]; untyped to avoid cycle
         self._watchers: list[Callable[[int], None]] = []
         self._active_set_enabled = active_set
+        self._batched = batched
         self._active: set[Component] = set()
         self._hot_channels: set = set()  # channels that need a commit
+        self._express: list = []  # list[ExpressRoute], installation order
         self._wake_heap: list[tuple[int, int, Component]] = []
         self._wake_seq = 0
+        # Per-component tick-time accounting (``--profile``); None = off.
+        self._tick_seconds: Optional[dict] = None
+        self._tick_counts: Optional[dict] = None
         # Commit-boundary hooks: (cycle, seq, fn) fired after the commit
         # (and the watchers) of *cycle*.  The control plane's schedule
         # engine is built on these; see DESIGN.md section 8.
@@ -173,6 +206,16 @@ class Simulator:
     @property
     def active_set_enabled(self) -> bool:
         return self._active_set_enabled
+
+    @property
+    def batched(self) -> bool:
+        """True when the batched beat datapath is enabled (the default).
+
+        ``batched=False`` keeps the per-beat reference path everywhere:
+        no express routes, no timed latency scheduling, no scoped scans —
+        the exact seed datapath, used as the equivalence baseline.
+        """
+        return self._batched
 
     def add(self, component: Component) -> Component:
         """Register *component*; returns it for chaining."""
@@ -219,6 +262,62 @@ class Simulator:
     def mark_hot(self, channel) -> None:
         """Called by channels on send/recv; schedules the commit."""
         self._hot_channels.add(channel)
+
+    # ------------------------------------------------------------------
+    # express routes (batched datapath)
+    # ------------------------------------------------------------------
+    def install_express(self, order) -> None:
+        """Register an :class:`~repro.sim.channel.ExpressRoute` order.
+
+        The kernel steps every installed order once per cycle, between the
+        tick and commit phases, in installation order.
+        """
+        if order not in self._express:
+            self._express.append(order)
+
+    def remove_express(self, order) -> None:
+        """Drop an express order (no-op if it is not installed)."""
+        try:
+            self._express.remove(order)
+        except ValueError:
+            pass
+
+    def _run_express(self) -> None:
+        # Orders may cancel themselves (and thereby mutate the registry)
+        # while stepping, so iterate over a snapshot.
+        for order in tuple(self._express):
+            order.step()
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    def enable_profiling(self) -> None:
+        """Accumulate wall-clock tick time per component (for --profile)."""
+        if self._tick_seconds is None:
+            self._tick_seconds = {}
+            self._tick_counts = {}
+
+    def profile_report(self) -> list[tuple[str, float, int]]:
+        """``(component name, seconds, ticks)`` rows, slowest first."""
+        if not self._tick_seconds:
+            return []
+        counts = self._tick_counts or {}
+        rows = [
+            (name, seconds, counts.get(name, 0))
+            for name, seconds in self._tick_seconds.items()
+        ]
+        rows.sort(key=lambda row: row[1], reverse=True)
+        return rows
+
+    def _timed_tick(self, component: Component, cycle: int) -> None:
+        t0 = perf_counter()
+        component.tick(cycle)
+        name = component.name
+        elapsed = perf_counter() - t0
+        seconds = self._tick_seconds
+        seconds[name] = seconds.get(name, 0.0) + elapsed
+        counts = self._tick_counts
+        counts[name] = counts.get(name, 0) + 1
 
     # ------------------------------------------------------------------
     # commit-boundary hooks
@@ -273,6 +372,9 @@ class Simulator:
         """True when nothing will change until a timed wake-up (or never)."""
         if not self._active_set_enabled or self._active:
             return False
+        for order in self._express:
+            if order.ready():
+                return False
         return all(not ch._pending for ch in self._hot_channels)
 
     # ------------------------------------------------------------------
@@ -281,6 +383,7 @@ class Simulator:
     def step(self) -> None:
         """Advance the simulation by exactly one cycle."""
         cycle = self.cycle
+        profiled = self._tick_seconds is not None
         if self._active_set_enabled:
             if self._wake_heap:
                 self._process_due_wakes(cycle)
@@ -288,7 +391,10 @@ class Simulator:
             if active:
                 for component in self._components:
                     if component in active:
-                        component.tick(cycle)
+                        if profiled:
+                            self._timed_tick(component, cycle)
+                        else:
+                            component.tick(cycle)
                         self.ticks_executed += 1
                         if component.is_idle():
                             active.discard(component)
@@ -296,6 +402,8 @@ class Simulator:
                         self.ticks_skipped += 1
             else:
                 self.ticks_skipped += len(self._components)
+            if self._express:
+                self._run_express()
             hot = self._hot_channels
             if hot:
                 cold = None
@@ -310,10 +418,20 @@ class Simulator:
                     hot.difference_update(cold)
         else:
             for component in self._components:
-                component.tick(cycle)
+                if profiled:
+                    self._timed_tick(component, cycle)
+                else:
+                    component.tick(cycle)
                 self.ticks_executed += 1
+            if self._express:
+                self._run_express()
             for channel in self._channels:
                 channel.commit()
+        if self._express:
+            # Boundary watch: orders whose head beat is now a burst end
+            # (or foreign) cancel here so the owner ticks next cycle.
+            for order in tuple(self._express):
+                order.after_commit()
         self.cycle = cycle + 1
         for watcher in self._watchers:
             watcher(cycle)
@@ -418,6 +536,12 @@ class Simulator:
         self._wake_heap.clear()
         self._hook_heap.clear()
         self._hot_channels.clear()
+        # Component resets cancel their own express orders; any leftover
+        # is cancelled here so its suppressed listeners are restored —
+        # a bare clear() would leave the owner deaf on those channels.
+        for order in tuple(self._express):
+            order.cancel()
+        self._express.clear()
         self.ticks_executed = 0
         self.ticks_skipped = 0
         self.cycles_fast_forwarded = 0

@@ -26,7 +26,7 @@ or :meth:`SystemBuilder.with_direct`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from repro.axi.ports import AxiBundle
@@ -198,9 +198,14 @@ class SystemBuilder:
         sim: Optional[Simulator] = None,
         name: str = "system",
         active_set: bool = True,
+        batched: bool = True,
         control: bool = True,
     ) -> None:
-        self.sim = sim if sim is not None else Simulator(name, active_set=active_set)
+        self.sim = (
+            sim
+            if sim is not None
+            else Simulator(name, active_set=active_set, batched=batched)
+        )
         self.name = name
         self._control_enabled = control
         self._managers: list[ManagerSpec] = []
@@ -522,7 +527,11 @@ class SystemBuilder:
         if spec.granularity is not None:
             unit.set_granularity(spec.granularity)
         for index, region in enumerate(spec.regions):
-            unit.configure_region(index, region)
+            # Defensive copy: the unit takes ownership of the region
+            # object and runtime knob writes mutate it — handing over the
+            # caller's instance would leak one run's reconfiguration into
+            # the next build from the same spec.
+            unit.configure_region(index, replace(region))
         if spec.regulation is not None:
             unit.set_regulation_enabled(spec.regulation)
         if spec.throttle is not None:

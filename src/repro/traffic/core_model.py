@@ -106,7 +106,27 @@ class CoreModel(Component):
         return self._sim is not None and self._sim.active_set_enabled
 
     def is_idle(self) -> bool:
-        return self._state == "done" or self._napping
+        state = self._state
+        if state == "done" or self._napping:
+            return True
+        sim = self._sim
+        if sim is None or not sim._batched:
+            return False
+        # Batched: a blocking core's wait-for-response (or blocked-issue)
+        # ticks are pure polls on a watched channel — sleep through them.
+        port = self.port
+        if state == "wait_resp":
+            op = self.trace.ops[self._index]
+            channel = port.r if op.kind == "read" else port.b
+            return not channel.can_recv()
+        if state == "issue":
+            op = self.trace.ops[self._index]
+            channel = port.ar if op.kind == "read" else port.aw
+            return not channel.can_send()
+        if state == "wait_w":
+            op = self.trace.ops[self._index]
+            return self._w_sent < op.beats and not port.w.can_send()
+        return False  # "gap" counts down every cycle (napping handles it)
 
     def _issue(self, op: TraceOp, cycle: int) -> None:
         if op.kind == "read":

@@ -138,13 +138,14 @@ class DmaEngine(Component):
                 self.src_size - self._burst_bytes + 1
             )
             self._rd_gap = self.inter_burst_gap
-        while self.port.r.can_recv():
-            beat = self.port.r.recv()
-            self.bytes_read += bytes_per_beat(self.size)
-            if beat.last:
-                self._rd_inflight -= 1
-                self.read_bursts += 1
-                self._full_buffers.append(self.read_bursts)
+        beats = self.port.r.recv_up_to()
+        if beats:
+            self.bytes_read += len(beats) * bytes_per_beat(self.size)
+            for beat in beats:
+                if beat.last:
+                    self._rd_inflight -= 1
+                    self.read_bursts += 1
+                    self._full_buffers.append(self.read_bursts)
 
     # -- write pipe: drain buffers into the destination window ---------
     def _tick_write(self) -> None:
@@ -183,8 +184,7 @@ class DmaEngine(Component):
                 self._wr_gap = self.inter_burst_gap
 
     def _drain_b(self) -> None:
-        while self.port.b.can_recv():
-            self.port.b.recv()
+        self.port.b.recv_up_to()
 
     def reset(self) -> None:
         self._rd_offset = 0

@@ -138,7 +138,27 @@ class ManagerDriver(Component):
 
     def is_idle(self) -> bool:
         # Scripting a new operation wakes the driver again.
-        return self._current is None and not self._queue
+        op = self._current
+        if op is None:
+            return not self._queue
+        sim = self._sim
+        if sim is None or not sim._batched:
+            return False
+        # Batched: mid-operation ticks are pure polls — sleep whenever
+        # every sub-action is blocked on a watched channel.
+        port = self.port
+        if op.kind == "read":
+            if not self._aw_sent:
+                return not port.ar.can_send()
+            return not port.r.can_recv()
+        if not self._aw_sent:
+            return not port.aw.can_send()
+        if self._w_index < op.beats and port.w.can_send():
+            return False
+        if port.b.can_recv():
+            return False
+        wants_r = op.atop in (AtomicOp.LOAD, AtomicOp.SWAP)
+        return not (wants_r and port.r.can_recv())
 
     def reset(self) -> None:
         self._queue.clear()

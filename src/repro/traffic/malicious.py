@@ -47,8 +47,7 @@ class StallingWriter(Component):
             )
             self.aws_sent += 1
         # Never send W data; drain any responses defensively.
-        while self.port.b.can_recv():
-            self.port.b.recv()
+        self.port.b.recv_up_to()
 
     def is_idle(self) -> bool:
         wants_aw = (self.aws_sent == 0 or self.repeat) and self.port.aw.can_send()
@@ -103,11 +102,12 @@ class BandwidthHog(Component):
                 self.window - burst_bytes, burst_bytes
             )
             self._outstanding += 1
-        while self.port.r.can_recv():
-            beat = self.port.r.recv()
-            self.bytes_stolen += bytes_per_beat(self.size)
-            if beat.last:
-                self._outstanding -= 1
+        beats = self.port.r.recv_up_to()
+        if beats:
+            self.bytes_stolen += len(beats) * bytes_per_beat(self.size)
+            for beat in beats:
+                if beat.last:
+                    self._outstanding -= 1
 
     def is_idle(self) -> bool:
         wants_ar = (
@@ -132,6 +132,7 @@ class TricklingWriter(Component):
     ) -> None:
         super().__init__(name)
         self.port = port
+        self.watch(port, role="manager")
         self.target = target
         self.beats = beats
         self.size = size
@@ -168,3 +169,21 @@ class TricklingWriter(Component):
             self.bursts_completed += 1
             self._aw_sent = False
             self._w_sent = 0
+
+    def is_idle(self) -> bool:
+        sim = self._sim
+        if sim is None or not sim._batched:
+            return False
+        port = self.port
+        if port.b.can_recv():
+            return False
+        if not self._aw_sent:
+            return not port.aw.can_send()
+        if self._w_sent < self.beats:
+            # Sleeping through the trickle gap preserves the exact cycle
+            # the next W beat would go out.
+            if self._next_w > sim.cycle + 1:
+                self.wake_at(self._next_w)
+                return True
+            return not port.w.can_send()
+        return True  # all data sent; the B response wakes us

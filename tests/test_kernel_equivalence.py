@@ -244,24 +244,143 @@ AXIS_GRID = [
 ]
 
 
+# The full datapath grid: (active_set, batched).  ``(False, False)`` is
+# the naive per-beat reference every other combination must match.
+KERNEL_GRID = [(False, False), (False, True), (True, False), (True, True)]
+
+
 @pytest.mark.parametrize("interconnect,memory,aggressor", AXIS_GRID)
 def test_scenario_axes_are_cycle_identical(interconnect, memory, aggressor):
     spec = validate(_axis_scenario(interconnect, memory, aggressor))
     point = expand(spec)[0]
-    naive = run_point(point, active_set=False)
-    active = run_point(point, active_set=True)
-    assert naive.observables == active.observables
-    assert naive.latencies == active.latencies
+    reference = run_point(point, active_set=False, batched=False)
+    for active_set, batched in KERNEL_GRID[1:]:
+        result = run_point(point, active_set=active_set, batched=batched)
+        combo = (active_set, batched)
+        assert result.observables == reference.observables, combo
+        assert result.latencies == reference.latencies, combo
 
 
 @pytest.mark.parametrize(
     "name", [path.stem for path in sorted(SCENARIO_DIR.glob("*.toml"))]
 )
 def test_shipped_campaigns_are_cycle_identical(name):
-    """Whole shipped campaigns (smoke scale) diffed kernel-vs-kernel —
-    independent of the checked-in goldens, so a stale golden can never
-    mask an equivalence break."""
+    """Whole shipped campaigns (smoke scale) diffed kernel-vs-kernel and
+    batched-vs-per-beat — independent of the checked-in goldens, so a
+    stale golden can never mask an equivalence break."""
     spec = load_file(SCENARIO_DIR / f"{name}.toml")
     naive = run_campaign(spec, smoke=True, active_set=False)
     active = run_campaign(spec, smoke=True, active_set=True)
+    per_beat = run_campaign(spec, smoke=True, active_set=True, batched=False)
     assert naive.digest() == active.digest()
+    assert per_beat.digest() == active.digest()
+
+
+# ----------------------------------------------------------------------
+# batched-datapath burst edge cases: 1-beat and maximum-length bursts,
+# bursts colliding with an arbitration hand-off mid-flight (a fragmenting
+# REALM unit interleaves with a full-length burst at the AW arbiter), and
+# a scheduled knob write landing mid-burst — each diffed over the whole
+# (active_set, batched) grid.
+# ----------------------------------------------------------------------
+def _burst_collision(active_set, batched, beats_a, beats_b):
+    system = (
+        SystemBuilder(active_set=active_set, batched=batched)
+        .with_crossbar()
+        .add_manager("a")
+        .add_manager(
+            "b",
+            granularity=min(beats_b, 16),
+            regions=[RegionConfig(base=0, size=0x40000,
+                                  budget_bytes=8192, period_cycles=600)],
+        )
+        .add_sram("mem", base=0, size=0x40000, capacity=4, read_latency=4)
+        .build()
+    )
+    a = system.attach(
+        "a",
+        lambda port: DmaEngine(port, src_base=0x0, src_size=0x8000,
+                               dst_base=0x10000, dst_size=0x8000,
+                               burst_beats=beats_a),
+    )
+    b = system.attach(
+        "b",
+        lambda port: DmaEngine(port, src_base=0x8000, src_size=0x8000,
+                               dst_base=0x18000, dst_size=0x8000,
+                               burst_beats=beats_b),
+    )
+    system.sim.run(5_000)
+    mem = system.memory("mem")
+    return (
+        system.sim.cycle,
+        a.bytes_read, a.bytes_written, a.read_bursts, a.write_bursts,
+        b.bytes_read, b.bytes_written, b.read_bursts, b.write_bursts,
+        mem.reads_served, mem.writes_served,
+        mem.read_beats, mem.write_beats,
+        tuple(
+            (ch.sent_total, ch.recv_total, ch.busy_cycles)
+            for port in system.ports.values()
+            for ch in port.channels
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "beats_a,beats_b", [(1, 1), (256, 256), (256, 1), (64, 16)]
+)
+def test_burst_edges_are_cycle_identical(beats_a, beats_b):
+    reference = _burst_collision(False, False, beats_a, beats_b)
+    for active_set, batched in KERNEL_GRID[1:]:
+        result = _burst_collision(active_set, batched, beats_a, beats_b)
+        assert result == reference, (active_set, batched)
+
+
+def _knob_mid_burst_scenario() -> dict:
+    return {
+        "scenario": {"name": "knob-mid-burst", "seed": 11},
+        "run": {"horizon": 4_000},
+        "topology": {
+            "interconnect": "crossbar",
+            "managers": [
+                {"name": "core", "granularity": 8,
+                 "regions": [{"base": 0, "size": 0x4_0000,
+                              "budget_bytes": "unlimited",
+                              "period_cycles": "unlimited"}]},
+                {"name": "dma", "granularity": 256,
+                 "regions": [{"base": 0, "size": 0x4_0000,
+                              "budget_bytes": 65536,
+                              "period_cycles": 1000}]},
+            ],
+            "memories": [{"name": "mem", "kind": "sram", "base": 0,
+                          "size": 0x4_0000, "capacity": 4}],
+        },
+        "traffic": {
+            "core": {"kind": "core", "pattern": "susan", "n_accesses": 60,
+                     "base": 0, "footprint": 4096, "gap_mean": 6,
+                     "beats": 2},
+            "dma": {"kind": "dma", "src_base": 0x8000, "src_size": 0x8000,
+                    "dst_base": 0x1_0000, "dst_size": 0x8000,
+                    "burst_beats": 256},
+        },
+        "schedule": [
+            # Cycle 777 lands inside a 256-beat burst middle: the budget
+            # squeeze must bite at the same commit boundary on every
+            # datapath, express routes notwithstanding.
+            {"label": "squeeze", "at": 777,
+             "set": {"realm.dma.region0.budget_bytes": 512}},
+            # And a periodic sampler reads the probe counters mid-burst.
+            {"label": "sample", "every": 333,
+             "sample": ["realm.dma.region0.*", "port.dma.w.*"]},
+        ],
+    }
+
+
+def test_knob_write_mid_burst_is_cycle_identical():
+    spec = validate(_knob_mid_burst_scenario())
+    point = expand(spec)[0]
+    reference = run_point(point, active_set=False, batched=False)
+    for active_set, batched in KERNEL_GRID[1:]:
+        result = run_point(point, active_set=active_set, batched=batched)
+        combo = (active_set, batched)
+        assert result.observables == reference.observables, combo
+        assert result.latencies == reference.latencies, combo

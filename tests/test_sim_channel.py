@@ -188,3 +188,84 @@ def test_property_everything_sent_is_received_in_order(items):
     sim.run(len(items) * 3 + 10)
     assert sent == list(items)
     assert got == list(items)
+
+
+# ----------------------------------------------------------------------
+# batch API: send_many / recv_up_to / move_to
+# ----------------------------------------------------------------------
+def test_send_many_is_one_commit_of_the_whole_run():
+    sim = Simulator()
+    ch = Channel(sim, "c", capacity=4)
+    ch.send_many(["a", "b", "c"])
+    assert ch.sent_total == 3
+    assert not ch.can_recv()  # registered: visible only after the commit
+    sim.step()
+    assert [ch.recv() for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_send_many_respects_headroom():
+    import pytest
+
+    sim = Simulator()
+    ch = Channel(sim, "c", capacity=2)
+    with pytest.raises(SimulationError):
+        ch.send_many([1, 2, 3])
+    ch.send_many([])  # empty run is a no-op
+    assert ch.sent_total == 0
+
+
+def test_recv_up_to_drains_committed_beats_only():
+    sim = Simulator()
+    ch = Channel(sim, "c", capacity=4)
+    ch.send_many([1, 2, 3])
+    sim.step()
+    ch.send(4)  # pending this cycle: must not be drained
+    assert ch.recv_up_to(2) == [1, 2]
+    assert ch.recv_up_to() == [3]
+    assert ch.recv_up_to() == []
+    assert ch.recv_total == 3
+
+
+def test_batch_counters_match_per_beat_counters():
+    sim = Simulator()
+    a = Channel(sim, "a", capacity=4)
+    b = Channel(sim, "b", capacity=4)
+    a.send_many([1, 2, 3])
+    for item in (1, 2, 3):
+        b.send(item)
+    sim.step()
+    assert (a.sent_total, a.occupancy) == (b.sent_total, b.occupancy)
+    assert a.recv_up_to() == [b.recv() for _ in range(3)]
+    assert a.recv_total == b.recv_total
+
+
+def test_move_to_relays_one_beat_with_full_accounting():
+    sim = Simulator()
+    src = Channel(sim, "src")
+    dst = Channel(sim, "dst", capacity=1)
+    assert not src.move_to(dst)  # nothing committed yet
+    src.send("x")
+    src.send("y")
+    sim.step()
+    assert src.move_to(dst)
+    assert (src.recv_total, dst.sent_total) == (1, 1)
+    assert not src.move_to(dst)  # dst headroom exhausted
+    sim.step()
+    assert dst.recv() == "x"
+    sim.step()  # snapshot refresh: the freed slot becomes sendable
+    assert src.move_to(dst, transform=str.upper)
+    sim.step()
+    assert dst.recv() == "Y"
+
+
+def test_wire_move_to_hands_off_in_the_same_cycle():
+    from repro.realm.wires import Wire
+
+    a = Wire("a")
+    b = Wire("b")
+    assert not a.move_to(b)
+    a.send("beat")
+    assert a.move_to(b)
+    assert a.can_send() and b.peek() == "beat"
+    a.send("next")
+    assert not a.move_to(b)  # b still full

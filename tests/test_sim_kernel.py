@@ -221,3 +221,62 @@ def test_reset_reactivates_sleepers():
     assert sleeper in sim.active_components
     sim.run(10)
     assert sim.cycle == 10
+
+
+# ----------------------------------------------------------------------
+# express routes (batched datapath)
+# ----------------------------------------------------------------------
+def test_express_route_forwards_middles_and_hands_back_the_boundary():
+    from dataclasses import dataclass
+
+    from repro.sim import Channel, ExpressRoute
+
+    @dataclass
+    class Beat:
+        index: int
+        last: bool = False
+
+    class Owner(Component):
+        def __init__(self):
+            super().__init__("owner")
+            self.ticks = 0
+
+        def tick(self, cycle):
+            self.ticks += 1
+
+        def is_idle(self):
+            return True  # only express completion/cancel wakes us
+
+    sim = Simulator()
+    owner = sim.add(Owner())
+    src = Channel(sim, "src", capacity=8)
+    dst = Channel(sim, "dst", capacity=8)
+    src.add_listener(owner, "recv")
+    dst.add_listener(owner, "send")
+    order = ExpressRoute(src, dst, owner).install(sim)
+    assert not src._recv_listeners  # suppressed while installed
+    sim.run(1)  # drain the owner's initial activation tick
+    src.send_many([Beat(0), Beat(1), Beat(2), Beat(3, last=True)])
+    ticks_before = owner.ticks
+    sim.run(4)
+    # Three middles crossed without the owner ticking...
+    assert len(dst._queue) + len(dst._pending) == 3
+    assert owner.ticks == ticks_before
+    # ...and the boundary beat cancelled the order and woke the owner.
+    assert order not in sim._express
+    assert src._recv_listeners == (owner,)  # subscription restored
+    assert src.peek().last  # the boundary beat is left for the owner
+    sim.run(1)
+    assert owner.ticks > ticks_before
+
+
+def test_reset_drops_leftover_express_orders():
+    from repro.sim import Channel, ExpressRoute
+
+    sim = Simulator()
+    owner = sim.add(Component("o"))
+    src = Channel(sim, "src")
+    dst = Channel(sim, "dst")
+    ExpressRoute(src, dst, owner).install(sim)
+    sim.reset()
+    assert not sim._express

@@ -115,3 +115,96 @@ def test_tracer_attaches_through_the_probe_event_api():
     data.send(1)
     ctrl.send(2)
     assert {e.channel for e in tr.events()} == {"data", "ctrl"}
+
+
+# ----------------------------------------------------------------------
+# commit-window event ordering and batch-delta counter audit
+# ----------------------------------------------------------------------
+def test_same_commit_window_send_recv_counts_once_each():
+    """A channel that is pushed and popped in the same commit window
+    (the skid-buffer steady state) must record exactly one send and one
+    recv per beat — no double counting through the tracer fan-out or the
+    probe counters."""
+    sim = Simulator()
+    ch = Channel(sim, "hop", capacity=2)
+    tr = Tracer(sim)
+    tr.watch(ch)
+    ch.send("b0")
+    sim.step()
+    # Steady state: pop the committed beat and push the next in the same
+    # cycle, five times over.
+    for i in range(1, 6):
+        assert ch.recv() == f"b{i - 1}"
+        ch.send(f"b{i}")
+        sim.step()
+    assert ch.sent_total == 6
+    assert ch.recv_total == 5
+    sends = tr.events(kind="send")
+    recvs = tr.events(kind="recv")
+    assert len(sends) == 6 and len(recvs) == 5
+
+
+def test_send_precedes_recv_for_every_beat_at_a_hop():
+    """Locked ordering contract: at any hop, a beat's send event strictly
+    precedes its recv event (registered output: recv is at least one
+    cycle later), even when the recv shares a commit window with another
+    beat's send."""
+    sim = Simulator()
+    ch = Channel(sim, "hop", capacity=2)
+    tr = Tracer(sim)
+    tr.watch(ch)
+    ch.send(0)
+    sim.step()
+    for i in range(1, 8):
+        ch.recv()
+        ch.send(i)
+        sim.step()
+    order = {}
+    for position, event in enumerate(tr.events()):
+        order.setdefault((event.payload, event.kind), (position, event.cycle))
+    for beat in range(7):
+        send_pos, send_cycle = order[(beat, "send")]
+        recv_pos, recv_cycle = order[(beat, "recv")]
+        assert send_pos < recv_pos
+        assert send_cycle < recv_cycle
+
+
+def _traced_burst_events(batched):
+    """Per-channel (cycle, kind) event streams of a regulated DMA burst
+    run, traced at the manager port hop."""
+    from repro.realm import RegionConfig
+    from repro.system import SystemBuilder
+    from repro.traffic import DmaEngine
+
+    system = (
+        SystemBuilder(active_set=True, batched=batched)
+        .with_crossbar()
+        .add_manager("dma", granularity=16,
+                     regions=[RegionConfig(base=0, size=0x20000,
+                                           budget_bytes=4096,
+                                           period_cycles=500)])
+        .add_manager("idle")
+        .add_sram("mem", base=0, size=0x20000, capacity=4)
+        .build()
+    )
+    tracer = system.trace("port.dma.*")
+    system.attach(
+        "dma",
+        lambda port: DmaEngine(port, src_base=0, src_size=0x4000,
+                               dst_base=0x8000, dst_size=0x4000,
+                               burst_beats=64),
+    )
+    system.sim.run(1_500)
+    streams = {}
+    for event in tracer.events():
+        streams.setdefault(event.channel, []).append(
+            (event.cycle, event.kind)
+        )
+    return streams
+
+
+def test_traced_event_streams_identical_batched_vs_per_beat():
+    """Express forwarding feeds the tracer from batch deltas: every hop
+    sees the identical per-channel (cycle, kind) stream as the per-beat
+    reference path."""
+    assert _traced_burst_events(True) == _traced_burst_events(False)
