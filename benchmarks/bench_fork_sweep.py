@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Fork-vs-scratch campaign datapoint: how much a shared prefix saves.
+
+Derives a fork-friendly sweep from the shipped ``fig6a.toml``: the
+topology, traffic, and warm-up are the file's own, the campaign is
+replaced by a ``[[schedule]]`` rule that programs the DMA's REALM
+budget/period at a fixed cycle, swept over the budget value.  Every
+point is therefore identical up to that rule's firing — the textbook
+fork-point situation (cache warming, REALM settling, and trace ramp-in
+all live in the shared prefix).
+
+The bench runs the campaign from scratch and with ``fork=True``
+(interleaved, best of *ROUNDS*), verifies the two digests are
+byte-identical (fork execution must never change a result), and
+appends the speedup to ``BENCH_snapshot.json``;
+``check_snapshot_regression.py`` gates CI on the ratio.
+
+Run:  python benchmarks/bench_fork_sweep.py [output.json]
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_utils import emit  # noqa: E402
+from repro.scenario import load_file, plan_fork, run_campaign  # noqa: E402
+from repro.scenario.spec import validate  # noqa: E402
+from repro.scenario.sweep import expand  # noqa: E402
+
+SCENARIO_DIR = Path(__file__).resolve().parent.parent / "scenarios"
+ROUNDS = 3
+FORK_CYCLE = 3000
+BUDGETS = (512, 2048, 8192, 1 << 40)
+# The bench-smoke assertion: forking must beat scratch execution by at
+# least this factor.  With a ~3000-cycle prefix shared by 4 points the
+# recorded speedups sit well above it; the regression gate guards drift.
+MIN_SPEEDUP = 1.15
+
+
+def _fork_sweep_spec():
+    """fig6a's platform under a schedule-value sweep of the DMA budget."""
+    tree = load_file(SCENARIO_DIR / "fig6a.toml").to_dict()
+    tree.pop("campaign", None)
+    tree.pop("smoke", None)
+    tree["schedule"] = [{
+        "label": "reserve",
+        "at": FORK_CYCLE,
+        "set": {
+            "realm.dma.region0.budget_bytes": BUDGETS[0],
+            "realm.dma.region0.period_cycles": 1000,
+        },
+    }]
+    tree["campaign"] = {
+        "sweep": [{
+            "field": "schedule.reserve.set.realm.dma.region0.budget_bytes",
+            "values": list(BUDGETS),
+            "labels": [f"budget={b}" for b in BUDGETS],
+        }],
+    }
+    return validate(tree)
+
+
+def _time_campaign(spec, fork: bool):
+    gc.collect()
+    t0 = time.perf_counter()
+    result = run_campaign(spec, fork=fork)
+    return time.perf_counter() - t0, result
+
+
+def measure() -> dict:
+    spec = _fork_sweep_spec()
+    plan = plan_fork(expand(spec))
+    assert plan is not None and plan.fork_cycle == FORK_CYCLE, (
+        "the derived sweep must expose a provable shared prefix"
+    )
+    best = {False: float("inf"), True: float("inf")}
+    digests = {}
+    fork_cycle = None
+    for _ in range(ROUNDS):
+        # Interleave so both modes see the same machine state.
+        for fork in (False, True):
+            elapsed, result = _time_campaign(spec, fork)
+            best[fork] = min(best[fork], elapsed)
+            digests[fork] = result.digest()
+            if fork:
+                fork_cycle = result.fork_cycle
+    assert digests[True] == digests[False], (
+        "fork-point execution diverged from the scratch sweep — the "
+        "speedup would compare different results"
+    )
+    total_cycles = sum(
+        point["sim_cycles"] for point in digests[False].values()
+    )
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rounds": ROUNDS,
+        "points": len(digests[False]),
+        "fork_cycle": fork_cycle,
+        "simulated_cycles_total": total_cycles,
+        "prefix_fraction": round(
+            len(digests[False]) * fork_cycle / total_cycles, 3
+        ),
+        "scratch_seconds": round(best[False], 5),
+        "fork_seconds": round(best[True], 5),
+        "speedup": round(best[False] / best[True], 3),
+    }
+
+
+def _append(path, payload: dict) -> None:
+    file = Path(path)
+    history: list = []
+    if file.exists():
+        history = json.loads(file.read_text(encoding="utf-8"))
+    history.append(payload)
+    file.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+
+
+def _emit(payload: dict) -> None:
+    emit("Fork-point campaign execution (fig6a budget sweep)", [
+        f"{payload['points']} points, shared prefix "
+        f"{payload['fork_cycle']} cycles "
+        f"({100 * payload['prefix_fraction']:.0f}% of simulated work)",
+        f"scratch {payload['scratch_seconds']:.3f}s   "
+        f"fork {payload['fork_seconds']:.3f}s   "
+        f"speedup {payload['speedup']:.2f}x",
+    ])
+
+
+def test_fork_sweep_datapoint():
+    payload = measure()
+    _emit(payload)
+    _append("BENCH_snapshot.json", payload)
+    assert payload["speedup"] >= MIN_SPEEDUP, (
+        "fork-point execution no longer pays for itself: "
+        f"{payload['speedup']:.2f}x < {MIN_SPEEDUP}x"
+    )
+
+
+def main(argv: list[str]) -> int:
+    out_path = argv[1] if len(argv) > 1 else "BENCH_snapshot.json"
+    payload = measure()
+    _append(out_path, payload)
+    print(json.dumps(payload, indent=2))
+    if payload["speedup"] < MIN_SPEEDUP:
+        print(f"FATAL: fork speedup below {MIN_SPEEDUP}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

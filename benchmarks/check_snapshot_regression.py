@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over ``BENCH_snapshot.json``.
+
+Compares the freshest fork-sweep datapoint against the committed
+baseline and fails (exit 1) when the fork-vs-scratch *speedup* ratio
+regressed by more than ``LIMIT_PERCENT``.  Like
+``check_datapath_regression.py``, the gate compares ratios rather than
+absolute seconds: both sides of a ratio come from the same machine in
+the same run, so the committed baseline stays meaningful across CI
+runner generations and developer laptops.
+
+Usage:  python benchmarks/check_snapshot_regression.py FRESH [BASELINE]
+
+*FRESH* is a datapoint history whose last entry is the new measurement;
+*BASELINE* (default: the same file's second-to-last entry) is the
+history whose last entry to compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+LIMIT_PERCENT = 15.0
+
+
+def _last_entry(path: Path, offset: int = 1) -> dict:
+    history = json.loads(path.read_text(encoding="utf-8"))
+    if len(history) < offset:
+        raise SystemExit(f"{path}: needs at least {offset} datapoints")
+    return history[-offset]
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    fresh_path = Path(argv[1])
+    fresh = _last_entry(fresh_path)
+    if len(argv) > 2:
+        baseline = _last_entry(Path(argv[2]))
+    else:
+        baseline = _last_entry(fresh_path, offset=2)
+
+    was, now = baseline["speedup"], fresh["speedup"]
+    drop = 100.0 * (was - now) / was
+    verdict = "ok"
+    failed = False
+    if drop > LIMIT_PERCENT:
+        verdict = f"REGRESSION (> {LIMIT_PERCENT:.0f}%)"
+        failed = True
+    print(
+        f"fork-sweep    baseline {was:.2f}x -> fresh {now:.2f}x "
+        f"({-drop:+.1f}%)  {verdict}"
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

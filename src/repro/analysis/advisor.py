@@ -251,3 +251,24 @@ class AdvisorLoop:
             "budgets": {plan.name: plan.budget_bytes for plan in plans},
         })
         return plans
+
+    # ------------------------------------------------------------------
+    # snapshot contract (captured via the schedule rule that owns us)
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "history": [
+                {"cycle": entry["cycle"], "budgets": dict(entry["budgets"])}
+                for entry in self.history
+            ],
+            "last_cycle": self._last_cycle,
+            "last_bytes": dict(self._last_bytes),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.history = [
+            {"cycle": entry["cycle"], "budgets": dict(entry["budgets"])}
+            for entry in state["history"]
+        ]
+        self._last_cycle = state["last_cycle"]
+        self._last_bytes = dict(state["last_bytes"])

@@ -72,3 +72,17 @@ class AbeEqualizer(Component):
         self._link.reset()
         self.outstanding = 0
         self.denied = 0
+
+    def state_capture(self) -> dict:
+        return {
+            "splitter": self.splitter.state_capture(),
+            "link": self._link.state_capture(),
+            "outstanding": self.outstanding,
+            "denied": self.denied,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.splitter.state_restore(state["splitter"])
+        self._link.state_restore(state["link"])
+        self.outstanding = state["outstanding"]
+        self.denied = state["denied"]

@@ -63,3 +63,10 @@ class AbuRegulator(Component):
     def reset(self) -> None:
         self.region.reset()
         self.denied = 0
+
+    def state_capture(self) -> dict:
+        return {"region": self.region.state_capture(), "denied": self.denied}
+
+    def state_restore(self, state: dict) -> None:
+        self.region.state_restore(state["region"])
+        self.denied = state["denied"]

@@ -54,3 +54,13 @@ class CutForwardUnit(Component):
     def reset(self) -> None:
         self.buffer.reset()
         self._link.reset()
+
+    def state_capture(self) -> dict:
+        return {
+            "buffer": self.buffer.state_capture(),
+            "link": self._link.state_capture(),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.buffer.state_restore(state["buffer"])
+        self._link.state_restore(state["link"])

@@ -62,6 +62,12 @@ class QosArbiter:
     def reset(self) -> None:
         self._rr.reset()
 
+    def state_capture(self) -> int:
+        return self._rr.state_capture()
+
+    def state_restore(self, state: int) -> None:
+        self._rr.state_restore(state)
+
 
 class QosTagger(Component):
     """Stamps every outgoing address beat with a QoS value.

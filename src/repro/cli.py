@@ -4,6 +4,9 @@ Usage::
 
     python -m repro run scenarios/fig6a.toml        # run a campaign file
     python -m repro run campaign.toml --jobs 4 --json report.json
+    python -m repro run campaign.toml --fork        # fork-point execution
+    python -m repro run long.toml --checkpoint-every 100000
+    python -m repro run --resume checkpoints/long-point-c100000.ckpt
     python -m repro sweep scenarios/fig6a.toml \\
         --axis traffic.dma.burst_beats=16,64,256    # ad-hoc sweep
     python -m repro probes scenarios/fig6a.toml     # control-plane probes
@@ -167,7 +170,14 @@ def _emit_profile(result) -> None:
 def _run_scenario(args: argparse.Namespace) -> int:
     from repro.scenario import ScenarioError, run_campaign
     from repro.sim import SimulationError
+    from repro.snapshot import SnapshotError
 
+    if args.resume:
+        return _resume_scenario(args)
+    if not args.file:
+        print("repro: error: give a scenario file or --resume CKPT",
+              file=sys.stderr)
+        return 2
     try:
         spec = _load_scenario(args)
         result = run_campaign(
@@ -177,11 +187,60 @@ def _run_scenario(args: argparse.Namespace) -> int:
             batched=False if args.per_beat else None,
             smoke=args.smoke,
             profile=args.profile,
+            fork=args.fork,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
         )
-    except (ScenarioError, SimulationError) as exc:
+    except (ScenarioError, SimulationError, SnapshotError) as exc:
         print(f"repro: scenario error: {exc}", file=sys.stderr)
         return 1
     _emit_campaign(result, args)
+    if result.fork_cycle is not None:
+        print(f"fork-point execution: shared prefix of {result.fork_cycle} "
+              "cycles simulated once")
+    return 0
+
+
+def _resume_scenario(args: argparse.Namespace) -> int:
+    """Rebuild the checkpointed point's system and continue its run."""
+    from repro.scenario import ScenarioError
+    from repro.scenario.report import CampaignResult
+    from repro.scenario.runner import run_point
+    from repro.scenario.spec import validate
+    from repro.scenario.sweep import ExpandedPoint
+    from repro.sim import SimulationError
+    from repro.snapshot import SnapshotError, load_checkpoint
+
+    try:
+        meta, state = load_checkpoint(args.resume)
+        spec = validate(meta["spec"])
+        point = ExpandedPoint(
+            index=meta.get("index", 0),
+            label=meta.get("label", spec.name),
+            seed=meta.get("seed", spec.seed),
+            spec=spec,
+        )
+        active_set = False if args.naive_kernel else meta.get("active_set")
+        batched = False if args.per_beat else meta.get("batched")
+        result = run_point(
+            point,
+            active_set=active_set,
+            batched=batched,
+            profile=args.profile,
+            resume_state=state,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            scenario_name=meta.get("scenario"),
+        )
+    except (ScenarioError, SimulationError, SnapshotError, KeyError) as exc:
+        print(f"repro: resume error: {exc}", file=sys.stderr)
+        return 1
+    campaign = CampaignResult.from_points(
+        spec, [result], active_set=active_set, batched=batched
+    )
+    print(f"# resumed {meta.get('scenario', spec.name)}"
+          f"[{point.label}] from cycle {meta.get('cycle', '?')}")
+    _emit_campaign(campaign, args)
     return 0
 
 
@@ -195,6 +254,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         run_campaign,
     )
     from repro.sim import SimulationError
+    from repro.snapshot import SnapshotError
 
     try:
         spec = _load_scenario(args)
@@ -222,11 +282,17 @@ def _run_sweep(args: argparse.Namespace) -> int:
             batched=False if args.per_beat else None,
             smoke=args.smoke,
             profile=args.profile,
+            fork=args.fork,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
         )
-    except (ScenarioError, SimulationError) as exc:
+    except (ScenarioError, SimulationError, SnapshotError) as exc:
         print(f"repro: scenario error: {exc}", file=sys.stderr)
         return 1
     _emit_campaign(result, args)
+    if result.fork_cycle is not None:
+        print(f"fork-point execution: shared prefix of {result.fork_cycle} "
+              "cycles simulated once")
     return 0
 
 
@@ -302,11 +368,33 @@ _COMMANDS = {
 }
 
 
-def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("file", help="scenario file (.toml or .json)")
+def _add_campaign_options(
+    parser: argparse.ArgumentParser, resumable: bool = False
+) -> None:
+    if resumable:
+        parser.add_argument(
+            "file", nargs="?", default=None,
+            help="scenario file (.toml or .json); optional with --resume",
+        )
+    else:
+        parser.add_argument("file", help="scenario file (.toml or .json)")
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="fan campaign points out over N worker processes",
+    )
+    parser.add_argument(
+        "--fork", action="store_true",
+        help="fork-point execution: simulate the campaign's shared prefix "
+        "once and fork every point from the snapshot (bit-identical; "
+        "falls back to scratch runs when no shared prefix is provable)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, metavar="N", default=None,
+        help="write a checkpoint of every point's state every N cycles",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default="checkpoints",
+        help="directory for checkpoint files (default: checkpoints/)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -360,7 +448,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser(
         "run", help="run a scenario/campaign file and print the result table"
     )
-    _add_campaign_options(run_parser)
+    _add_campaign_options(run_parser, resumable=True)
+    run_parser.add_argument(
+        "--resume", metavar="CKPT", default=None,
+        help="resume a checkpoint file written by --checkpoint-every "
+        "(the checkpoint embeds its campaign point; no scenario file "
+        "needed)",
+    )
     sweep_parser = sub.add_parser(
         "sweep",
         help="sweep ad-hoc axes over a scenario file "

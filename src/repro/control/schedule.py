@@ -11,7 +11,12 @@ process-pool campaign fan-out).  Three trigger shapes:
 * ``every(period)``     — periodic, optionally phase-shifted (``start``)
   and bounded (``until``);
 * ``when="probe OP k"`` — a comparison over a probe, evaluated at the
-  rule's cycles; the rule's actions run only while it holds.
+  rule's cycles; the rule's actions run only while it holds;
+* ``on(when=...)``      — *event-triggered*: the comparison is evaluated
+  at every commit boundary and the actions fire exactly when it
+  crosses from false to true (a rising edge), not while it merely
+  holds.  No period to tune: the rule reacts in the same cycle on both
+  kernels, because the per-cycle hook also bounds fast-forward jumps.
 
 A rule's actions are knob writes (``set``), probe sampling into a
 timeseries (``sample``), and/or an arbitrary callable — the building
@@ -92,12 +97,18 @@ class Rule:
     until: Optional[int] = None
     when: Optional[Comparison] = None
     once: bool = False
+    edge: bool = False  # event-triggered: fire on false->true crossings
     set: tuple[tuple[str, Any], ...] = ()
     sample: tuple[str, ...] = ()  # concrete probe paths, resolved at install
     action: Optional[Callable[[int], None]] = None
+    owner: Any = None  # stateful object behind `action` (e.g. AdvisorLoop)
     fired: int = 0
     evaluations: int = 0
     active: bool = True
+    prev: bool = False  # edge rules: condition value at the last evaluation
+    # (cycle, arm order) of the pending kernel hook, None when none is
+    # armed; lets a snapshot re-arm every rule in the captured order.
+    armed: Optional[tuple[int, int]] = None
 
 
 class Schedule:
@@ -115,9 +126,13 @@ class Schedule:
         self.rules: list[Rule] = []
         #: label -> [{"cycle": c, "values": {path: value}}, ...]
         self.series: dict[str, list[dict[str, Any]]] = {}
+        self._arm_seq = 0
         # A simulator reset drops the hook heap; re-arm every rule so a
         # reset-and-rerun fires the same schedule as a fresh build.
         sim.add_reset_hook(self.reset)
+        # Checkpoints capture rule state here instead of the kernel's
+        # hook heap (hooks are closures); restore re-arms every rule.
+        sim.register_state_client("schedule", self)
 
     # ------------------------------------------------------------------
     # rule construction
@@ -158,15 +173,55 @@ class Schedule:
         until its condition first holds and the actions run."""
         if period < 1:
             raise ScheduleError("period must be >= 1")
-        rule = self._make_rule(label, action, set, sample, when, once)
-        rule.every = period
-        rule.start = start
-        rule.until = until
         first = period if start is None else start
         if first < 0:
             raise ScheduleError("start must be >= 0")
         if until is not None and until < first:
             raise ScheduleError("until precedes the first firing")
+        rule = self._make_rule(label, action, set, sample, when, once)
+        rule.every = period
+        rule.start = start
+        rule.until = until
+        self._arm(rule)
+        return rule
+
+    def on(
+        self,
+        when: str,
+        action: Optional[Callable[[int], None]] = None,
+        *,
+        start: Optional[int] = None,
+        until: Optional[int] = None,
+        set: Optional[Mapping[str, Any]] = None,
+        sample: Sequence[str] = (),
+        once: bool = False,
+        label: str = "",
+    ) -> Rule:
+        """Event-triggered rule: fire on the trigger's rising edge.
+
+        The comparison is evaluated at every commit boundary from
+        ``start`` (default 0) through ``until`` (inclusive, default
+        unbounded); the actions run exactly when it crosses from false
+        to true — including at the first evaluation if it already
+        holds, which counts as a crossing from the pre-run state.
+        ``once=True`` retires the rule after its first firing.
+
+        The per-cycle evaluation rides the same commit-boundary hooks
+        as timed rules, so edge-triggered runs stay bit-identical
+        across kernels; note it also caps quiescent fast-forward jumps
+        at one cycle while the rule is live.
+        """
+        first = 0 if start is None else start
+        if first < 0:
+            raise ScheduleError("start must be >= 0")
+        if until is not None and until < first:
+            raise ScheduleError("until precedes the first evaluation")
+        rule = self._make_rule(label, action, set, sample, when, once)
+        if rule.when is None:  # pragma: no cover - _make_rule guarantees
+            raise ScheduleError("event-triggered rules need a trigger")
+        rule.edge = True
+        rule.start = start
+        rule.until = until
         self._arm(rule)
         return rule
 
@@ -216,16 +271,35 @@ class Schedule:
     # ------------------------------------------------------------------
     # arming and reset
     # ------------------------------------------------------------------
-    def _arm(self, rule: Rule) -> None:
+    def _dispatch(self, rule: Rule) -> Callable[[Rule, int], None]:
+        if rule.edge:
+            return self._tick_edge
         if rule.at is not None:
-            self.sim.call_at(
-                rule.at, lambda committed, r=rule: self._fire(r, committed)
-            )
-        else:
-            first = rule.every if rule.start is None else rule.start
-            self.sim.call_at(
-                first, lambda committed, r=rule: self._tick_rule(r, committed)
-            )
+            return self._fire
+        return self._tick_rule
+
+    def _call_at(self, cycle: int, rule: Rule) -> None:
+        """Arm *rule* at *cycle*, tracking the pending hook on the rule
+        so a snapshot can re-arm every rule in the captured order."""
+        self._arm_seq += 1
+        rule.armed = (cycle, self._arm_seq)
+        dispatch = self._dispatch(rule)
+
+        def hook(committed: int, r=rule, fn=dispatch) -> None:
+            r.armed = None
+            fn(r, committed)
+
+        self.sim.call_at(cycle, hook)
+
+    def _first_cycle(self, rule: Rule) -> int:
+        if rule.at is not None:
+            return rule.at
+        if rule.edge:
+            return 0 if rule.start is None else rule.start
+        return rule.every if rule.start is None else rule.start
+
+    def _arm(self, rule: Rule) -> None:
+        self._call_at(self._first_cycle(rule), rule)
 
     def reset(self) -> None:
         """Return every rule to its post-install state and re-arm it.
@@ -240,6 +314,8 @@ class Schedule:
             rule.fired = 0
             rule.evaluations = 0
             rule.active = True
+            rule.prev = False
+            rule.armed = None
             self._arm(rule)
 
     # ------------------------------------------------------------------
@@ -253,9 +329,25 @@ class Schedule:
         if rule.until is not None and next_cycle > rule.until:
             rule.active = False
             return
-        self.sim.call_at(
-            next_cycle, lambda c, r=rule: self._tick_rule(r, c)
-        )
+        self._call_at(next_cycle, rule)
+
+    def _tick_edge(self, rule: Rule, committed: int) -> None:
+        if not rule.active:
+            return
+        rule.evaluations += 1
+        holds = rule.when.evaluate(self.probes)
+        crossed = holds and not rule.prev
+        rule.prev = holds
+        if crossed:
+            self._run_actions(rule, committed)
+            rule.fired += 1
+            if rule.once:
+                rule.active = False
+                return
+        if rule.until is not None and committed + 1 > rule.until:
+            rule.active = False
+            return
+        self._call_at(committed + 1, rule)
 
     def _fire(self, rule: Rule, committed: int) -> None:
         if not rule.active:
@@ -263,6 +355,12 @@ class Schedule:
         rule.evaluations += 1
         if rule.when is not None and not rule.when.evaluate(self.probes):
             return
+        self._run_actions(rule, committed)
+        rule.fired += 1
+        if rule.once:
+            rule.active = False
+
+    def _run_actions(self, rule: Rule, committed: int) -> None:
         for path, value in rule.set:
             try:
                 self.knobs.set(path, value)
@@ -277,9 +375,81 @@ class Schedule:
             })
         if rule.action is not None:
             rule.action(committed)
-        rule.fired += 1
-        if rule.once:
-            rule.active = False
+
+    # ------------------------------------------------------------------
+    # snapshot contract (simulator state client)
+    # ------------------------------------------------------------------
+    def state_pending_hooks(self) -> int:
+        """How many kernel hooks this engine owns right now (capture
+        validation: every pending hook must have a re-arming owner)."""
+        return sum(1 for rule in self.rules if rule.armed is not None)
+
+    def state_capture(self) -> dict:
+        """Rule progress, pending-arm info, timeseries, and the state of
+        stateful rule owners (e.g. advisor loops).  The kernel's hook
+        heap itself is never captured — restore re-arms each rule at
+        its captured cycle, in captured order, which reproduces the
+        same firing order the uninterrupted run would have had."""
+        rules = []
+        for rule in self.rules:
+            entry: dict[str, Any] = {
+                "label": rule.label,
+                "fired": rule.fired,
+                "evaluations": rule.evaluations,
+                "active": rule.active,
+                "prev": rule.prev,
+                "armed": rule.armed,
+            }
+            if rule.owner is not None and hasattr(rule.owner, "state_capture"):
+                entry["owner"] = rule.owner.state_capture()
+            rules.append(entry)
+        return {
+            "rules": rules,
+            "series": {
+                label: list(samples) for label, samples in self.series.items()
+            },
+        }
+
+    def state_restore(self, state: dict) -> None:
+        captured = state["rules"]
+        labels = [entry["label"] for entry in captured]
+        if labels != [rule.label for rule in self.rules]:
+            from repro.snapshot.codec import SnapshotError
+
+            raise SnapshotError(
+                f"schedule rules differ from the snapshot ({labels} vs "
+                f"{[r.label for r in self.rules]})"
+            )
+        for rule, entry in zip(self.rules, captured):
+            rule.fired = entry["fired"]
+            rule.evaluations = entry["evaluations"]
+            rule.active = entry["active"]
+            rule.prev = entry["prev"]
+            rule.armed = None
+            if "owner" in entry:
+                if rule.owner is None or not hasattr(
+                    rule.owner, "state_restore"
+                ):
+                    from repro.snapshot.codec import SnapshotError
+
+                    raise SnapshotError(
+                        f"rule {rule.label!r} captured owner state but the "
+                        "restored rule has no stateful owner"
+                    )
+                rule.owner.state_restore(entry["owner"])
+        self.series = {
+            label: list(samples)
+            for label, samples in state["series"].items()
+        }
+        # Re-arm in the captured order so same-cycle hooks fire in the
+        # order the uninterrupted run would have used.
+        pending = sorted(
+            (entry["armed"], rule)
+            for rule, entry in zip(self.rules, captured)
+            if entry["armed"] is not None
+        )
+        for (cycle, _), rule in pending:
+            self._call_at(cycle, rule)
 
     # ------------------------------------------------------------------
     # digest

@@ -47,6 +47,12 @@ class RoundRobinArbiter:
     def reset(self) -> None:
         self._pointer = 0
 
+    def state_capture(self) -> int:
+        return self._pointer
+
+    def state_restore(self, state: int) -> None:
+        self._pointer = state
+
 
 class FixedPriorityArbiter:
     """Lowest index wins.  Used by tests as a contrast to round-robin."""
@@ -68,4 +74,10 @@ class FixedPriorityArbiter:
         return self.grant(requests)
 
     def reset(self) -> None:  # stateless
+        pass
+
+    def state_capture(self) -> int:
+        return 0
+
+    def state_restore(self, state: int) -> None:
         pass

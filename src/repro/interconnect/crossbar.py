@@ -200,6 +200,78 @@ class AxiCrossbar(Component):
         # register-programmed config does.
 
     # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        """Arbitration pointers, reservation/routing queues, DECERR
+        response state, R locks, and the live express orders (described
+        by their endpoints; re-installed on restore)."""
+        subs = self.subs
+        return {
+            "qos_override": dict(self.qos_override),
+            "aw_arb": [a.state_capture() for a in self._aw_arb],
+            "ar_arb": [a.state_capture() for a in self._ar_arb],
+            "b_arb": [a.state_capture() for a in self._b_arb],
+            "r_arb": [a.state_capture() for a in self._r_arb],
+            "w_order": [deque(q) for q in self._w_order],
+            "w_route": [deque(q) for q in self._w_route],
+            "err_b": [deque(q) for q in self._err_b],
+            "err_r": [deque(q) for q in self._err_r],
+            "err_w_ids": [deque(q) for q in self._err_w_ids],
+            "r_lock": list(self._r_lock),
+            "w_express": {
+                mi: next(
+                    si for si, sub in enumerate(subs)
+                    if sub.w is order.dst
+                )
+                for mi, order in self._w_express.items()
+            },
+            "r_express": {
+                mi: next(
+                    si for si, sub in enumerate(subs)
+                    if sub.r is order.src
+                )
+                for mi, order in self._r_express.items()
+            },
+            "aw_forwarded": self.aw_forwarded,
+            "ar_forwarded": self.ar_forwarded,
+            "decode_errors": self.decode_errors,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.qos_override.clear()
+        self.qos_override.update(state["qos_override"])
+        for arb, ptr in zip(self._aw_arb, state["aw_arb"]):
+            arb.state_restore(ptr)
+        for arb, ptr in zip(self._ar_arb, state["ar_arb"]):
+            arb.state_restore(ptr)
+        for arb, ptr in zip(self._b_arb, state["b_arb"]):
+            arb.state_restore(ptr)
+        for arb, ptr in zip(self._r_arb, state["r_arb"]):
+            arb.state_restore(ptr)
+        self._w_order = [deque(q) for q in state["w_order"]]
+        self._w_route = [deque(q) for q in state["w_route"]]
+        self._err_b = [deque(q) for q in state["err_b"]]
+        self._err_r = [deque(q) for q in state["err_r"]]
+        self._err_w_ids = [deque(q) for q in state["err_w_ids"]]
+        self._r_lock = list(state["r_lock"])
+        self.aw_forwarded = state["aw_forwarded"]
+        self.ar_forwarded = state["ar_forwarded"]
+        self.decode_errors = state["decode_errors"]
+        # Re-install live express orders.  Installation re-suppresses the
+        # listener subscriptions each order manages; express execution is
+        # order-independent (every order owns disjoint channels for the
+        # span of its burst), so a canonical W-then-R order is safe.
+        for order in list(self._w_express.values()) + list(
+            self._r_express.values()
+        ):
+            order.cancel()
+        for mi in sorted(state["w_express"]):
+            self._install_w_express(mi, state["w_express"][mi])
+        for mi in sorted(state["r_express"]):
+            self._install_r_express(mi, state["r_express"][mi])
+
+    # ------------------------------------------------------------------
     # express installation (batched datapath)
     # ------------------------------------------------------------------
     def _install_w_express(self, mi: int, dest: int) -> None:

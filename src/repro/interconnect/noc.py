@@ -138,6 +138,25 @@ class _Router:
                 return True
         return False
 
+    def state_capture(self) -> dict:
+        return {
+            "inputs": {d: deque(q) for d, q in self.inputs.items()},
+            "arbiters": {
+                d: a.state_capture() for d, a in self._arbiters.items()
+            },
+            "staged": dict(self.staged),
+            "flits_routed": self.flits_routed,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        for direction in self.DIRECTIONS:
+            self.inputs[direction] = deque(state["inputs"][direction])
+            self._arbiters[direction].state_restore(
+                state["arbiters"][direction]
+            )
+            self.staged[direction] = state["staged"][direction]
+        self.flits_routed = state["flits_routed"]
+
 
 class _MeshNetwork:
     """One physical network: a grid of routers moved once per cycle.
@@ -251,6 +270,22 @@ class _MeshNetwork:
             for node in idle:
                 if not routers[node].busy():
                     active.discard(node)
+
+    def state_capture(self) -> dict:
+        return {
+            "flits": self.flits,
+            "active": sorted(self._active),
+            "routers": {
+                node: router.state_capture()
+                for node, router in self.routers.items()
+            },
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.flits = state["flits"]
+        self._active = set(state["active"])
+        for node, router_state in state["routers"].items():
+            self.routers[node].state_restore(router_state)
 
 
 class AxiNoc(Component):
@@ -483,3 +518,34 @@ class AxiNoc(Component):
         for qs in self._sub_w_queues.values():
             qs.clear()
         self.flits_injected = 0
+
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "request_net": self.request_net.state_capture(),
+            "response_net": self.response_net.state_capture(),
+            "w_route": {n: deque(q) for n, q in self._w_route.items()},
+            "sub_aw_order": {
+                n: deque(q) for n, q in self._sub_aw_order.items()
+            },
+            "sub_w_queues": {
+                n: {src: deque(q) for src, q in queues.items()}
+                for n, queues in self._sub_w_queues.items()
+            },
+            "flits_injected": self.flits_injected,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.request_net.state_restore(state["request_net"])
+        self.response_net.state_restore(state["response_net"])
+        for node, queue in state["w_route"].items():
+            self._w_route[node] = deque(queue)
+        for node, queue in state["sub_aw_order"].items():
+            self._sub_aw_order[node] = deque(queue)
+        for node, queues in state["sub_w_queues"].items():
+            self._sub_w_queues[node] = {
+                src: deque(q) for src, q in queues.items()
+            }
+        self.flits_injected = state["flits_injected"]

@@ -48,3 +48,17 @@ class BackingStore:
 
     def read_beat(self, addr: int, size: int) -> bytes:
         return self.read(addr, bytes_per_beat(size))
+
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {"data": bytes(self._data)}
+
+    def state_restore(self, state: dict) -> None:
+        data = state["data"]
+        if len(data) != self.size:
+            raise ValueError(
+                f"backing store size mismatch: {len(data)} != {self.size}"
+            )
+        self._data[:] = data

@@ -129,6 +129,55 @@ class SramMemory(Component):
         self.atomics_served = 0
 
     # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "store": self.store.state_capture(),
+            "rd": self._rd,
+            "rd_addrs": list(self._rd_addrs),
+            "rd_index": self._rd_index,
+            "rd_wait": self._rd_wait,
+            "rd_ready": self._rd_ready,
+            "rd_error": self._rd_error,
+            "wr": self._wr,
+            "wr_addrs": list(self._wr_addrs),
+            "wr_index": self._wr_index,
+            "wr_wait": self._wr_wait,
+            "wr_ready": self._wr_ready,
+            "wr_error": self._wr_error,
+            "wr_done": self._wr_done,
+            "atomic_r": self._atomic_r,
+            "reads_served": self.reads_served,
+            "writes_served": self.writes_served,
+            "read_beats": self.read_beats,
+            "write_beats": self.write_beats,
+            "atomics_served": self.atomics_served,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.store.state_restore(state["store"])
+        self._rd = state["rd"]
+        self._rd_addrs = list(state["rd_addrs"])
+        self._rd_index = state["rd_index"]
+        self._rd_wait = state["rd_wait"]
+        self._rd_ready = state["rd_ready"]
+        self._rd_error = state["rd_error"]
+        self._wr = state["wr"]
+        self._wr_addrs = list(state["wr_addrs"])
+        self._wr_index = state["wr_index"]
+        self._wr_wait = state["wr_wait"]
+        self._wr_ready = state["wr_ready"]
+        self._wr_error = state["wr_error"]
+        self._wr_done = state["wr_done"]
+        self._atomic_r = state["atomic_r"]
+        self.reads_served = state["reads_served"]
+        self.writes_served = state["writes_served"]
+        self.read_beats = state["read_beats"]
+        self.write_beats = state["write_beats"]
+        self.atomics_served = state["atomics_served"]
+
+    # ------------------------------------------------------------------
     # read port
     # ------------------------------------------------------------------
     def _tick_read(self, cycle: int) -> None:

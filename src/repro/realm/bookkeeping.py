@@ -105,3 +105,19 @@ class BookkeepingUnit:
 
     def reset(self) -> None:
         self.__init__()
+
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    _STATE_FIELDS = (
+        "bytes_this_period", "cycles_into_period", "total_bytes",
+        "read_bytes", "write_bytes", "txn_count", "latency_sum",
+        "latency_max", "latency_min", "stall_cycles",
+    )
+
+    def state_capture(self) -> dict:
+        return {name: getattr(self, name) for name in self._STATE_FIELDS}
+
+    def state_restore(self, state: dict) -> None:
+        for name in self._STATE_FIELDS:
+            setattr(self, name, state[name])

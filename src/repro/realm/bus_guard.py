@@ -78,3 +78,18 @@ class BusGuard:
         self._owner = NO_OWNER
         self.rejected_accesses = 0
         self.handovers = 0
+
+    # ------------------------------------------------------------------
+    # snapshot contract (registered as a simulator state client)
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "owner": self._owner,
+            "rejected_accesses": self.rejected_accesses,
+            "handovers": self.handovers,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self._owner = state["owner"]
+        self.rejected_accesses = state["rejected_accesses"]
+        self.handovers = state["handovers"]

@@ -119,3 +119,28 @@ class IsolationStage:
         self.blocked_aw = 0
         self.blocked_ar = 0
         self.isolation_events = 0
+
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "mode": self.mode,
+            "outstanding_reads": self.outstanding_reads,
+            "outstanding_writes": self.outstanding_writes,
+            "w_bursts_owed": self._w_bursts_owed,
+            "reasons": set(self.reasons),
+            "blocked_aw": self.blocked_aw,
+            "blocked_ar": self.blocked_ar,
+            "isolation_events": self.isolation_events,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.mode = state["mode"]
+        self.outstanding_reads = state["outstanding_reads"]
+        self.outstanding_writes = state["outstanding_writes"]
+        self._w_bursts_owed = state["w_bursts_owed"]
+        self.reasons = set(state["reasons"])
+        self.blocked_aw = state["blocked_aw"]
+        self.blocked_ar = state["blocked_ar"]
+        self.isolation_events = state["isolation_events"]

@@ -237,3 +237,46 @@ class MonitorRegulationStage:
         self.denied_by_throttle = 0
         self.stalled_this_cycle = False
         self.transferring_this_cycle = False
+
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "regulation_enabled": self.regulation_enabled,
+            "regions": [region.state_capture() for region in self.regions],
+            "books": [book.state_capture() for book in self.books],
+            "outstanding": self.outstanding,
+            "last_cycle": self._last_cycle,
+            "write_inflight": {
+                k: deque(v) for k, v in self._write_inflight.items() if v
+            },
+            "read_inflight": {
+                k: deque(v) for k, v in self._read_inflight.items() if v
+            },
+            "stalled_this_cycle": self.stalled_this_cycle,
+            "transferring_this_cycle": self.transferring_this_cycle,
+            "denied_by_budget": self.denied_by_budget,
+            "denied_by_throttle": self.denied_by_throttle,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.regulation_enabled = state["regulation_enabled"]
+        for region, region_state in zip(self.regions, state["regions"]):
+            region.state_restore(region_state)
+        for book, book_state in zip(self.books, state["books"]):
+            book.state_restore(book_state)
+        self.outstanding = state["outstanding"]
+        self._last_cycle = state["last_cycle"]
+        self._write_inflight = defaultdict(deque)
+        self._write_inflight.update(
+            (k, deque(v)) for k, v in state["write_inflight"].items()
+        )
+        self._read_inflight = defaultdict(deque)
+        self._read_inflight.update(
+            (k, deque(v)) for k, v in state["read_inflight"].items()
+        )
+        self.stalled_this_cycle = state["stalled_this_cycle"]
+        self.transferring_this_cycle = state["transferring_this_cycle"]
+        self.denied_by_budget = state["denied_by_budget"]
+        self.denied_by_throttle = state["denied_by_throttle"]

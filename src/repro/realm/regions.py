@@ -103,3 +103,30 @@ class RegionState:
         self.remaining = self.config.budget_bytes
         self.cycles_into_period = 0
         self.periods_elapsed = 0
+
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        config = self.config
+        return {
+            "base": config.base,
+            "size": config.size,
+            "budget_bytes": config.budget_bytes,
+            "period_cycles": config.period_cycles,
+            "remaining": self.remaining,
+            "cycles_into_period": self.cycles_into_period,
+            "periods_elapsed": self.periods_elapsed,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        # The config object is shared with the owning unit's runtime
+        # config view, so it is mutated in place rather than replaced.
+        config = self.config
+        config.base = state["base"]
+        config.size = state["size"]
+        config.budget_bytes = state["budget_bytes"]
+        config.period_cycles = state["period_cycles"]
+        self.remaining = state["remaining"]
+        self.cycles_into_period = state["cycles_into_period"]
+        self.periods_elapsed = state["periods_elapsed"]

@@ -18,7 +18,7 @@ The FSM arbitrates the isolation block's three trigger sources
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.axi.ports import AxiBundle
 from repro.realm.bookkeeping import BookkeepingSnapshot
@@ -77,7 +77,7 @@ class RealmUnit(Component):
             throttle=self._throttle,
             name=f"{name}.mr",
         )
-        self._pending_reconfig: list[Callable[[], None]] = []
+        self._pending_reconfig: list[tuple[str, object]] = []
         # Frozen-stall detection (active-set kernel): when the pipeline is
         # blocked in a stable state (budget depletion, user isolation, a
         # poisoned write burst), the only per-cycle state changes are
@@ -118,50 +118,63 @@ class RealmUnit(Component):
             regions=self.config.regions,
         )
         candidate.validate(self.params)
+        self._queue_reconfig("granularity", beats)
 
-        def apply() -> None:
-            self.config.granularity = beats
-
-        self._queue_reconfig(apply)
-
-    def _queue_reconfig(self, apply: Callable[[], None]) -> None:
-        self._pending_reconfig.append(apply)
+    def _queue_reconfig(self, kind: str, payload) -> None:
+        # Pending reconfigurations are plain data, not closures, so a
+        # checkpoint taken between a knob write and its drain-and-apply
+        # commit captures them verbatim (DESIGN.md section 10).
+        self._pending_reconfig.append((kind, payload))
         self.wake()
 
-    def configure_region(self, index: int, region: RegionConfig) -> None:
-        """Intrusive: replaces a region's boundary/budget/period atomically."""
-        if not 0 <= index < self.params.n_regions:
-            raise IndexError(f"region index {index} out of range")
-
-        def apply() -> None:
+    def _apply_reconfig(self, kind: str, payload) -> None:
+        if kind == "granularity":
+            self.config.granularity = payload
+        elif kind == "region":
+            index, base, size, budget, period = payload
+            region = RegionConfig(base, size, budget, period)
             self.config.regions[index] = region
             self.mr.regions[index].reconfigure(region)
+        elif kind == "region_base":
+            index, base = payload
+            state = self.mr.regions[index]
+            state.config.base = base
+            state.replenish()
+        elif kind == "region_size":
+            index, size = payload
+            state = self.mr.regions[index]
+            state.config.size = size
+            state.replenish()
+        elif kind == "splitter_enabled":
+            self.config.splitter_enabled = payload
+        else:  # pragma: no cover - internal invariant
+            raise ValueError(f"unknown reconfiguration kind {kind!r}")
 
-        self._queue_reconfig(apply)
+    def configure_region(self, index: int, region: RegionConfig) -> None:
+        """Intrusive: replaces a region's boundary/budget/period atomically.
+
+        The region's field values are captured at call time; later
+        mutation of the caller's object has no effect.
+        """
+        if not 0 <= index < self.params.n_regions:
+            raise IndexError(f"region index {index} out of range")
+        self._queue_reconfig(
+            "region",
+            (index, region.base, region.size, region.budget_bytes,
+             region.period_cycles),
+        )
 
     def set_region_base(self, index: int, base: int) -> None:
         """Intrusive: change one region's base, keeping the other fields."""
         if not 0 <= index < self.params.n_regions:
             raise IndexError(f"region index {index} out of range")
-
-        def apply() -> None:
-            state = self.mr.regions[index]
-            state.config.base = base
-            state.replenish()
-
-        self._queue_reconfig(apply)
+        self._queue_reconfig("region_base", (index, base))
 
     def set_region_size(self, index: int, size: int) -> None:
         """Intrusive: change one region's size, keeping the other fields."""
         if not 0 <= index < self.params.n_regions:
             raise IndexError(f"region index {index} out of range")
-
-        def apply() -> None:
-            state = self.mr.regions[index]
-            state.config.size = size
-            state.replenish()
-
-        self._queue_reconfig(apply)
+        self._queue_reconfig("region_size", (index, size))
 
     def set_budget(self, index: int, budget_bytes: int) -> None:
         """Non-intrusive: takes effect at the next replenish."""
@@ -184,10 +197,7 @@ class RealmUnit(Component):
         self.wake()
 
     def set_splitter_enabled(self, enabled: bool) -> None:
-        def apply() -> None:
-            self.config.splitter_enabled = enabled
-
-        self._queue_reconfig(apply)
+        self._queue_reconfig("splitter_enabled", enabled)
 
     def set_user_isolate(self, isolate: bool) -> None:
         self.config.user_isolate = isolate
@@ -414,8 +424,8 @@ class RealmUnit(Component):
         if self._pending_reconfig:
             self.isolation.request_isolate("reconfig")
             if self.isolation.isolated and self._unit_empty():
-                for apply in self._pending_reconfig:
-                    apply()
+                for kind, payload in self._pending_reconfig:
+                    self._apply_reconfig(kind, payload)
                 self._pending_reconfig.clear()
                 self.isolation.release("reconfig")
 
@@ -441,3 +451,71 @@ class RealmUnit(Component):
         self._freeze_delta = None
         self._frozen_since = None
         self._frozen_applied_through = -1
+
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        """Full unit state: pipeline stages, links, runtime config (as
+        programmed through knobs), queued intrusive reconfigurations,
+        and the frozen-stall replay bookkeeping — captured raw, so a
+        unit sleeping through a frozen stall restores with its lazy
+        counters still lagging and replays them on wake-up exactly as
+        the uninterrupted run would."""
+        config = self.config
+        return {
+            "config": {
+                "granularity": config.granularity,
+                "splitter_enabled": config.splitter_enabled,
+                "regulation_enabled": config.regulation_enabled,
+                "throttle_enabled": config.throttle_enabled,
+                "user_isolate": config.user_isolate,
+            },
+            "throttle": {
+                "enabled": self._throttle.enabled,
+                "max_outstanding": self._throttle.max_outstanding,
+            },
+            "links": [link.state_capture() for link in self._links],
+            "isolation": self.isolation.state_capture(),
+            "splitter": self.splitter.state_capture(),
+            "write_buffer": self.write_buffer.state_capture(),
+            "mr": self.mr.state_capture(),
+            "pending_reconfig": list(self._pending_reconfig),
+            "cycle": self._cycle,
+            "freeze_sig": self._freeze_sig,
+            "freeze_counters": self._freeze_counters,
+            "freeze_delta": self._freeze_delta,
+            "frozen_since": self._frozen_since,
+            "frozen_applied_through": self._frozen_applied_through,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        config_state = state["config"]
+        config = self.config
+        config.granularity = config_state["granularity"]
+        config.splitter_enabled = config_state["splitter_enabled"]
+        config.regulation_enabled = config_state["regulation_enabled"]
+        config.throttle_enabled = config_state["throttle_enabled"]
+        config.user_isolate = config_state["user_isolate"]
+        self._throttle.enabled = state["throttle"]["enabled"]
+        self._throttle.max_outstanding = state["throttle"]["max_outstanding"]
+        for link, link_state in zip(self._links, state["links"]):
+            link.state_restore(link_state)
+        self.isolation.state_restore(state["isolation"])
+        self.splitter.state_restore(state["splitter"])
+        self.write_buffer.state_restore(state["write_buffer"])
+        self.mr.state_restore(state["mr"])
+        # A freshly built unit may still hold its initial (unapplied)
+        # region reconfigurations; the restored region configs make
+        # them obsolete, and the runtime view must share the restored
+        # config objects exactly as a drained apply would have left it.
+        self.config.regions = [r.config for r in self.mr.regions]
+        self._pending_reconfig = [
+            (kind, payload) for kind, payload in state["pending_reconfig"]
+        ]
+        self._cycle = state["cycle"]
+        self._freeze_sig = state["freeze_sig"]
+        self._freeze_counters = state["freeze_counters"]
+        self._freeze_delta = state["freeze_delta"]
+        self._frozen_since = state["frozen_since"]
+        self._frozen_applied_through = state["frozen_applied_through"]

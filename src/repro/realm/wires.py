@@ -74,6 +74,12 @@ class Wire(Generic[T]):
     def reset(self) -> None:
         self._item = None
 
+    def state_capture(self) -> dict:
+        return {"item": self._item}
+
+    def state_restore(self, state: dict) -> None:
+        self._item = state["item"]
+
 
 class WireBundle:
     """Five wires mirroring an AXI bundle, for intra-unit stage links."""
@@ -95,3 +101,10 @@ class WireBundle:
     def reset(self) -> None:
         for wire in self.channels:
             wire.reset()
+
+    def state_capture(self) -> dict:
+        return {wire.name: wire.state_capture() for wire in self.channels}
+
+    def state_restore(self, state: dict) -> None:
+        for wire in self.channels:
+            wire.state_restore(state[wire.name])

@@ -126,3 +126,28 @@ class WriteBufferStage:
         self._aw_forwarded = False
         self.bursts_forwarded = 0
         self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "aw_q": deque(self._aw_q),
+            "w_q": deque(self._w_q),
+            "complete_bursts": self._complete_bursts,
+            "forwarding": self._forwarding,
+            "aw_forwarded": self._aw_forwarded,
+            "bursts_forwarded": self.bursts_forwarded,
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self._aw_q = deque(state["aw_q"])
+        self._w_q = deque(state["w_q"])
+        self._complete_bursts = state["complete_bursts"]
+        self._forwarding = state["forwarding"]
+        self._aw_forwarded = state["aw_forwarded"]
+        self.bursts_forwarded = state["bursts_forwarded"]
+        self.peak_occupancy = state["peak_occupancy"]

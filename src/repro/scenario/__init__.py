@@ -17,6 +17,7 @@ Typical use::
 """
 
 from repro.scenario.errors import ScenarioError
+from repro.scenario.fork import ForkPlan, plan_fork
 from repro.scenario.loader import dumps, load_file, loads
 from repro.scenario.report import CampaignResult, PointResult
 from repro.scenario.runner import (
@@ -60,6 +61,7 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "ExpandedPoint",
+    "ForkPlan",
     "ManagerScenario",
     "MemoryScenario",
     "PointResult",
@@ -84,6 +86,7 @@ __all__ = [
     "install_control",
     "load_file",
     "loads",
+    "plan_fork",
     "realm_params_to_dict",
     "run_campaign",
     "run_point",

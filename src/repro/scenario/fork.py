@@ -1,0 +1,129 @@
+"""Fork-point detection: the longest provably shared campaign prefix.
+
+Campaign points that differ only in *time-anchored* inputs — the values
+a ``[[schedule]]`` rule writes when it fires — execute bit-identically
+until the first divergent firing: the rules are armed from cycle 0 on
+every point, but arming is invisible, and a rule's ``set`` payload
+cannot influence the machine before the commit boundary at which it
+first runs.  :func:`plan_fork` detects that situation by diffing the
+canonical dict form of every expanded point:
+
+* a leaf difference under ``schedule.<i>.set.<knob>`` is tolerated iff
+  the rule is otherwise identical across points (same label, trigger,
+  bounds, ``when``, ``sample``, and the same set *keys*); it activates
+  at the rule's first firing (``at``, or ``start``/``every`` for
+  periodic rules — event-triggered rules evaluate from ``start``,
+  which is effectively cycle 0, so they never enable a fork);
+* any other difference — topology, traffic (including per-point
+  derived seeds), run bounds, probes, rule presence/trigger — can
+  shape behaviour from cycle 0 and disables forking.
+
+The fork cycle is the minimum activation over all differing leaves:
+a snapshot taken at that commit boundary (the boundary *before* the
+divergent hook fires) is valid for every point, so the runner executes
+the prefix once, snapshots, and restores each point from it (see
+``run_campaign(fork=True)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.scenario.sweep import ExpandedPoint
+
+
+@dataclass(frozen=True)
+class ForkPlan:
+    """A provably shared prefix: snapshot at ``fork_cycle`` and fork."""
+
+    fork_cycle: int
+    #: dotted leaf paths that diverge across points (all schedule sets)
+    divergent: tuple[str, ...]
+
+
+def _collect_diffs(a: Any, b: Any, path: tuple, out: set) -> None:
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in set(a) | set(b):
+            if key not in a or key not in b:
+                out.add(path + (key,))
+            else:
+                _collect_diffs(a[key], b[key], path + (key,), out)
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            out.add(path)
+            return
+        for index, (va, vb) in enumerate(zip(a, b)):
+            _collect_diffs(va, vb, path + (index,), out)
+        return
+    if a != b:
+        out.add(path)
+
+
+def _rule_first_firing(rule: dict) -> Optional[int]:
+    """First commit boundary at which *rule* can act, or None if it
+    evaluates from (effectively) cycle 0."""
+    if "at" in rule:
+        return rule["at"]
+    if "every" in rule:
+        return rule.get("start", rule["every"])
+    # Event-triggered: evaluated at every boundary from `start`.
+    start = rule.get("start", 0)
+    return start if start > 0 else None
+
+
+def _schedule_set_activation(
+    path: tuple, dicts: Sequence[dict]
+) -> Optional[int]:
+    """Activation cycle of a ``schedule.<i>.set.*`` divergence, or None
+    when the divergence is not fork-tolerant."""
+    if len(path) < 4 or path[0] != "schedule" or path[2] != "set":
+        return None
+    index = path[1]
+    rules = []
+    for tree in dicts:
+        schedule = tree.get("schedule")
+        if not isinstance(schedule, list) or index >= len(schedule):
+            return None
+        rules.append(schedule[index])
+    head = rules[0]
+    if not head.get("enabled", True):
+        return None  # disabled everywhere -> would never diff; be safe
+    head_shape = {k: v for k, v in head.items() if k != "set"}
+    head_keys = sorted(head.get("set", {}))
+    for rule in rules[1:]:
+        if {k: v for k, v in rule.items() if k != "set"} != head_shape:
+            return None  # trigger/bounds/label differ, not just values
+        if sorted(rule.get("set", {})) != head_keys:
+            return None  # different knobs written, not just values
+    return _rule_first_firing(head)
+
+
+def plan_fork(points: Sequence[ExpandedPoint]) -> Optional[ForkPlan]:
+    """A :class:`ForkPlan` when every point shares a non-empty prefix,
+    else ``None`` (run every point from scratch)."""
+    if len(points) < 2:
+        return None
+    dicts = [point.spec.to_dict() for point in points]
+    diffs: set[tuple] = set()
+    for other in dicts[1:]:
+        _collect_diffs(dicts[0], other, (), diffs)
+    if not diffs:
+        return None  # identical points; nothing to gain from forking
+    fork_cycle: Optional[int] = None
+    for path in diffs:
+        activation = _schedule_set_activation(path, dicts)
+        if activation is None or activation < 1:
+            return None
+        fork_cycle = (
+            activation if fork_cycle is None else min(fork_cycle, activation)
+        )
+    assert fork_cycle is not None
+    return ForkPlan(
+        fork_cycle=fork_cycle,
+        divergent=tuple(
+            ".".join(str(segment) for segment in path)
+            for path in sorted(diffs)
+        ),
+    )

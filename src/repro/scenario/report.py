@@ -104,6 +104,11 @@ class CampaignResult:
     baseline_label: str
     points: list[PointResult]
     batched: Optional[bool] = None
+    # Cycle the shared prefix was snapshotted at when the campaign ran
+    # fork-point execution; None for scratch runs.  Informational only:
+    # deliberately kept out of to_json_dict()/digest() so reports and
+    # goldens are byte-identical between fork and scratch execution.
+    fork_cycle: Optional[int] = None
 
     @classmethod
     def from_points(

@@ -35,7 +35,7 @@ from repro.scenario.spec import (
     TrafficScenario,
 )
 from repro.scenario.sweep import ExpandedPoint, apply_smoke, expand
-from repro.sim.kernel import Component
+from repro.sim.kernel import Component, SimulationError
 from repro.system.builder import System, SystemBuilder
 from repro.traffic import (
     BandwidthHog,
@@ -247,21 +247,22 @@ def install_control(system: System, spec: ScenarioSpec) -> None:
         if not action.enabled:
             continue
         path = f"schedule[{index}]"
-        callback = (
-            _advisor_callback(control, action.advise, path)
+        loop = (
+            _advisor_loop(control, action.advise, path)
             if action.advise is not None
             else None
         )
+        callback = loop.step if loop is not None else None
         if action.at is not None:
-            _install_rule(
+            rule = _install_rule(
                 path,
                 lambda a=action, cb=callback: control.schedule.at(
                     a.at, cb, set=dict(a.set), sample=a.sample,
                     when=a.when, label=a.label,
                 ),
             )
-        else:
-            _install_rule(
+        elif action.every is not None:
+            rule = _install_rule(
                 path,
                 lambda a=action, cb=callback: control.schedule.every(
                     a.every, cb, start=a.start, until=a.until,
@@ -269,22 +270,35 @@ def install_control(system: System, spec: ScenarioSpec) -> None:
                     once=a.once, label=a.label,
                 ),
             )
+        else:  # event-triggered: bare `when`, fires on the rising edge
+            rule = _install_rule(
+                path,
+                lambda a=action, cb=callback: control.schedule.on(
+                    a.when, cb, start=a.start, until=a.until,
+                    set=dict(a.set), sample=a.sample, once=a.once,
+                    label=a.label,
+                ),
+            )
+        if loop is not None:
+            # The loop carries windowed-demand state between firings;
+            # anchoring it on the rule lets checkpoints capture it.
+            rule.owner = loop
 
 
-def _install_rule(path: str, install: Callable[[], Any]) -> None:
+def _install_rule(path: str, install: Callable[[], Any]) -> Any:
     try:
-        install()
+        return install()
     except (ProbeError, KnobError, ScheduleError) as exc:
         raise ScenarioError(f"control plane: {exc}", path=path) from exc
 
 
-def _advisor_callback(control, advise, path: str) -> Callable[[int], None]:
+def _advisor_loop(control, advise, path: str):
     # Imported lazily: repro.analysis pulls in the experiment preset,
     # which itself imports this package.
     from repro.analysis.advisor import AdvisorLoop
 
     try:
-        loop = AdvisorLoop(
+        return AdvisorLoop(
             control,
             advise.managers,
             period_cycles=advise.period_cycles,
@@ -297,7 +311,6 @@ def _advisor_callback(control, advise, path: str) -> Callable[[int], None]:
     except (ProbeError, KnobError, ValueError) as exc:
         raise ScenarioError(f"control plane: {exc}",
                             path=f"{path}.advise") from exc
-    return loop.step
 
 
 # ----------------------------------------------------------------------
@@ -389,14 +402,93 @@ def collect_observables(
 # ----------------------------------------------------------------------
 # running
 # ----------------------------------------------------------------------
-def run_point(
+def _until_waiting(
+    spec: ScenarioSpec, generators: dict[str, Component]
+) -> list[Component]:
+    waiting = [
+        generators[name] for name in spec.run.until if name in generators
+    ]
+    if not waiting:
+        raise ScenarioError(
+            "every manager named in run.until has enabled=false "
+            "traffic", path="run.until",
+        )
+    return waiting
+
+
+def _execute_run(
+    system: System,
+    spec: ScenarioSpec,
+    label: str,
+    generators: dict[str, Component],
+    *,
+    stop_at: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    on_checkpoint=None,
+) -> None:
+    """Run a point's (possibly resumed) simulation to completion.
+
+    The run is executed in commit-boundary chunks when *stop_at* or
+    *checkpoint_every* is given; chunk boundaries only change where the
+    kernel pauses, never what it computes, so the outcome is
+    bit-identical to one uninterrupted call.  ``run.max_cycles`` and
+    ``run.horizon`` are absolute (counted from cycle 0), so a resumed
+    run stops exactly where the uninterrupted one would have.
+    """
+    sim = system.sim
+    what = f"{spec.name}[{label}] traffic to finish"
+    if spec.run.until:
+        waiting = _until_waiting(spec, generators)
+        deadline = spec.run.max_cycles
+        if stop_at is not None:
+            deadline = min(deadline, stop_at)
+
+        def pred() -> bool:
+            return all(core.done for core in waiting)
+
+        while not pred():
+            if sim.cycle >= deadline:
+                if stop_at is not None and sim.cycle >= stop_at:
+                    return  # prefix run: paused, not timed out
+                raise SimulationError(
+                    f"timeout after {spec.run.max_cycles} cycles waiting "
+                    f"for {what}"
+                )
+            chunk_end = deadline
+            if checkpoint_every is not None:
+                chunk_end = min(chunk_end, sim.cycle + checkpoint_every)
+            sim.run_until(
+                lambda: pred() or sim.cycle >= chunk_end,
+                max_cycles=chunk_end - sim.cycle + 1,
+                what=what,
+            )
+            if (
+                on_checkpoint is not None
+                and not pred()
+                and sim.cycle < deadline
+            ):
+                on_checkpoint(sim.cycle)
+    else:
+        end = spec.run.horizon
+        if stop_at is not None:
+            end = min(end, stop_at)
+        while sim.cycle < end:
+            chunk = end - sim.cycle
+            if checkpoint_every is not None:
+                chunk = min(chunk, checkpoint_every)
+            sim.run(chunk)
+            if on_checkpoint is not None and sim.cycle < end:
+                on_checkpoint(sim.cycle)
+
+
+def _elaborate_point(
     point: ExpandedPoint,
     *,
     active_set: Optional[bool] = None,
     batched: Optional[bool] = None,
     profile: bool = False,
-) -> PointResult:
-    """Simulate one expanded campaign point and digest its observables."""
+) -> tuple[System, dict[str, Component]]:
+    """Build a point's system with traffic, control, and warm caches."""
     spec = point.spec
     system = build_system(spec, active_set=active_set, batched=batched)
     if profile:
@@ -405,24 +497,92 @@ def run_point(
     install_control(system, spec)
     for warm in spec.warm:
         system.warm_cache(warm.base, warm.size, cache=warm.cache)
-    try:
-        if spec.run.until:
-            waiting = [
-                generators[name] for name in spec.run.until
-                if name in generators
-            ]
-            if not waiting:
-                raise ScenarioError(
-                    "every manager named in run.until has enabled=false "
-                    "traffic", path="run.until",
-                )
-            system.sim.run_until(
-                lambda: all(core.done for core in waiting),
-                max_cycles=spec.run.max_cycles,
-                what=f"{spec.name}[{point.label}] traffic to finish",
+    return system, generators
+
+
+def _checkpoint_meta(
+    point: ExpandedPoint,
+    spec: ScenarioSpec,
+    system: System,
+    scenario_name: Optional[str],
+) -> dict:
+    return {
+        "scenario": scenario_name or spec.name,
+        "label": point.label,
+        "index": point.index,
+        "seed": point.seed,
+        "cycle": system.sim.cycle,
+        "active_set": system.sim.active_set_enabled,
+        "batched": system.sim.batched,
+        "spec": spec.to_dict(),
+    }
+
+
+def _slug(text: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in text
+    ) or "point"
+
+
+def run_point(
+    point: ExpandedPoint,
+    *,
+    active_set: Optional[bool] = None,
+    batched: Optional[bool] = None,
+    profile: bool = False,
+    resume_state: Optional[Any] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    scenario_name: Optional[str] = None,
+) -> PointResult:
+    """Simulate one expanded campaign point and digest its observables.
+
+    *resume_state* restores a previously captured snapshot (an encoded
+    tree) into the freshly built system before running — used by the
+    fork-point campaign executor and ``--resume``.  With
+    *checkpoint_every*, the run pauses every N cycles and writes a
+    checkpoint file into *checkpoint_dir*; neither option changes any
+    observable (DESIGN.md section 10).
+    """
+    from repro.snapshot import SnapshotError
+
+    spec = point.spec
+    system, generators = _elaborate_point(
+        point, active_set=active_set, batched=batched, profile=profile
+    )
+    if resume_state is not None:
+        try:
+            system.restore(resume_state)
+        except SnapshotError as exc:
+            raise ScenarioError(f"cannot restore snapshot: {exc}",
+                                path="resume") from exc
+
+    on_checkpoint = None
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ScenarioError("checkpoint interval must be >= 1 cycle",
+                                path="checkpoint")
+        from pathlib import Path
+
+        directory = Path(checkpoint_dir or "checkpoints")
+        directory.mkdir(parents=True, exist_ok=True)
+        name = scenario_name or spec.name
+
+        def on_checkpoint(cycle: int) -> None:
+            from repro.snapshot import capture_simulator, save_checkpoint
+
+            save_checkpoint(
+                directory
+                / f"{_slug(name)}-{_slug(point.label)}-c{cycle}.ckpt",
+                capture_simulator(system.sim),
+                meta=_checkpoint_meta(point, spec, system, scenario_name),
             )
-        else:
-            system.sim.run(spec.run.horizon)
+
+    try:
+        _execute_run(
+            system, spec, point.label, generators,
+            checkpoint_every=checkpoint_every, on_checkpoint=on_checkpoint,
+        )
     except (ScheduleError, KnobError, ProbeError) as exc:
         # A rule fired mid-run and its action was refused (e.g. register
         # semantics rejected a well-typed knob value).
@@ -462,13 +622,43 @@ def _primary_core(
     return None
 
 
-def _run_expanded(
-    args: tuple[ExpandedPoint, Optional[bool], Optional[bool], bool]
-) -> PointResult:
-    point, active_set, batched, profile = args
+def _run_expanded(args: tuple) -> PointResult:
+    (point, active_set, batched, profile, resume_state, checkpoint_every,
+     checkpoint_dir, scenario_name) = args
     return run_point(
-        point, active_set=active_set, batched=batched, profile=profile
+        point, active_set=active_set, batched=batched, profile=profile,
+        resume_state=resume_state, checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir, scenario_name=scenario_name,
     )
+
+
+def _run_prefix(
+    point: ExpandedPoint,
+    fork_cycle: int,
+    *,
+    active_set: Optional[bool],
+    batched: Optional[bool],
+) -> tuple[Any, int]:
+    """Execute the shared campaign prefix once; returns the snapshot
+    tree and the cycle it was captured at.
+
+    The prefix stops at ``fork_cycle`` — the commit boundary *before*
+    the first divergent schedule firing — or earlier if the run's own
+    stop condition is met first (in which case the forks finish
+    immediately, exactly like their scratch runs would).
+    """
+    from repro.snapshot import capture_simulator
+
+    system, generators = _elaborate_point(
+        point, active_set=active_set, batched=batched
+    )
+    try:
+        _execute_run(
+            system, point.spec, point.label, generators, stop_at=fork_cycle
+        )
+    except (ScheduleError, KnobError, ProbeError) as exc:
+        raise ScenarioError(f"control plane: {exc}", path="schedule") from exc
+    return capture_simulator(system.sim), system.sim.cycle
 
 
 def run_campaign(
@@ -479,31 +669,61 @@ def run_campaign(
     batched: Optional[bool] = None,
     smoke: bool = False,
     profile: bool = False,
+    fork: bool = False,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Expand and execute a whole campaign.
 
     ``jobs > 1`` fans points out over a process pool; per-point seeds are
     derived from (master seed, index, label) before dispatch, so the
     parallel run is bit-identical to the sequential one.
+
+    ``fork=True`` enables fork-point execution: when every point is
+    identical up to the first divergent ``[[schedule]]`` action (see
+    :func:`repro.scenario.fork.plan_fork`), the shared prefix is
+    simulated once, snapshotted, and every point is restored from the
+    snapshot instead of re-simulating it — sequentially or across the
+    process pool.  Results are bit-identical to scratch execution;
+    campaigns without a provable shared prefix silently fall back.
     """
+    from repro.scenario.fork import plan_fork
+
     if smoke:
         spec = apply_smoke(spec)
     points = expand(spec)
+    resume_state = None
+    fork_cycle = None
+    if fork and len(points) > 1:
+        plan = plan_fork(points)
+        if plan is not None:
+            resume_state, fork_cycle = _run_prefix(
+                points[0], plan.fork_cycle,
+                active_set=active_set, batched=batched,
+            )
     if jobs > 1 and len(points) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             results = list(
                 pool.map(
                     _run_expanded,
-                    [(p, active_set, batched, profile) for p in points],
+                    [
+                        (p, active_set, batched, profile, resume_state,
+                         checkpoint_every, checkpoint_dir, spec.name)
+                        for p in points
+                    ],
                 )
             )
     else:
         results = [
             run_point(
-                p, active_set=active_set, batched=batched, profile=profile
+                p, active_set=active_set, batched=batched, profile=profile,
+                resume_state=resume_state, checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir, scenario_name=spec.name,
             )
             for p in points
         ]
-    return CampaignResult.from_points(
+    result = CampaignResult.from_points(
         spec, results, active_set=active_set, batched=batched
     )
+    result.fork_cycle = fork_cycle
+    return result

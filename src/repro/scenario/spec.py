@@ -905,10 +905,17 @@ class ScheduleActionSpec:
             sample=sample,
             advise=advise,
         )
-        if (spec.at is None) == (spec.every is None):
+        if spec.at is not None and spec.every is not None:
             raise ScenarioError(
-                "give exactly one trigger: `at = N` (one-shot) or "
-                "`every = P` (periodic)", path=path
+                "give exactly one trigger: `at = N` (one-shot), "
+                "`every = P` (periodic), or `when` alone "
+                "(event-triggered)", path=path
+            )
+        if spec.at is None and spec.every is None and spec.when is None:
+            raise ScenarioError(
+                "give a trigger: `at = N` (one-shot), `every = P` "
+                "(periodic), or a bare `when` comparison "
+                "(event-triggered, fires on the rising edge)", path=path
             )
         if spec.at is not None:
             if spec.at < 0:
@@ -916,15 +923,17 @@ class ScheduleActionSpec:
             for option in ("start", "until"):
                 if getattr(spec, option) is not None:
                     raise ScenarioError(
-                        f"`{option}` applies to periodic rules only",
+                        f"`{option}` applies to periodic and "
+                        "event-triggered rules only",
                         path=f"{path}.{option}",
                     )
             if spec.once:
                 raise ScenarioError(
-                    "`once` is implied by `at` (set it on `every` rules)",
+                    "`once` is implied by `at` (set it on `every` or "
+                    "event-triggered rules)",
                     path=f"{path}.once",
                 )
-        else:
+        elif spec.every is not None:
             if spec.every < 1:
                 raise ScenarioError("every must be >= 1",
                                     path=f"{path}.every")
@@ -934,6 +943,14 @@ class ScheduleActionSpec:
             first = spec.every if spec.start is None else spec.start
             if spec.until is not None and spec.until < first:
                 raise ScenarioError("until precedes the first firing",
+                                    path=f"{path}.until")
+        else:  # event-triggered: evaluated every commit boundary
+            if spec.start is not None and spec.start < 0:
+                raise ScenarioError("start must be >= 0",
+                                    path=f"{path}.start")
+            first = 0 if spec.start is None else spec.start
+            if spec.until is not None and spec.until < first:
+                raise ScenarioError("until precedes the first evaluation",
                                     path=f"{path}.until")
         if spec.when is not None:
             from repro.control.schedule import Comparison, ScheduleError

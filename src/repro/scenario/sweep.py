@@ -85,12 +85,24 @@ def _list_index(node: list, segment: str, path: str) -> int:
 
 
 def set_by_path(tree: dict, dotted: str, value: Any) -> None:
-    """Set one override on a canonical scenario dict (in place)."""
+    """Set one override on a canonical scenario dict (in place).
+
+    Keys that themselves contain dots — knob paths inside a schedule
+    rule's ``set`` table, e.g.
+    ``schedule.cut.set.realm.dma.region0.budget_bytes`` — are matched
+    greedily: at every dict along the descent, if the joined remainder
+    of the path is an existing key, it is assigned directly.
+    """
     segments = dotted.split(".")
     if not all(segments):
         raise ScenarioError("empty path segment", path=dotted)
     node: Any = tree
     for i, segment in enumerate(segments[:-1]):
+        if isinstance(node, dict):
+            remainder = ".".join(segments[i:])
+            if remainder in node:
+                node[remainder] = value
+                return
         node = _descend(node, segment, ".".join(segments[: i + 1]))
     last = segments[-1]
     if isinstance(node, dict):

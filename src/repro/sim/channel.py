@@ -261,6 +261,37 @@ class Channel(Generic[T]):
         self._busy_cycles = 0
 
     # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        """Committed queue and counters (commit boundaries only).
+
+        Listener wiring and attached tracers are structure, not state:
+        a restore target carries its own from construction (express
+        orders re-suppress what they manage when their owner restores).
+        """
+        if self._pending:
+            raise SimulationError(
+                f"channel {self.name!r} has uncommitted beats; snapshots "
+                "are legal only at commit boundaries"
+            )
+        return {
+            "queue": list(self._queue),
+            "snapshot": self._snapshot,
+            "sent_total": self._sent_total,
+            "recv_total": self._recv_total,
+            "busy_cycles": self._busy_cycles,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self._queue = deque(state["queue"])
+        self._pending = []
+        self._snapshot = state["snapshot"]
+        self._sent_total = state["sent_total"]
+        self._recv_total = state["recv_total"]
+        self._busy_cycles = state["busy_cycles"]
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property

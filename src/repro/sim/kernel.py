@@ -141,6 +141,30 @@ class Component:
         if self._sim is not None:
             self._sim.wake(self)
 
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        """Everything this component's ``tick`` reads or writes, as a
+        dict of primitives, containers, and codec-registered objects.
+
+        Called at commit boundaries by :func:`repro.snapshot.capture_simulator`.
+        A component that installed :class:`~repro.sim.channel.ExpressRoute`
+        orders must describe them here and re-install them in
+        :meth:`state_restore`.  The default covers stateless components;
+        stateful subclasses override both hooks (DESIGN.md section 10).
+        """
+        return {}
+
+    def state_restore(self, state: dict) -> None:
+        """Restore a :meth:`state_capture` dict into this component.
+
+        Runs on a freshly built (never ticked) component of the same
+        declaration, or in place over an already-run one.  Must not
+        schedule wake-ups: the kernel's active set and wake queue are
+        restored wholesale afterwards.
+        """
+
     def wake_at(self, cycle: int) -> None:
         """Schedule a wake-up at *cycle* (no-op if not yet registered)."""
         if self._sim is not None:
@@ -195,6 +219,10 @@ class Simulator:
         self._hook_heap: list[tuple[int, int, Callable[[int], None]]] = []
         self._hook_seq = 0
         self._reset_hooks: list[Callable[[], None]] = []
+        # Snapshot state clients: objects owning commit-boundary hooks
+        # (the schedule engine) or other non-component state (the bus
+        # guard); captured/restored alongside the kernel by name.
+        self._state_clients: dict[str, object] = {}
         # Introspection counters.
         self.ticks_executed = 0
         self.ticks_skipped = 0
@@ -240,6 +268,55 @@ class Simulator:
         Watchers observe committed state; they must not send on channels.
         """
         self._watchers.append(fn)
+
+    def register_state_client(self, name: str, client) -> None:
+        """Register a non-component state owner for checkpoint/restore.
+
+        *client* implements ``state_capture()``/``state_restore(state)``
+        (and, if it schedules commit-boundary hooks, a
+        ``state_pending_hooks()`` count so captures can verify that
+        every pending hook has an owner that will re-arm it).
+        """
+        if name in self._state_clients:
+            raise SimulationError(f"state client {name!r} registered twice")
+        self._state_clients[name] = client
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, path=None) -> dict:
+        """Capture the complete simulation state at this commit boundary.
+
+        Returns the encoded state tree (plain data: picklable,
+        deep-copy-safe); with *path* the tree is also written as a
+        versioned, compressed checkpoint file.  Legal only between
+        steps, when every channel has committed (which is always the
+        case outside :meth:`step`).  See DESIGN.md section 10.
+        """
+        from repro.snapshot import capture_simulator, save_checkpoint
+
+        state = capture_simulator(self)
+        if path is not None:
+            save_checkpoint(path, state)
+        return state
+
+    def restore_checkpoint(self, source) -> None:
+        """Restore state captured by :meth:`checkpoint`.
+
+        *source* is a state tree or a checkpoint file path.  The
+        simulator must structurally match the captured one: same kernel
+        flags, same channels and components in registration order —
+        i.e. a fresh build of the same declaration (or this simulator
+        itself, for rewinding).  Continuing afterwards is bit-identical
+        to never having been interrupted.
+        """
+        import os
+
+        from repro.snapshot import load_checkpoint, restore_simulator
+
+        if isinstance(source, (str, bytes, os.PathLike)):
+            _, source = load_checkpoint(source)
+        restore_simulator(self, source)
 
     # ------------------------------------------------------------------
     # active-set bookkeeping

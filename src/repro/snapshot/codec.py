@@ -1,0 +1,193 @@
+"""Value codecs: live state trees to plain, versionable data and back.
+
+``state_capture()`` hooks return dictionaries that may contain live
+simulation objects — AXI beats, NoC flits, driver operations, enums,
+deques, cache lines.  :func:`encode_state` walks such a tree and
+rewrites every value into primitives (``None``/``bool``/``int``/
+``float``/``str``/``bytes``) and tagged lists, so the result can be
+deep-copied by construction, pickled across the process-pool fan-out,
+and written to disk without tying the file format to pickled class
+identities.  :func:`decode_state` reverses the walk, constructing
+*fresh* objects — restoring the same encoded tree into several forked
+systems can therefore never alias mutable state between them.
+
+Container tags (every container is tagged, so no raw list survives
+encoding and decoding is unambiguous):
+
+========  ======================================================
+``"L"``   list                  ``"T"``   tuple
+``"D"``   dict (as key/value pairs, insertion order preserved)
+``"OD"``  :class:`collections.OrderedDict`
+``"Q"``   :class:`collections.deque`
+``"S"``   set (entries sorted for deterministic output)
+``"BA"``  bytearray
+``"X"``   a registered object type: ``["X", tag, payload]``
+========  ======================================================
+
+Object types register with the :class:`StateCodec`; the default codec
+knows every type the in-tree components put into their state dicts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import fields as dataclass_fields
+from typing import Any, Callable, Optional
+
+
+class SnapshotError(Exception):
+    """Raised for invalid captures, incompatible restores, and bad files."""
+
+
+class StateCodec:
+    """Registry of value codecs keyed by type (and by tag for decode)."""
+
+    def __init__(self) -> None:
+        self._by_type: dict[type, tuple[str, Callable, Callable]] = {}
+        self._by_tag: dict[str, tuple[type, Callable, Callable]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        cls: type,
+        tag: str,
+        to_plain: Callable[[Any], Any],
+        from_plain: Callable[[Any], Any],
+    ) -> None:
+        """Register *cls* under *tag* with explicit conversion functions.
+
+        ``to_plain(obj)`` returns a value the codec can encode further
+        (fields may themselves be registered types); ``from_plain``
+        rebuilds a fresh object from the decoded payload.
+        """
+        if cls in self._by_type or tag in self._by_tag:
+            raise SnapshotError(f"codec for {cls.__name__}/{tag!r} exists")
+        self._by_type[cls] = (tag, to_plain, from_plain)
+        self._by_tag[tag] = (cls, to_plain, from_plain)
+
+    def register_dataclass(self, cls: type, tag: str) -> None:
+        """Register a dataclass: payload = its field values, in order."""
+        names = [f.name for f in dataclass_fields(cls)]
+        self.register(
+            cls,
+            tag,
+            lambda obj, n=tuple(names): [getattr(obj, name) for name in n],
+            lambda payload, c=cls: c(*payload),
+        )
+
+    def register_enum(self, cls: type, tag: str) -> None:
+        self.register(cls, tag, lambda e: e.value, cls)
+
+    # ------------------------------------------------------------------
+    # encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, value: Any) -> Any:
+        """Rewrite *value* into primitives and tagged lists (recursive)."""
+        if value is None or isinstance(value, (bool, int, float, str, bytes)):
+            return value
+        enc = self.encode
+        cls = type(value)
+        if cls is list:
+            return ["L", [enc(v) for v in value]]
+        if cls is tuple:
+            return ["T", [enc(v) for v in value]]
+        if cls is dict:
+            return ["D", [[enc(k), enc(v)] for k, v in value.items()]]
+        if cls is OrderedDict:
+            return ["OD", [[enc(k), enc(v)] for k, v in value.items()]]
+        if cls is deque:
+            return ["Q", [enc(v) for v in value]]
+        if cls is set or cls is frozenset:
+            return ["S", [enc(v) for v in sorted(value)]]
+        if cls is bytearray:
+            return ["BA", bytes(value)]
+        entry = self._by_type.get(cls)
+        if entry is None:
+            raise SnapshotError(
+                f"no state codec registered for {cls.__name__}"
+            )
+        tag, to_plain, _ = entry
+        return ["X", tag, enc(to_plain(value))]
+
+    def decode(self, value: Any) -> Any:
+        """Rebuild fresh live values from an encoded tree (recursive)."""
+        if value is None or isinstance(value, (bool, int, float, str, bytes)):
+            return value
+        if not isinstance(value, list) or not value:
+            raise SnapshotError(f"malformed encoded value: {value!r}")
+        dec = self.decode
+        tag = value[0]
+        if tag == "L":
+            return [dec(v) for v in value[1]]
+        if tag == "T":
+            return tuple(dec(v) for v in value[1])
+        if tag == "D":
+            return {dec(k): dec(v) for k, v in value[1]}
+        if tag == "OD":
+            return OrderedDict((dec(k), dec(v)) for k, v in value[1])
+        if tag == "Q":
+            return deque(dec(v) for v in value[1])
+        if tag == "S":
+            return {dec(v) for v in value[1]}
+        if tag == "BA":
+            return bytearray(value[1])
+        if tag == "X":
+            entry = self._by_tag.get(value[1])
+            if entry is None:
+                raise SnapshotError(
+                    f"snapshot uses unknown state codec tag {value[1]!r}"
+                )
+            _, _, from_plain = entry
+            return from_plain(dec(value[2]))
+        raise SnapshotError(f"unknown container tag {tag!r}")
+
+
+def _build_default_codec() -> StateCodec:
+    # Imported here so importing repro.sim never pulls the whole tree.
+    from repro.axi.beats import ARBeat, AWBeat, BBeat, RBeat, WBeat
+    from repro.axi.types import AtomicOp, BurstType, Resp
+    from repro.interconnect.noc import Flit
+    from repro.mem.cache import _Line
+    from repro.realm.isolation import IsolationMode
+    from repro.traffic.driver import Op
+
+    codec = StateCodec()
+    codec.register_enum(Resp, "resp")
+    codec.register_enum(BurstType, "burst")
+    codec.register_enum(AtomicOp, "atop")
+    codec.register_enum(IsolationMode, "isomode")
+    codec.register_dataclass(AWBeat, "aw")
+    codec.register_dataclass(WBeat, "w")
+    codec.register_dataclass(BBeat, "b")
+    codec.register_dataclass(ARBeat, "ar")
+    codec.register_dataclass(RBeat, "r")
+    codec.register_dataclass(Flit, "flit")
+    codec.register_dataclass(Op, "op")
+    codec.register(
+        _Line,
+        "line",
+        lambda line: (bytes(line.data), line.dirty),
+        lambda payload: _Line(bytearray(payload[0]), payload[1]),
+    )
+    return codec
+
+
+_DEFAULT: Optional[StateCodec] = None
+
+
+def default_codec() -> StateCodec:
+    """The process-wide codec covering every in-tree state type."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = _build_default_codec()
+    return _DEFAULT
+
+
+def encode_state(value: Any) -> Any:
+    return default_codec().encode(value)
+
+
+def decode_state(value: Any) -> Any:
+    return default_codec().decode(value)

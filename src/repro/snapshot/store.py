@@ -1,0 +1,63 @@
+"""Versioned, compressed on-disk checkpoint format.
+
+Layout of a ``.ckpt`` file::
+
+    8 bytes   magic  b"RPRSNAP\\x01"
+    4 bytes   big-endian format revision (SNAPSHOT_FORMAT)
+    rest      zlib-compressed pickle of {"meta": ..., "state": ...}
+
+The pickled payload contains only primitives and tagged lists (the
+state tree is pre-encoded by :mod:`repro.snapshot.codec`; the metadata
+is JSON-plain), so the file never depends on pickled class identities
+and survives refactors that move or rename simulation classes.  The
+revision in the header is checked before anything is unpickled; the
+in-tree ``format`` field is checked again by the restore walk.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.snapshot.codec import SnapshotError
+from repro.snapshot.state import SNAPSHOT_FORMAT
+
+MAGIC = b"RPRSNAP\x01"
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    state: Any,
+    meta: Optional[dict] = None,
+) -> Path:
+    """Write an encoded state tree (plus JSON-plain *meta*) to *path*."""
+    path = Path(path)
+    payload = pickle.dumps(
+        {"meta": meta or {}, "state": state}, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    header = MAGIC + SNAPSHOT_FORMAT.to_bytes(4, "big")
+    path.write_bytes(header + zlib.compress(payload, level=6))
+    return path
+
+
+def load_checkpoint(path: Union[str, Path]) -> tuple[dict, Any]:
+    """Read a checkpoint file; returns ``(meta, state)``."""
+    blob = Path(path).read_bytes()
+    if len(blob) < len(MAGIC) + 4 or not blob.startswith(MAGIC):
+        raise SnapshotError(f"{path}: not a repro checkpoint file")
+    revision = int.from_bytes(blob[len(MAGIC) : len(MAGIC) + 4], "big")
+    if revision != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path}: checkpoint format {revision} is not the supported "
+            f"format {SNAPSHOT_FORMAT}"
+        )
+    try:
+        payload = pickle.loads(zlib.decompress(blob[len(MAGIC) + 4 :]))
+    except Exception as exc:
+        raise SnapshotError(f"{path}: corrupt checkpoint payload: {exc}") \
+            from exc
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise SnapshotError(f"{path}: checkpoint payload has no state tree")
+    return payload.get("meta", {}), payload["state"]

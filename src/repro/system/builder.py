@@ -26,7 +26,7 @@ or :meth:`SystemBuilder.with_direct`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.axi.ports import AxiBundle
@@ -173,6 +173,16 @@ class System:
         while a < addr + size:
             llc.install_line(a, dram.store.read(a, line))
             a += line
+
+    def checkpoint(self, path=None) -> dict:
+        """Whole-system state at this commit boundary (see
+        :meth:`repro.sim.Simulator.checkpoint`)."""
+        return self.sim.checkpoint(path)
+
+    def restore(self, source) -> None:
+        """Restore a checkpoint into this system (fresh build of the
+        same declaration, or this system itself for rewinding)."""
+        self.sim.restore_checkpoint(source)
 
     def run_until_idle(self, max_cycles: int = 100_000) -> int:
         """Run until every attached driver has finished its script."""
@@ -496,6 +506,9 @@ class SystemBuilder:
         if realms:
             bus_guard = BusGuard()
             regfile = RealmRegisterFile(list(realms.values()), guard=bus_guard)
+            # The guard's ownership claim is machine state a checkpoint
+            # must carry (a restored run may never re-claim).
+            sim.register_state_client("bus_guard", bus_guard)
 
         system = System(
             sim=sim,
@@ -527,11 +540,10 @@ class SystemBuilder:
         if spec.granularity is not None:
             unit.set_granularity(spec.granularity)
         for index, region in enumerate(spec.regions):
-            # Defensive copy: the unit takes ownership of the region
-            # object and runtime knob writes mutate it — handing over the
-            # caller's instance would leak one run's reconfiguration into
-            # the next build from the same spec.
-            unit.configure_region(index, replace(region))
+            # configure_region snapshots the field values at call time,
+            # so runtime knob writes can never mutate the caller's spec
+            # and leak one run's reconfiguration into the next build.
+            unit.configure_region(index, region)
         if spec.regulation is not None:
             unit.set_regulation_enabled(spec.regulation)
         if spec.throttle is not None:

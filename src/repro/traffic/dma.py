@@ -198,3 +198,42 @@ class DmaEngine(Component):
         self.bytes_written = 0
         self.read_bursts = 0
         self.write_bursts = 0
+
+    # ------------------------------------------------------------------
+    # snapshot contract (includes the runtime-knob-writable settings)
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "inter_burst_gap": self.inter_burst_gap,
+            "rd_offset": self._rd_offset,
+            "rd_inflight": self._rd_inflight,
+            "rd_gap": self._rd_gap,
+            "full_buffers": deque(self._full_buffers),
+            "wr_offset": self._wr_offset,
+            "wr_active": self._wr_active,
+            "wr_aw_sent": self._wr_aw_sent,
+            "wr_beats_sent": self._wr_beats_sent,
+            "wr_gap": self._wr_gap,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "read_bursts": self.read_bursts,
+            "write_bursts": self.write_bursts,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self.inter_burst_gap = state["inter_burst_gap"]
+        self._rd_offset = state["rd_offset"]
+        self._rd_inflight = state["rd_inflight"]
+        self._rd_gap = state["rd_gap"]
+        self._full_buffers = deque(state["full_buffers"])
+        self._wr_offset = state["wr_offset"]
+        self._wr_active = state["wr_active"]
+        self._wr_aw_sent = state["wr_aw_sent"]
+        self._wr_beats_sent = state["wr_beats_sent"]
+        self._wr_gap = state["wr_gap"]
+        self.bytes_read = state["bytes_read"]
+        self.bytes_written = state["bytes_written"]
+        self.read_bursts = state["read_bursts"]
+        self.write_bursts = state["write_bursts"]

@@ -169,6 +169,35 @@ class ManagerDriver(Component):
         self._r_parts = []
 
     # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "queue": deque(self._queue),
+            "current": self._current,
+            "aw_sent": self._aw_sent,
+            "w_index": self._w_index,
+            "r_parts": list(self._r_parts),
+            "resp": self._resp,
+            "got_b": self._got_b,
+            "completed": list(self.completed),
+            "cycle": self._cycle,
+            "txn_next": self._txns._next,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self._queue = deque(state["queue"])
+        self._current = state["current"]
+        self._aw_sent = state["aw_sent"]
+        self._w_index = state["w_index"]
+        self._r_parts = list(state["r_parts"])
+        self._resp = state["resp"]
+        self._got_b = state["got_b"]
+        self.completed = list(state["completed"])
+        self._cycle = state["cycle"]
+        self._txns._next = state["txn_next"]
+
+    # ------------------------------------------------------------------
     def _start(self, op: Op, cycle: int) -> None:
         self._current = op
         self._aw_sent = False

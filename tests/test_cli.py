@@ -268,3 +268,50 @@ sample = ["realm.core.region0.total_bytes"]
     assert lines[0] == "label,rule,cycle,probe,value"
     assert any("realm.core.region0.total_bytes" in line
                for line in lines[1:])
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume / fork flags
+# ----------------------------------------------------------------------
+def test_run_checkpoint_every_and_resume_round_trip(
+    tiny_scenario, tmp_path, capsys
+):
+    ckpt_dir = tmp_path / "cks"
+    ref_json = tmp_path / "ref.json"
+    assert main(["run", str(tiny_scenario), "--json", str(ref_json),
+                 "--set", "traffic.core.gap=40"]) == 0
+    assert main(["run", str(tiny_scenario), "--checkpoint-every", "100",
+                 "--checkpoint-dir", str(ckpt_dir),
+                 "--set", "traffic.core.gap=40"]) == 0
+    capsys.readouterr()
+    files = sorted(ckpt_dir.glob("tiny-base-*.ckpt"))
+    assert files, "no checkpoint files written"
+    resumed_json = tmp_path / "resumed.json"
+    assert main(["run", "--resume", str(files[0]),
+                 "--json", str(resumed_json)]) == 0
+    out = capsys.readouterr().out
+    assert "resumed tiny[base]" in out
+    reference = json.loads(ref_json.read_text())
+    resumed = json.loads(resumed_json.read_text())
+    base = next(p for p in reference["points"] if p["label"] == "base")
+    assert resumed["points"][0]["observables"] == base["observables"]
+
+
+def test_run_resume_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.ckpt"
+    bad.write_bytes(b"nope")
+    assert main(["run", "--resume", str(bad)]) == 1
+    assert "resume error" in capsys.readouterr().err
+
+
+def test_run_without_file_or_resume_exits_2(capsys):
+    assert main(["run"]) == 2
+    assert "scenario file or --resume" in capsys.readouterr().err
+
+
+def test_run_fork_flag_falls_back_cleanly(tiny_scenario, capsys):
+    assert main(["run", str(tiny_scenario), "--fork"]) == 0
+    out = capsys.readouterr().out
+    assert "base" in out and "gapped" in out
+    # No provable shared prefix here: no fork-point banner printed.
+    assert "fork-point execution" not in out

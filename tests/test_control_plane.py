@@ -482,7 +482,7 @@ label = "off"
     ("[probes]\nevery = 10\n", r"without any `sample`"),
     ('[probes]\nsample = ["x"]\n', r"probes\.every"),
     ('[[schedule]]\nlabel = "a"\n[schedule.set]\nx = 1\n',
-     r"exactly one trigger"),
+     r"give a trigger"),
     ('[[schedule]]\nlabel = "a"\nat = 5\nevery = 5\n[schedule.set]\nx = 1\n',
      r"exactly one trigger"),
     ('[[schedule]]\nlabel = "a"\nat = 5\nonce = true\n[schedule.set]\nx = 1\n',
@@ -533,3 +533,119 @@ def test_install_control_noop_without_sections():
     system.sim.run(100)
     obs = run_campaign(spec).points[0].observables
     assert "control" not in obs
+
+
+# ----------------------------------------------------------------------
+# event-triggered (edge) rules
+# ----------------------------------------------------------------------
+def _edge_plane():
+    from repro.control import ControlPlane
+
+    sim = Simulator()
+    plane = ControlPlane(sim)
+    box = [0]
+    plane.probes.register("t.v", lambda: box[0])
+    return sim, plane, box
+
+
+def test_event_rule_fires_on_rising_edges_only():
+    sim, plane, box = _edge_plane()
+    fired = []
+    rule = plane.schedule.on("t.v >= 5", action=fired.append)
+    sim.run(3)
+    assert fired == []  # condition never held
+    box[0] = 7
+    sim.run(2)
+    assert fired == [3]  # one firing at the crossing, none while held
+    box[0] = 0
+    sim.run(2)
+    box[0] = 9
+    sim.run(2)
+    assert fired == [3, 7]  # a second crossing fires again
+    assert rule.fired == 2
+    assert rule.evaluations == 9  # every commit boundary so far
+
+
+def test_event_rule_once_start_until():
+    sim, plane, box = _edge_plane()
+    box[0] = 10  # already true before the run
+    once = plane.schedule.on("t.v >= 5", action=lambda c: None,
+                             once=True, label="once")
+    late = plane.schedule.on("t.v >= 5", action=lambda c: None,
+                             start=4, label="late")
+    bounded = plane.schedule.on("t.v >= 5", action=lambda c: None,
+                                until=2, label="bounded")
+    sim.run(8)
+    # Already-true at the first evaluation counts as a crossing.
+    assert once.fired == 1 and not once.active
+    assert late.fired == 1 and late.evaluations == 4  # cycles 4..7
+    assert bounded.fired == 1 and not bounded.active
+    assert bounded.evaluations == 3  # cycles 0..2 inclusive
+
+
+def test_event_rule_validation_errors():
+    sim, plane, _ = _edge_plane()
+    with pytest.raises(ScheduleError, match="start must be"):
+        plane.schedule.on("t.v >= 1", action=lambda c: None, start=-1)
+    with pytest.raises(ScheduleError, match="until precedes"):
+        plane.schedule.on("t.v >= 1", action=lambda c: None,
+                          start=10, until=5, label="x")
+    with pytest.raises(ScheduleError, match="no actions"):
+        plane.schedule.on("t.v >= 1")
+    # Rejected rules leave no residue: the label is free again and
+    # nothing half-installed survives a reset.
+    assert plane.schedule.rules == []
+    plane.schedule.on("t.v >= 1", action=lambda c: None, label="x")
+    sim.reset()
+    assert [r.label for r in plane.schedule.rules] == ["x"]
+
+
+def test_event_rule_scenario_round_trip_and_kernel_equivalence():
+    text = MINIMAL + """
+[[schedule]]
+label = "clamp"
+when = "realm.core.region0.total_bytes >= 100"
+once = true
+[schedule.set]
+"realm.core.region0.budget_bytes" = 16
+"""
+    spec = loads(text, fmt="toml")
+    assert validate(spec.to_dict()) == spec  # when-only rules round-trip
+    active = run_campaign(spec)
+    naive = run_campaign(spec, active_set=False)
+    per_beat = run_campaign(spec, batched=False)
+    assert active.digest() == naive.digest() == per_beat.digest()
+    point = active.points[0]
+    assert point.rules_fired == {"clamp": 1}
+    # The clamp bit: the tightened budget depletes and engages budget
+    # isolation, which holds address beats at the unit's ingress.
+    realms = point.observables["realms"]["core"]
+    assert realms["blocked_beats"] > 0
+
+
+def test_event_rule_state_survives_checkpoint():
+    from repro.snapshot import capture_simulator, restore_simulator
+
+    def build():
+        sim, plane, box = _edge_plane()
+        fired = []
+        plane.schedule.on("t.v >= 5", action=fired.append, label="edge")
+        return sim, plane, box, fired
+
+    sim, plane, box, fired = build()
+    box[0] = 7
+    sim.run(4)  # crossing at boundary 0; prev is now True
+    state = capture_simulator(sim)
+
+    sim2, plane2, box2, fired2 = build()
+    box2[0] = 7
+    restore_simulator(sim2, state)
+    rule = plane2.schedule.rules[0]
+    assert rule.prev is True and rule.fired == 1
+    sim2.run(3)
+    assert fired2 == []  # no re-fire: the edge state was restored
+    box2[0] = 0
+    sim2.run(1)
+    box2[0] = 8
+    sim2.run(2)
+    assert len(fired2) == 1  # fresh crossing after the restore
