@@ -11,6 +11,18 @@ and developer laptops.
 
 Usage:  python benchmarks/check_datapath_regression.py FRESH [BASELINE]
 
+On top of the relative gate, ``SPEEDUP_FLOORS`` pins an absolute
+speedup floor per scenario — a hard contract the fresh datapoint must
+meet regardless of what the baseline recorded.  The floors encode what
+each scenario's structure admits: ``stream_steady`` spends >90% of its
+cycles in value-templated linear spans, so span replay (DESIGN.md
+section 11) must keep it far above the per-beat reference; ``fig6a``'s
+REALM units carry a 16-deep write buffer whose per-fragment drain/refill
+limit cycle is genuinely nonlinear, capping its batched win near 1.1x —
+the floor there guards against the batched datapath *losing* to the
+per-beat reference, not against missing a speedup the modelled hardware
+does not admit.
+
 *FRESH* is a datapoint history whose last entry is the new measurement;
 *BASELINE* (default: the same file's second-to-last entry) is the
 history whose last entry to compare against.
@@ -23,6 +35,13 @@ import sys
 from pathlib import Path
 
 LIMIT_PERCENT = 15.0
+
+# Absolute batched-vs-per-beat speedup each scenario must sustain.
+SPEEDUP_FLOORS = {
+    "stream_steady": 2.5,
+    "fig6a": 0.95,
+    "noc_hog": 2.0,
+}
 
 
 def _last_entry(path: Path, offset: int = 1) -> dict:
@@ -57,9 +76,19 @@ def main(argv: list[str]) -> int:
             verdict = f"REGRESSION (> {LIMIT_PERCENT:.0f}%)"
             failed = True
         print(
-            f"{name:<12} baseline {was:.2f}x -> fresh {now:.2f}x "
+            f"{name:<14} baseline {was:.2f}x -> fresh {now:.2f}x "
             f"({-drop:+.1f}%)  {verdict}"
         )
+    for name, floor in SPEEDUP_FLOORS.items():
+        fresh_entry = fresh["scenarios"].get(name)
+        if fresh_entry is None:
+            continue  # absence is flagged above when the baseline has it
+        now = fresh_entry["speedup"]
+        verdict = "ok"
+        if now < floor:
+            verdict = "BELOW FLOOR"
+            failed = True
+        print(f"{name:<14} floor {floor:.2f}x -> fresh {now:.2f}x  {verdict}")
     return 1 if failed else 0
 
 

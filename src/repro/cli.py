@@ -165,6 +165,29 @@ def _emit_profile(result) -> None:
     for name, secs in rows:
         print(f"{name:<28} {100 * secs / total:>6.1f}% {secs:>9.3f} "
               f"{ticks[name]:>10d}")
+    _emit_span_stats(result)
+
+
+def _emit_span_stats(result) -> None:
+    """Per-point span-replay statistics (DESIGN.md section 11)."""
+    stats = [(p, p.span_stats) for p in result.points if p.span_stats]
+    if not any(s["enabled"] for _, s in stats):
+        return
+    print("\n# span-replay (closed-form steady-state evolution)")
+    for point, s in stats:
+        replayed = s["span_cycles_replayed"]
+        cycles = point.sim_cycles or 1
+        aborts = ", ".join(
+            f"{cause}={count}" for cause, count in s["aborts"].items()
+        ) or "none"
+        print(f"{point.label}: {s['spans_entered']} spans, "
+              f"{replayed} cycles replayed "
+              f"({100 * replayed / cycles:.1f}% of {point.sim_cycles}); "
+              f"aborts: {aborts}")
+        for name, unit in sorted(s["units"].items()):
+            if unit["span_hits"]:
+                print(f"  realm.{name}: {unit['span_hits']} spans, "
+                      f"{unit['span_cycles']} cycles")
 
 
 def _run_scenario(args: argparse.Namespace) -> int:

@@ -19,6 +19,7 @@ from repro.axi.ports import AxiBundle
 from repro.axi.transaction import beat_addresses
 from repro.axi.types import Resp, bytes_per_beat
 from repro.sim.kernel import Component, SimulationError
+from repro.sim.span import SpanOffer, produce
 
 
 class _Line:
@@ -367,6 +368,71 @@ class CacheLLC(Component):
         """Re-dispatch after a same-cycle state change (keeps hit streaming
         at one beat per cycle without a dead cycle between states)."""
         getattr(self, f"_st_{self._state}")()
+
+    # ------------------------------------------------------------------
+    # span-replay (DESIGN.md section 11)
+    # ------------------------------------------------------------------
+    def span_offer(self, cycle: int, bound: int) -> Optional[SpanOffer]:
+        """Linear hit streaming: one value-identical R beat per cycle.
+
+        Only the middle of a read-hit stream qualifies: every beat in the
+        window must hit a resident line *and* carry the same payload as
+        the first (the span protocol replays one constant template), and
+        the window stops before the burst's last beat.  The front end must
+        be unable to change state (staged transaction parked, or nothing
+        arriving)."""
+        if self._state != "r_serve" or self._after_refill:
+            return None
+        if self._staged is None and (
+            self.front.ar._queue or self.front.aw._queue
+        ):
+            return None  # _front_accept would stage a transaction
+        txn = self._txn
+        index = self._index
+        # Template from the current beat; extend while the stream stays
+        # resident and value-identical, excluding the last beat.
+        limit = min(txn.beats - 1 - index, bound)
+        if limit < 1:
+            return None
+        nbytes = bytes_per_beat(txn.size)
+        line_mask = ~(self.line_bytes - 1)
+        template_data: Optional[bytes] = None
+        horizon = 0
+        for j in range(index, index + limit):
+            addr = self._addrs[j]
+            line = self.lookup(addr & line_mask, touch=False)
+            if line is None:
+                break
+            offset = addr - (addr & line_mask)
+            data = bytes(line.data[offset : offset + nbytes])
+            if template_data is None:
+                template_data = data
+            elif data != template_data:
+                break
+            horizon += 1
+        if horizon < 1 or template_data is None:
+            return None
+        template = RBeat(
+            id=txn.id, data=template_data, resp=Resp.OKAY, last=False,
+            txn=txn.txn,
+        )
+
+        def apply(n: int) -> None:
+            self.hits += n
+            self._now = cycle + n - 1
+            touched = None
+            for j in range(index, index + n):
+                line_addr = self._addrs[j] & line_mask
+                if line_addr != touched:
+                    self.lookup(line_addr)  # LRU touch, in beat order
+                    touched = line_addr
+            self._index = index + n
+
+        return SpanOffer(
+            flows=(produce(self.front.r, template),),
+            horizon=horizon,
+            apply=apply,
+        )
 
     # -- read streaming ------------------------------------------------
     def _st_r_serve(self) -> None:

@@ -18,6 +18,7 @@ from repro.axi.transaction import beat_addresses
 from repro.axi.types import AtomicOp, Resp, bytes_per_beat
 from repro.mem.backing import BackingStore
 from repro.sim.kernel import Component
+from repro.sim.span import UNBOUNDED, SpanOffer, consume, produce
 
 
 class SramMemory(Component):
@@ -176,6 +177,114 @@ class SramMemory(Component):
         self.read_beats = state["read_beats"]
         self.write_beats = state["write_beats"]
         self.atomics_served = state["atomics_served"]
+
+    # ------------------------------------------------------------------
+    # span-replay (DESIGN.md section 11)
+    # ------------------------------------------------------------------
+    def span_offer(self, cycle: int, bound: int) -> Optional[SpanOffer]:
+        """Linear mid-burst streaming on either port: consume one W beat
+        and/or produce one R beat per cycle (or sit silently inside a
+        latency window), with every burst boundary — AR/AW acceptance,
+        last beat, B response, atomics — outside the span."""
+        if self._atomic_r is not None:
+            return None
+        port = self.port
+        flows = []
+        horizon = UNBOUNDED
+        r_template = None
+        if self._rd is None:
+            if port.ar._queue:
+                return None  # an AR would be accepted this cycle
+        elif cycle < self._rd_ready:
+            # Pure countdown: ticks are no-ops until the serve cycle.
+            horizon = min(horizon, self._rd_ready - cycle)
+        else:
+            beat = self._rd
+            limit = min(beat.beats - 1 - self._rd_index, bound)
+            if limit < 1:
+                return None  # next R beat closes the burst
+            nbytes = bytes_per_beat(beat.size)
+            r_horizon = 0
+            for j in range(self._rd_index, self._rd_index + limit):
+                data, resp = self._read_beat(self._rd_addrs[j], nbytes)
+                if r_template is None:
+                    r_template = RBeat(
+                        id=beat.id, data=data, resp=resp, last=False,
+                        txn=beat.txn,
+                    )
+                elif data != r_template.data or resp != r_template.resp:
+                    break
+                r_horizon += 1
+            if r_horizon < 1:
+                return None
+            horizon = min(horizon, r_horizon)
+            flows.append(produce(port.r, r_template))
+        w_template = None
+        if self._wr is None:
+            if port.aw._queue:
+                return None  # an AW would be accepted this cycle
+        elif not self._wr_done:
+            if port.w._queue:
+                if self._wr.atop != AtomicOp.NONE:
+                    return None
+                w_template = port.w._queue[0]
+                if w_template.last:
+                    return None
+                flows.append(consume(port.w, w_template))
+            # else: waiting for write data, a pure no-op each tick.
+        elif cycle < self._wr_ready:
+            horizon = min(horizon, self._wr_ready - cycle)
+        else:
+            return None  # the B response would be sent this cycle
+        if r_template is not None and w_template is not None:
+            # Reads run before writes inside one tick; a closed-form
+            # replay is only exact when the streams cannot interact.
+            nbytes = bytes_per_beat(self._rd.size)
+            rd_lo = min(self._rd_addrs[self._rd_index :])
+            rd_hi = max(self._rd_addrs[self._rd_index :]) + nbytes
+            wbytes = bytes_per_beat(self._wr.size)
+            wr_lo = min(self._wr_addrs[self._wr_index :], default=rd_hi)
+            wr_hi = max(self._wr_addrs[self._wr_index :], default=rd_hi)
+            wr_hi += wbytes
+            if rd_lo < wr_hi and wr_lo < rd_hi:
+                return None
+
+        wr_index = self._wr_index
+        rd_index = self._rd_index
+
+        def apply(n: int) -> None:
+            if r_template is not None:
+                self.read_beats += n
+                self._rd_index = rd_index + n
+            if w_template is not None:
+                addrs = self._wr_addrs
+                top = len(addrs) - 1
+                if w_template.data is not None:
+                    for j in range(wr_index, wr_index + n):
+                        try:
+                            self.store.write(
+                                addrs[min(j, top)],
+                                w_template.data,
+                                w_template.strb,
+                            )
+                        except IndexError:
+                            self._wr_error = True
+                self.write_beats += n
+                self._wr_index = wr_index + n
+
+        return SpanOffer(flows=tuple(flows), horizon=horizon, apply=apply)
+
+    def _read_beat(self, addr: int, nbytes: int) -> tuple[bytes, Resp]:
+        """One R beat's payload and response, without side effects."""
+        try:
+            data = self.store.read(addr, nbytes)
+            resp = Resp.OKAY
+        except IndexError:
+            data = bytes(nbytes)
+            resp = Resp.SLVERR
+        if self._rd_error:
+            resp = Resp.SLVERR
+        return data, resp
 
     # ------------------------------------------------------------------
     # read port

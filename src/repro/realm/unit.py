@@ -24,13 +24,14 @@ from repro.axi.ports import AxiBundle
 from repro.realm.bookkeeping import BookkeepingSnapshot
 from repro.realm.burst_splitter import BurstSplitterStage
 from repro.realm.config import RealmRuntimeConfig, RealmUnitParams
-from repro.realm.isolation import IsolationStage
+from repro.realm.isolation import IsolationMode, IsolationStage
 from repro.realm.mr_unit import MonitorRegulationStage
 from repro.realm.regions import RegionConfig, RegionState
 from repro.realm.throttle import ThrottleUnit
 from repro.realm.wires import WireBundle
 from repro.realm.write_buffer import WriteBufferStage
 from repro.sim.kernel import Component
+from repro.sim.span import UNBOUNDED, SpanOffer, relay
 
 
 class RealmUnit(Component):
@@ -90,6 +91,10 @@ class RealmUnit(Component):
         self._freeze_delta: Optional[tuple] = None
         self._frozen_since: Optional[int] = None
         self._frozen_applied_through = -1
+        # Span-replay statistics (execution strategy, not simulated state:
+        # excluded from state_capture like the kernel's tick counters).
+        self.span_hits = 0
+        self.span_cycles = 0
 
     # ------------------------------------------------------------------
     # splitter config view (the splitter reads these each cycle)
@@ -309,6 +314,139 @@ class RealmUnit(Component):
         return self._check_frozen()
 
     # ------------------------------------------------------------------
+    # span-replay (DESIGN.md section 11)
+    # ------------------------------------------------------------------
+    def span_offer(self, cycle: int, bound: int) -> Optional[SpanOffer]:
+        """Offer a closed-form multi-cycle step while linearly streaming.
+
+        The unit is *linear* when its regulation decisions are settled for
+        the whole span: no reconfiguration pending, isolation passing with
+        no trigger armed, no region depleted (W/R data movement never
+        charges budget — only AW/AR admission does, so budgets can only
+        replenish mid-span), and every address-phase wire at rest.  The
+        only per-cycle activity is then data movement: one W beat relayed
+        ``up.w -> down.w`` through the splitter's current fragment and the
+        write buffer's steady queue, and/or one R beat relayed
+        ``down.r -> up.r`` — both value-identical every cycle.
+        """
+        if self._pending_reconfig:
+            return None
+        if (
+            self._frozen_since is not None
+            and self._frozen_applied_through != cycle - 1
+        ):
+            # Lazy counters still lag from a frozen sleep; the next tick
+            # replays them before anything else may happen.
+            return None
+        iso = self.isolation
+        sp = self.splitter
+        wb = self.write_buffer
+        mr = self.mr
+        if iso.mode is not IsolationMode.PASS or iso.reasons:
+            return None
+        if self.config.user_isolate or mr.budget_exhausted:
+            return None
+        link_a, link_b, link_c = self._links
+        # No address-phase or response-boundary event may be in flight:
+        # AW/AR admission charges budget and B completion closes a burst,
+        # so any of them inside the span would be nonlinear.
+        if self.up.aw._queue or self.up.ar._queue or self.down.b._queue:
+            return None
+        if (
+            link_a.ar.occupancy
+            or link_b.ar.occupancy
+            or link_c.ar.occupancy
+            or sp._ar_fragments
+        ):
+            return None
+        for link in self._links:
+            if link.w.occupancy or link.r.occupancy or link.b.occupancy:
+                return None
+        # A fragment AW may legitimately rest frozen on the splitter ->
+        # write-buffer wire while the buffer's AW queue is full; every
+        # other AW position must be provably at rest.
+        if link_c.aw.occupancy:
+            return None
+        if sp._aw_fragments:
+            if not link_b.aw.occupancy:
+                return None  # splitter would emit the next fragment
+        elif link_a.aw.occupancy:
+            return None  # splitter would ingest a new AW
+        if link_b.aw.occupancy and not (
+            wb.enabled and len(wb._aw_q) == wb.max_pending_aw
+        ):
+            return None  # the buffer (or bypass) would move the AW
+
+        flows = []
+        horizon = UNBOUNDED
+        w_head = self.up.w._queue[0] if self.up.w._queue else None
+        if w_head is not None:
+            if w_head.last:
+                return None
+            if iso._w_bursts_owed < 1:
+                return None
+            beats_left = sp._w_beats_left
+            if beats_left is None or beats_left < 2:
+                return None  # next egress beat would close the fragment
+            horizon = min(horizon, beats_left - 1)
+            if wb.enabled:
+                if (
+                    wb._forwarding is None
+                    or not wb._aw_forwarded
+                    or len(wb._w_q) >= wb.depth_beats
+                    or not wb._w_q
+                ):
+                    return None
+                for index, queued in enumerate(wb._w_q):
+                    if queued.last or queued != w_head:
+                        if index == 0:
+                            return None
+                        horizon = min(horizon, index)
+                        break
+            flows.append(relay(self.up.w, self.down.w, w_head))
+        elif wb.enabled:
+            if wb._forwarding is None:
+                if wb._aw_q:
+                    return None  # buffer may start forwarding a burst
+            elif wb._w_q or not wb._aw_forwarded:
+                return None  # buffer drains or emits AW without ingress
+        r_head = self.down.r._queue[0] if self.down.r._queue else None
+        if r_head is not None:
+            if r_head.last:
+                return None
+            flows.append(relay(self.down.r, self.up.r, r_head))
+        if not flows:
+            return None
+        has_r = r_head is not None
+        has_w = w_head is not None
+
+        def apply(n: int) -> None:
+            last_cycle = cycle + n - 1
+            mr.advance_to(last_cycle)
+            mr.stalled_this_cycle = False
+            mr.transferring_this_cycle = has_r
+            if has_w:
+                sp._w_beats_left -= n
+                if wb.enabled:
+                    queue = wb._w_q
+                    rotate = min(n, len(queue))
+                    for _ in range(rotate):
+                        queue.popleft()
+                        queue.append(w_head.copy())
+                    wb.peak_occupancy = max(
+                        wb.peak_occupancy, len(queue) + 1
+                    )
+            self._cycle = last_cycle
+            self._freeze_sig = None
+            self._freeze_counters = None
+            self._freeze_delta = None
+            self._frozen_since = None
+            self.span_hits += 1
+            self.span_cycles += n
+
+        return SpanOffer(flows=tuple(flows), horizon=horizon, apply=apply)
+
+    # ------------------------------------------------------------------
     # frozen-stall detection
     # ------------------------------------------------------------------
     def _signature(self) -> tuple:
@@ -451,6 +589,8 @@ class RealmUnit(Component):
         self._freeze_delta = None
         self._frozen_since = None
         self._frozen_applied_through = -1
+        self.span_hits = 0
+        self.span_cycles = 0
 
     # ------------------------------------------------------------------
     # snapshot contract

@@ -37,6 +37,11 @@ class PointResult:
     # Per-component (name, seconds, ticks) rows when the point ran with
     # tick profiling enabled; None otherwise (not part of the digest).
     profile: Optional[list] = None
+    # Span-replay execution statistics (spans entered, cycles replayed,
+    # abort causes, per-unit participation) when the point ran with
+    # profiling enabled; None otherwise (not part of the digest — the
+    # numbers describe the execution strategy, not the modelled SoC).
+    span_stats: Optional[dict] = None
 
     @cached_property
     def latency(self) -> LatencyStats:

@@ -606,7 +606,24 @@ def run_point(
         observables=collect_observables(system, spec, generators),
         latencies=latencies,
         profile=system.sim.profile_report() if profile else None,
+        span_stats=_span_stats(system) if profile else None,
     )
+
+
+def _span_stats(system: System) -> dict:
+    """Span-replay execution statistics for ``--profile`` output."""
+    sim = system.sim
+    return {
+        "enabled": sim.span_replay_enabled,
+        "spans_entered": sim.spans_entered,
+        "span_cycles_replayed": sim.span_cycles_replayed,
+        "aborts": dict(sorted(sim.span_aborts.items())),
+        "units": {
+            name: {"span_hits": unit.span_hits,
+                   "span_cycles": unit.span_cycles}
+            for name, unit in system.realms.items()
+        },
+    }
 
 
 def _primary_core(

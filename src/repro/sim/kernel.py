@@ -71,6 +71,8 @@ import heapq
 from time import perf_counter
 from typing import Callable, Iterable, Optional
 
+from repro.sim.span import attempt_span
+
 
 class Component:
     """Base class for everything that is evaluated once per clock cycle.
@@ -197,6 +199,7 @@ class Simulator:
         name: str = "sim",
         active_set: bool = True,
         batched: bool = True,
+        span_replay: bool = True,
     ) -> None:
         self.name = name
         self.cycle = 0
@@ -205,6 +208,10 @@ class Simulator:
         self._watchers: list[Callable[[int], None]] = []
         self._active_set_enabled = active_set
         self._batched = batched
+        # Span replay rides on both optimised paths: the active set
+        # bounds the negotiation to awake components and the batched
+        # flag scopes it to runs whose express orders can join spans.
+        self._span_enabled = bool(active_set and batched and span_replay)
         self._active: set[Component] = set()
         self._hot_channels: set = set()  # channels that need a commit
         self._express: list = []  # list[ExpressRoute], installation order
@@ -227,6 +234,13 @@ class Simulator:
         self.ticks_executed = 0
         self.ticks_skipped = 0
         self.cycles_fast_forwarded = 0
+        # Span-replay statistics (introspection only; deliberately not
+        # part of the snapshot contract — spans are an execution
+        # strategy, not simulated state).
+        self.spans_entered = 0
+        self.span_cycles_replayed = 0
+        self.span_aborts: dict = {}
+        self._span_probe: Optional[Component] = None
 
     # ------------------------------------------------------------------
     # registration
@@ -244,6 +258,11 @@ class Simulator:
         the exact seed datapath, used as the equivalence baseline.
         """
         return self._batched
+
+    @property
+    def span_replay_enabled(self) -> bool:
+        """True when linear steady states are replayed in closed form."""
+        return self._span_enabled
 
     def add(self, component: Component) -> Component:
         """Register *component*; returns it for chaining."""
@@ -568,6 +587,12 @@ class Simulator:
                 if target > self.cycle:
                     self._fast_forward(target)
                     continue
+            elif (
+                self._span_enabled
+                and not self._watchers
+                and attempt_span(self, end)
+            ):
+                continue
             self.step()
         return self.cycle
 
@@ -599,6 +624,12 @@ class Simulator:
                 if target > self.cycle:
                     self._fast_forward(target)
                     continue
+            elif (
+                self._span_enabled
+                and not self._watchers
+                and attempt_span(self, deadline)
+            ):
+                continue
             self.step()
         return self.cycle
 
@@ -622,6 +653,10 @@ class Simulator:
         self.ticks_executed = 0
         self.ticks_skipped = 0
         self.cycles_fast_forwarded = 0
+        self.spans_entered = 0
+        self.span_cycles_replayed = 0
+        self.span_aborts = {}
+        self._span_probe = None
         for fn in self._reset_hooks:
             fn()
 

@@ -17,6 +17,7 @@ from repro.axi.beats import ARBeat, AWBeat, WBeat
 from repro.axi.ports import AxiBundle
 from repro.axi.types import bytes_per_beat
 from repro.sim.kernel import Component
+from repro.sim.span import UNBOUNDED, SpanOffer, consume, produce
 
 
 class DmaEngine(Component):
@@ -119,6 +120,62 @@ class DmaEngine(Component):
             ):
                 return False
         return True
+
+    # ------------------------------------------------------------------
+    # span-replay (DESIGN.md section 11)
+    # ------------------------------------------------------------------
+    def span_offer(self, cycle: int, bound: int) -> Optional[SpanOffer]:
+        """Linear mid-burst streaming: consume one R beat and/or produce
+        one W beat per cycle, with every burst boundary (AR/AW issue,
+        burst start, last beat, B response, inter-burst gap) outside the
+        span."""
+        if self._rd_gap or self._wr_gap:
+            return None
+        if self.port.b._queue:
+            return None
+        if (
+            self.enabled
+            and self._rd_inflight + len(self._full_buffers) < self.n_buffers
+            and self.port.ar.can_send()
+        ):
+            return None  # an AR would be issued this cycle
+        nbytes = bytes_per_beat(self.size)
+        flows = []
+        horizon = UNBOUNDED
+        r_queue = self.port.r._queue
+        has_r = bool(r_queue)
+        if has_r:
+            # recv_up_to() drains the whole queue in one tick, so the
+            # one-beat-per-cycle contract only holds at occupancy one.
+            if len(r_queue) != 1 or r_queue[0].last:
+                return None
+            flows.append(consume(self.port.r, r_queue[0]))
+        has_w = False
+        if self._wr_active is None:
+            if self._full_buffers:
+                return None  # a write burst would start this cycle
+        else:
+            if not self._wr_aw_sent:
+                return None  # the burst's AW is still pending
+            beats_before_last = self.burst_beats - self._wr_beats_sent - 1
+            if beats_before_last < 1:
+                return None  # next W beat closes the burst
+            horizon = min(horizon, beats_before_last)
+            flows.append(
+                produce(self.port.w, WBeat(data=bytes(nbytes), last=False))
+            )
+            has_w = True
+        if not flows:
+            return None
+
+        def apply(n: int) -> None:
+            if has_r:
+                self.bytes_read += n * nbytes
+            if has_w:
+                self._wr_beats_sent += n
+                self.bytes_written += n * nbytes
+
+        return SpanOffer(flows=tuple(flows), horizon=horizon, apply=apply)
 
     # -- read pipe: fill buffers from the source window ----------------
     def _tick_read(self) -> None:

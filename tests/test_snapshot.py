@@ -406,3 +406,154 @@ def test_resume_flag_mismatch_is_a_scenario_error(tmp_path):
     state = capture_simulator(system.sim)
     with pytest.raises(ScenarioError, match="kernel flags"):
         run_point(point, batched=False, resume_state=state)
+
+
+# ----------------------------------------------------------------------
+# span-replay cuts: mid-span checkpoints, knob writes at span start + 1
+# ----------------------------------------------------------------------
+_SPAN_STREAM_TOML = """
+[scenario]
+name = "span-cut"
+seed = 3
+active_set = true
+
+[run]
+horizon = 1200
+
+[topology]
+[[topology.managers]]
+name = "dma"
+protect = true
+granularity = 256
+[topology.managers.realm]
+write_buffer_present = false
+[[topology.managers.regions]]
+base = 0x0
+size = 0x1_0000
+budget_bytes = "unlimited"
+period_cycles = "unlimited"
+
+[[topology.managers]]
+name = "pad"
+
+[[topology.memories]]
+name = "mem"
+kind = "sram"
+base = 0x0
+size = 0x1_0000
+
+[traffic.dma]
+kind = "dma"
+src_base = 0x0
+src_size = 0x4000
+dst_base = 0x4000
+dst_size = 0x4000
+burst_beats = 256
+"""
+
+_SPAN_KNOB_TOML = _SPAN_STREAM_TOML + """
+[[schedule]]
+label = "regran"
+at = {at}
+[schedule.set]
+"realm.dma.granularity" = 64
+"""
+
+
+def _recorded_spans(point, monkeypatch) -> list[tuple[int, int]]:
+    """Run *point* on the span-replay kernel and record every committed
+    span as a (start_cycle, end_cycle) interval."""
+    import repro.sim.kernel as kernel_mod
+    from repro.scenario.runner import _execute_run
+    from repro.sim.span import attempt_span as real_attempt
+
+    spans: list[tuple[int, int]] = []
+
+    def recording(sim, limit):
+        start = sim.cycle
+        committed = real_attempt(sim, limit)
+        if committed:
+            spans.append((start, sim.cycle))
+        return committed
+
+    monkeypatch.setattr(kernel_mod, "attempt_span", recording)
+    system, generators = _elaborate_point(point, active_set=True, batched=True)
+    _execute_run(system, point.spec, point.label, generators)
+    monkeypatch.undo()
+    assert system.sim.spans_entered == len(spans)
+    return spans
+
+
+def _long_span(spans) -> tuple[int, int]:
+    for start, end in spans:
+        if start >= 50 and end - start >= 8:
+            return start, end
+    raise AssertionError(f"no long steady span recorded: {spans[:10]}")
+
+
+def test_checkpoint_mid_span_is_byte_identical(monkeypatch):
+    """A checkpoint cut landing strictly inside what would otherwise be
+    one long span splits the span at the cut; restore-and-continue must
+    reproduce the uninterrupted observables on all four kernel combos."""
+    point = expand(loads(_SPAN_STREAM_TOML, fmt="toml"))[0]
+    scratch = run_point(point)  # active + batched, span replay on
+    start, end = _long_span(_recorded_spans(point, monkeypatch))
+    cut = start + 3
+    assert cut < end
+    for active_set in (True, False):
+        for batched in (True, False):
+            system, _ = _elaborate_point(
+                point, active_set=active_set, batched=batched
+            )
+            system.sim.run(cut)
+            assert system.sim.cycle == cut
+            state = capture_simulator(system.sim)
+            resumed = run_point(
+                point, active_set=active_set, batched=batched,
+                resume_state=state,
+            )
+            assert resumed.observables == scratch.observables, (
+                f"active_set={active_set} batched={batched} diverged "
+                f"after a cut at cycle {cut} (span was {start}..{end})"
+            )
+
+
+def test_knob_write_one_cycle_after_span_start_aborts_span(monkeypatch):
+    """A scheduled intrusive knob write due one cycle after a span start
+    clamps the negotiation window below MIN_SPAN, so the span aborts and
+    the write executes on the per-beat path at exactly its cycle —
+    byte-identical to the naive kernel, including a checkpoint taken
+    while the drain-and-apply is still pending."""
+    from repro.sim.span import MIN_SPAN
+
+    steady = expand(loads(_SPAN_STREAM_TOML, fmt="toml"))[0]
+    start, _end = _long_span(_recorded_spans(steady, monkeypatch))
+    at = start + 1
+    assert MIN_SPAN > 2  # the hook at span start + 1 must clamp below it
+
+    point = expand(loads(_SPAN_KNOB_TOML.format(at=at), fmt="toml"))[0]
+    scratch = run_point(point)
+    naive = run_point(point, active_set=False, batched=False)
+    assert scratch.observables == naive.observables
+
+    # The instrumented run: the hook's window clamp aborted span
+    # attempts around the knob cycle, streaming re-entered spans after
+    # the drained unit applied the new granularity.
+    spans = _recorded_spans(point, monkeypatch)
+    system, generators = _elaborate_point(point, active_set=True, batched=True)
+    from repro.scenario.runner import _execute_run
+    _execute_run(system, point.spec, point.label, generators)
+    assert all(end <= at + 1 or begin > at for begin, end in spans), (
+        "no span may jump past the scheduled knob write's boundary"
+    )
+    assert system.sim.span_aborts.get("window", 0) > 0
+    assert system.sim.spans_entered > 0
+    assert system.realms["dma"].granularity == 64
+
+    # Checkpoint one cycle after the rule fired: the intrusive write is
+    # queued (or draining) at the cut, and restore-and-continue matches.
+    paused, _ = _elaborate_point(point, active_set=True, batched=True)
+    paused.sim.run(at + 1)
+    state = capture_simulator(paused.sim)
+    resumed = run_point(point, resume_state=state)
+    assert resumed.observables == scratch.observables
