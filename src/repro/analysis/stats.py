@@ -62,10 +62,16 @@ def performance_percent(baseline_cycles: int, measured_cycles: int) -> float:
     """Execution-time-based performance relative to a baseline run.
 
     100% means as fast as the baseline; lower is slower (the metric of
-    Figure 6: "% of the single-source performance").
+    Figure 6: "% of the single-source performance").  Zero cycles is a
+    legitimate measurement (a manager that finishes instantly): a
+    zero-cycle run against a zero-cycle baseline is 100%, and any
+    positive baseline against zero measured cycles is infinitely fast.
+    Negative cycle counts are always a caller bug.
     """
-    if measured_cycles <= 0:
-        raise ValueError("measured cycles must be positive")
+    if baseline_cycles < 0 or measured_cycles < 0:
+        raise ValueError("cycle counts must be non-negative")
+    if measured_cycles == 0:
+        return 100.0 if baseline_cycles == 0 else math.inf
     return 100.0 * baseline_cycles / measured_cycles
 
 

@@ -9,6 +9,10 @@ Usage::
     python -m repro run --resume checkpoints/long-point-c100000.ckpt
     python -m repro sweep scenarios/fig6a.toml \\
         --axis traffic.dma.burst_beats=16,64,256    # ad-hoc sweep
+    python -m repro run scenarios/fig6a.toml --telemetry 7321  # live stream
+    python -m repro watch localhost:7321            # terminal gauges
+    python -m repro watch localhost:7321 --pause-at 50000 \\
+        --set realm.dma.region0.budget_bytes=4096   # live reconfiguration
     python -m repro probes scenarios/fig6a.toml     # control-plane probes
     python -m repro knobs scenarios/fig6a.toml      # control-plane knobs
     python -m repro fig6a            # fragmentation sweep
@@ -190,6 +194,23 @@ def _emit_span_stats(result) -> None:
                       f"{unit['span_cycles']} cycles")
 
 
+def _telemetry_server(args: argparse.Namespace):
+    """Start the live-telemetry socket server when ``--telemetry`` was
+    given; returns it (or ``None``).  The caller owns ``stop()``."""
+    port = getattr(args, "telemetry", None)
+    if port is None:
+        return None
+    from repro.telemetry import TelemetryServer
+
+    server = TelemetryServer(port=port)
+    host, bound = server.start()
+    print(f"telemetry: listening on {host}:{bound}", flush=True)
+    if getattr(args, "telemetry_wait", False):
+        print("telemetry: waiting for a client to connect...", flush=True)
+        server.wait_for_client()
+    return server
+
+
 def _run_scenario(args: argparse.Namespace) -> int:
     from repro.scenario import ScenarioError, run_campaign
     from repro.sim import SimulationError
@@ -201,8 +222,12 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print("repro: error: give a scenario file or --resume CKPT",
               file=sys.stderr)
         return 2
+    server = None
     try:
+        from repro.telemetry import TelemetryError
+
         spec = _load_scenario(args)
+        server = _telemetry_server(args)
         result = run_campaign(
             spec,
             jobs=args.jobs,
@@ -213,10 +238,15 @@ def _run_scenario(args: argparse.Namespace) -> int:
             fork=args.fork,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
+            telemetry=server,
         )
-    except (ScenarioError, SimulationError, SnapshotError) as exc:
+    except (ScenarioError, SimulationError, SnapshotError,
+            TelemetryError) as exc:
         print(f"repro: scenario error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if server is not None:
+            server.stop()
     _emit_campaign(result, args)
     if result.fork_cycle is not None:
         print(f"fork-point execution: shared prefix of {result.fork_cycle} "
@@ -234,7 +264,10 @@ def _resume_scenario(args: argparse.Namespace) -> int:
     from repro.sim import SimulationError
     from repro.snapshot import SnapshotError, load_checkpoint
 
+    server = None
     try:
+        from repro.telemetry import TelemetryError
+
         meta, state = load_checkpoint(args.resume)
         spec = validate(meta["spec"])
         point = ExpandedPoint(
@@ -245,6 +278,7 @@ def _resume_scenario(args: argparse.Namespace) -> int:
         )
         active_set = False if args.naive_kernel else meta.get("active_set")
         batched = False if args.per_beat else meta.get("batched")
+        server = _telemetry_server(args)
         result = run_point(
             point,
             active_set=active_set,
@@ -254,10 +288,15 @@ def _resume_scenario(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
             scenario_name=meta.get("scenario"),
+            telemetry=server,
         )
-    except (ScenarioError, SimulationError, SnapshotError, KeyError) as exc:
+    except (ScenarioError, SimulationError, SnapshotError, KeyError,
+            TelemetryError) as exc:
         print(f"repro: resume error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if server is not None:
+            server.stop()
     campaign = CampaignResult.from_points(
         spec, [result], active_set=active_set, batched=batched
     )
@@ -279,7 +318,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
     from repro.sim import SimulationError
     from repro.snapshot import SnapshotError
 
+    server = None
     try:
+        from repro.telemetry import TelemetryError
+
         spec = _load_scenario(args)
         axes = []
         for item in args.axis:
@@ -298,6 +340,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             )
         # Replace the file's campaign with the ad-hoc grid.
         spec = replace(spec, campaign=CampaignSpec(sweep=tuple(axes)))
+        server = _telemetry_server(args)
         result = run_campaign(
             spec,
             jobs=args.jobs,
@@ -308,10 +351,15 @@ def _run_sweep(args: argparse.Namespace) -> int:
             fork=args.fork,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
+            telemetry=server,
         )
-    except (ScenarioError, SimulationError, SnapshotError) as exc:
+    except (ScenarioError, SimulationError, SnapshotError,
+            TelemetryError) as exc:
         print(f"repro: scenario error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if server is not None:
+            server.stop()
     _emit_campaign(result, args)
     if result.fork_cycle is not None:
         print(f"fork-point execution: shared prefix of {result.fork_cycle} "
@@ -379,6 +427,107 @@ def _run_knobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_subscribe(client, args: argparse.Namespace):
+    """Send the watch command, retrying while no point is live yet.
+
+    ``run --telemetry`` binds its socket before the first point starts
+    (and campaigns have gaps between points), so a watch client may
+    connect a moment too early; the retry turns that race into a short
+    wait instead of an error.
+    """
+    import time
+
+    from repro.telemetry import TelemetryClientError
+
+    last: Exception | None = None
+    for attempt in range(args.retry + 1):
+        try:
+            return client.watch(
+                sample=args.sample or (),
+                every=args.every,
+                start=args.start,
+                label=args.label,
+            )
+        except TelemetryClientError as exc:
+            if "no live point" not in str(exc):
+                raise
+            last = exc
+            if attempt < args.retry:
+                time.sleep(0.3)
+    raise last  # type: ignore[misc]
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        Dashboard,
+        TelemetryClientError,
+        TelemetryClient,
+        encode_payload,
+        open_sink,
+        parse_target,
+    )
+
+    sinks = []
+    try:
+        host, port = parse_target(args.target)
+        client = TelemetryClient(host, port, timeout=args.timeout)
+        client.connect(retries=args.retry)
+    except TelemetryClientError as exc:
+        print(f"repro: watch error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with client:
+            _watch_subscribe(client, args)
+            if args.pause_at is not None or args.knob or args.checkpoint:
+                paused = client.pause(at=args.pause_at)
+                print(f"paused at cycle boundary "
+                      f"{paused['cycle']}", file=sys.stderr)
+                for item in args.knob or []:
+                    path, value = _split_assignment(item, "--set")
+                    reply = client.set(path, parse_cli_value(value))
+                    print(f"set {path} = {reply['value']}", file=sys.stderr)
+                if args.checkpoint:
+                    reply = client.checkpoint(args.checkpoint)
+                    print(f"checkpoint written to {reply['path']} "
+                          f"(cycle {reply['cycle']})", file=sys.stderr)
+                client.resume()
+                print("resumed", file=sys.stderr)
+            if args.csv:
+                sinks.append(open_sink("csv", args.csv))
+            if args.jsonl:
+                sinks.append(open_sink("jsonl", args.jsonl))
+            count = 1 if args.once else args.frames
+            dashboard = None
+            if not args.once:
+                dashboard = Dashboard(
+                    sys.stdout,
+                    redraw=not args.raw and sys.stdout.isatty(),
+                )
+            received = 0
+            for frame in client.frames(count):
+                received += 1
+                for sink in sinks:
+                    sink(frame)
+                if args.once:
+                    # CI-friendly: one compact JSON frame on stdout.
+                    print(encode_payload(frame).decode("utf-8"))
+                elif dashboard is not None:
+                    dashboard.update(frame)
+            if args.once and not received:
+                print("repro: watch error: stream ended before a frame "
+                      "arrived", file=sys.stderr)
+                return 1
+    except (TelemetryClientError, KeyboardInterrupt) as exc:
+        if isinstance(exc, KeyboardInterrupt):
+            return 130
+        print(f"repro: watch error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for sink in sinks:
+            sink.close()
+    return 0
+
+
 _COMMANDS = {
     "fig6a": _run_fig6a,
     "fig6b": _run_fig6b,
@@ -386,6 +535,7 @@ _COMMANDS = {
     "table2": _run_table2,
     "run": _run_scenario,
     "sweep": _run_sweep,
+    "watch": _run_watch,
     "probes": _run_probes,
     "knobs": _run_knobs,
 }
@@ -441,6 +591,17 @@ def _add_campaign_options(
         "--set", action="append", metavar="FIELD=VALUE",
         help="override a scenario field (dotted path), repeatable",
     )
+    parser.add_argument(
+        "--telemetry", type=int, metavar="PORT", default=None,
+        help="serve live telemetry on this TCP port while running "
+        "(0 picks a free port; connect with `repro watch HOST:PORT`; "
+        "implies sequential execution)",
+    )
+    parser.add_argument(
+        "--telemetry-wait", action="store_true",
+        help="with --telemetry: wait for a client to connect before "
+        "starting the run (so the stream starts at cycle 0)",
+    )
     parser.add_argument("--json", metavar="PATH",
                         help="write the campaign report as JSON")
     parser.add_argument("--csv", metavar="PATH",
@@ -487,6 +648,78 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--axis", action="append", metavar="FIELD=V1,V2,...", required=True,
         help="cartesian sweep axis (repeat for a grid)",
+    )
+    watch_parser = sub.add_parser(
+        "watch",
+        help="connect to a running `run --telemetry` simulation: stream "
+        "live probe frames, pause/inspect/reconfigure, checkpoint",
+    )
+    watch_parser.add_argument(
+        "target", metavar="HOST:PORT",
+        help="telemetry server address (bare PORT means localhost)",
+    )
+    watch_parser.add_argument(
+        "--once", action="store_true",
+        help="print the first frame as JSON and exit (smoke checks)",
+    )
+    watch_parser.add_argument(
+        "--frames", type=int, metavar="N", default=None,
+        help="stop after N frames (default: until the point ends)",
+    )
+    watch_parser.add_argument(
+        "--raw", action="store_true",
+        help="plain per-frame lines instead of the redrawing gauge panel",
+    )
+    watch_parser.add_argument(
+        "--sample", action="append", metavar="PATTERN", default=None,
+        help="watch these probe patterns instead of the point's [probes] "
+        "stream (repeatable; needs --every)",
+    )
+    watch_parser.add_argument(
+        "--every", type=int, metavar="N", default=None,
+        help="sampling period for --sample subscriptions",
+    )
+    watch_parser.add_argument(
+        "--start", type=int, metavar="CYCLE", default=None,
+        help="first sample cycle for --sample (default: --every)",
+    )
+    watch_parser.add_argument(
+        "--label", default=None,
+        help="label for a --sample subscription (default: watch)",
+    )
+    watch_parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="append frames to a long-form CSV (label,rule,cycle,probe,"
+        "value — the write_timeseries_csv layout)",
+    )
+    watch_parser.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="append frame payloads as JSON lines ({\"cycle\",\"values\"})",
+    )
+    watch_parser.add_argument(
+        "--pause-at", type=int, metavar="CYCLE", default=None,
+        help="pause at this cycle's commit boundary before streaming "
+        "(equivalent to a schedule.at(CYCLE) rule's instant)",
+    )
+    watch_parser.add_argument(
+        "--set", dest="knob", action="append", metavar="PATH=VALUE",
+        default=None,
+        help="write a knob while paused (repeatable; implies a pause at "
+        "the next boundary unless --pause-at is given)",
+    )
+    watch_parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write a server-side checkpoint while paused (resumable "
+        "with `repro run --resume PATH`)",
+    )
+    watch_parser.add_argument(
+        "--retry", type=int, metavar="N", default=10,
+        help="connection/subscription retries, 0.2-0.3s apart "
+        "(default 10: rides out the run's startup)",
+    )
+    watch_parser.add_argument(
+        "--timeout", type=float, metavar="SECONDS", default=30.0,
+        help="socket receive timeout (default 30s)",
     )
     fig6a_parser = sub.add_parser("fig6a",
                                   help="fragmentation sweep (Figure 6a)")

@@ -17,7 +17,10 @@ timeseries are golden-trace safe; rates are published in milli units
 Channel-backed probes double as *event sources*: :meth:`ProbeRegistry.attach`
 subscribes a sink (e.g. :class:`repro.sim.Tracer`) to every handshake on
 the channels matching a dotted-path pattern — the probe-event API that
-replaces ad-hoc per-channel tracer wiring.
+replaces ad-hoc per-channel tracer wiring.  :meth:`ProbeRegistry.detach`
+mirrors it exactly: both return the matched source paths and both raise
+:class:`ProbeError` when a pattern matches nothing, so a typo'd detach
+cannot silently leave a tracer attached.
 """
 
 from __future__ import annotations
@@ -104,6 +107,12 @@ class ProbeRegistry:
         _check_path(path)
         if path in self._sources:
             raise ProbeError(f"event source {path!r} registered twice")
+        # Validate every sub-path up front so a clash cannot leave the
+        # registry half-populated (atomic registration).
+        for sub in ("sent", "recv", "busy_cycles", "occupancy"):
+            full = f"{path}.{sub}"
+            if full in self._probes:
+                raise ProbeError(f"probe {full!r} registered twice")
         self._sources[path] = channel
         self.register(f"{path}.sent", lambda: channel.sent_total,
                       doc="beats sent")
@@ -196,8 +205,19 @@ class ProbeRegistry:
             channel.attach_tracer(sink)
         return [path for path, _ in hits]
 
-    def detach(self, pattern: str, sink) -> None:
-        """Unsubscribe *sink* from every source matching *pattern*."""
-        for path, channel in self._sources.items():
-            if path == pattern or fnmatchcase(path, pattern):
-                channel.detach_tracer(sink)
+    def detach(self, pattern: str, sink) -> list[str]:
+        """Unsubscribe *sink* from every source matching *pattern*.
+
+        Mirrors :meth:`attach`: returns the matched source paths and
+        raises :class:`ProbeError` when nothing matches, so a typo'd
+        detach cannot silently leave a tracer attached.
+        """
+        hits = [
+            (path, ch) for path, ch in self._sources.items()
+            if path == pattern or fnmatchcase(path, pattern)
+        ]
+        if not hits:
+            raise ProbeError(f"no probe event source matches {pattern!r}")
+        for _, channel in hits:
+            channel.detach_tracer(sink)
+        return [path for path, _ in hits]

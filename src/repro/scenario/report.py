@@ -139,10 +139,10 @@ class CampaignResult:
     def _fill_relative(self) -> None:
         baseline = self.point(self.baseline_label) if self.baseline_label \
             else None
-        if baseline is None or not baseline.execution_cycles:
+        if baseline is None or baseline.execution_cycles is None:
             return
         for point in self.points:
-            if point.execution_cycles:
+            if point.execution_cycles is not None:
                 point.perf_percent = performance_percent(
                     baseline.execution_cycles, point.execution_cycles
                 )
@@ -167,8 +167,8 @@ class CampaignResult:
         for p in self.points:
             perf = f"{p.perf_percent:>9.1f}" if p.perf_percent is not None \
                 else f"{'-':>9}"
-            execu = f"{p.execution_cycles:>8d}" if p.execution_cycles \
-                else f"{'-':>8}"
+            execu = f"{p.execution_cycles:>8d}" \
+                if p.execution_cycles is not None else f"{'-':>8}"
             stats = p.latency
             lines.append(
                 f"{p.label:<24} {perf} {execu} {stats.maximum:>10d} "

@@ -20,6 +20,7 @@ wall-clock time.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from typing import Any, Callable, Optional
 
 from repro.baselines import AbeEqualizer, AbuRegulator, CutForwardUnit
@@ -534,6 +535,7 @@ def run_point(
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     scenario_name: Optional[str] = None,
+    telemetry: Optional[Any] = None,
 ) -> PointResult:
     """Simulate one expanded campaign point and digest its observables.
 
@@ -543,6 +545,14 @@ def run_point(
     *checkpoint_every*, the run pauses every N cycles and writes a
     checkpoint file into *checkpoint_dir*; neither option changes any
     observable (DESIGN.md section 10).
+
+    *telemetry* attaches the point to a started
+    :class:`repro.telemetry.TelemetryServer` for its whole run: the
+    scenario's ``[probes]`` section becomes the default live frame
+    stream, and socket clients may pause, inspect, reconfigure, and
+    checkpoint the machine.  Telemetry is an execution-side tap —
+    with or without it, attached or not, every observable and golden
+    digest is byte-identical (DESIGN.md section 12).
     """
     from repro.snapshot import SnapshotError
 
@@ -578,11 +588,28 @@ def run_point(
                 meta=_checkpoint_meta(point, spec, system, scenario_name),
             )
 
-    try:
-        _execute_run(
-            system, spec, point.label, generators,
-            checkpoint_every=checkpoint_every, on_checkpoint=on_checkpoint,
+    live = nullcontext()
+    if telemetry is not None:
+        default_watch = None
+        if spec.probes:
+            default_watch = (
+                spec.probes.sample, spec.probes.every, spec.probes.start,
+            )
+        live = telemetry.live_point(
+            system,
+            label=point.label,
+            default_watch=default_watch,
+            meta_fn=lambda: _checkpoint_meta(
+                point, spec, system, scenario_name
+            ),
         )
+    try:
+        with live:
+            _execute_run(
+                system, spec, point.label, generators,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint,
+            )
     except (ScheduleError, KnobError, ProbeError) as exc:
         # A rule fired mid-run and its action was refused (e.g. register
         # semantics rejected a well-typed knob value).
@@ -689,6 +716,7 @@ def run_campaign(
     fork: bool = False,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
+    telemetry: Optional[Any] = None,
 ) -> CampaignResult:
     """Expand and execute a whole campaign.
 
@@ -706,6 +734,12 @@ def run_campaign(
     """
     from repro.scenario.fork import plan_fork
 
+    if telemetry is not None and jobs > 1:
+        raise ScenarioError(
+            "live telemetry requires sequential execution (the socket "
+            "attaches to one point at a time); drop --jobs or --telemetry",
+            path="telemetry",
+        )
     if smoke:
         spec = apply_smoke(spec)
     points = expand(spec)
@@ -736,6 +770,7 @@ def run_campaign(
                 p, active_set=active_set, batched=batched, profile=profile,
                 resume_state=resume_state, checkpoint_every=checkpoint_every,
                 checkpoint_dir=checkpoint_dir, scenario_name=spec.name,
+                telemetry=telemetry,
             )
             for p in points
         ]

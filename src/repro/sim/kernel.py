@@ -225,7 +225,21 @@ class Simulator:
         # engine is built on these; see DESIGN.md section 8.
         self._hook_heap: list[tuple[int, int, Callable[[int], None]]] = []
         self._hook_seq = 0
+        # Transient hooks are execution-side observers (the telemetry
+        # tap, live pause requests): they ride the same heap, but are
+        # counted separately so snapshot capture can tell them apart
+        # from client-owned hooks that re-arm on restore.
+        self._transient_hooks = 0
         self._reset_hooks: list[Callable[[], None]] = []
+        # Run-loop poll seam: an execution-side callback (e.g. a live
+        # telemetry session draining its command inbox) guarded by a
+        # truthiness gate.  The hot path only ever tests the gate — the
+        # callback runs when the gate is truthy, so a client that hands
+        # in its (usually empty) command queue as the gate pays one
+        # C-level bool() per iteration, never a Python call.  None (the
+        # default) keeps the detached hot path to the same single test.
+        self._poll_fn: Optional[Callable[[], None]] = None
+        self._poll_gate: object = None
         # Snapshot state clients: objects owning commit-boundary hooks
         # (the schedule engine) or other non-component state (the bus
         # guard); captured/restored alongside the kernel by name.
@@ -433,9 +447,58 @@ class Simulator:
         self._hook_seq += 1
         heapq.heappush(self._hook_heap, (cycle, self._hook_seq, fn))
 
+    def call_at_transient(self, cycle: int, fn: Callable[[int], None]) -> None:
+        """Like :meth:`call_at`, but for execution-side observers.
+
+        Transient hooks share the heap (same firing order, same
+        fast-forward/span bounding) but are excluded from the snapshot
+        ownership audit: :func:`repro.snapshot.capture_simulator` expects
+        every *persistent* hook to be owned by a state client that
+        re-arms it on restore, whereas a transient hook belongs to the
+        live execution (telemetry sampling, a pause request) and is
+        simply dropped by restore — the observer re-arms itself.
+        Telemetry stays a tap, never simulated state.
+        """
+        self._transient_hooks += 1
+
+        def fire(committed: int, _fn=fn) -> None:
+            self._transient_hooks -= 1
+            _fn(committed)
+
+        self.call_at(cycle, fire)
+
     def next_hook_cycle(self) -> Optional[int]:
         """Cycle of the earliest pending hook, or ``None``."""
         return self._hook_heap[0][0] if self._hook_heap else None
+
+    # ------------------------------------------------------------------
+    # run-loop poll seam
+    # ------------------------------------------------------------------
+    def set_poll(self, fn: Callable[[], None], gate: object = None) -> None:
+        """Install the run-loop poll callback (one at a time).
+
+        *fn* runs at the top of a :meth:`run`/:meth:`run_until`
+        iteration — always at a commit boundary, never mid-step — and
+        may arm transient hooks, read probes, or block (a live pause).
+        It must not send on channels or mutate simulated state directly.
+
+        *gate* is an optional truthiness guard: when given (typically
+        the caller's own command queue), *fn* is only invoked on
+        iterations where ``bool(gate)`` is true, keeping the idle
+        attached cost to one C-level test instead of a Python call.
+        Whoever needs *fn* to run must therefore make the gate truthy
+        first (e.g. enqueue a command — a sentinel will do).  Without a
+        gate, *fn* runs every iteration.
+        """
+        if self._poll_fn is not None:
+            raise SimulationError("a run-loop poll callback is already set")
+        self._poll_fn = fn
+        self._poll_gate = gate if gate is not None else True
+
+    def clear_poll(self) -> None:
+        """Remove the run-loop poll callback (no-op when unset)."""
+        self._poll_fn = None
+        self._poll_gate = None
 
     def add_reset_hook(self, fn: Callable[[], None]) -> None:
         """Run *fn* after every :meth:`reset` (the reset drops the hook
@@ -582,6 +645,8 @@ class Simulator:
         """Run for *cycles* cycles; returns the new current cycle."""
         end = self.cycle + cycles
         while self.cycle < end:
+            if self._poll_gate:
+                self._poll_fn()
             if self._quiescent():
                 target = self._next_stop(end)
                 if target > self.cycle:
@@ -615,6 +680,8 @@ class Simulator:
         """
         deadline = self.cycle + max_cycles
         while not predicate():
+            if self._poll_gate:
+                self._poll_fn()
             if self.cycle >= deadline:
                 raise SimulationError(
                     f"timeout after {max_cycles} cycles waiting for {what}"
@@ -643,6 +710,7 @@ class Simulator:
         self._active = set(self._components)
         self._wake_heap.clear()
         self._hook_heap.clear()
+        self._transient_hooks = 0
         self._hot_channels.clear()
         # Component resets cancel their own express orders; any leftover
         # is cancelled here so its suppressed listeners are restored —

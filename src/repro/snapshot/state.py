@@ -25,7 +25,12 @@ What is captured where (the ownership contract, DESIGN.md section 10):
   own the commit-boundary hook heap: the kernel's pending hooks are
   *not* captured as data — each client re-arms its own on restore, in
   captured order, which is why a capture is refused while a hook not
-  owned by any client is pending.
+  owned by any client is pending.  Hooks armed through
+  :meth:`~repro.sim.kernel.Simulator.call_at_transient` (the telemetry
+  tap, live pause requests) are execution-side observers: captures
+  tolerate them, restores drop them, and their owners re-arm — so a
+  checkpoint taken while a live client watches restores bit-identically
+  into a build with no telemetry at all.
 """
 
 from __future__ import annotations
@@ -56,11 +61,12 @@ def capture_simulator(sim) -> dict:
     owned = sum(
         _client_pending_hooks(client) for client in sim._state_clients.values()
     )
-    if len(sim._hook_heap) != owned:
+    transient = getattr(sim, "_transient_hooks", 0)
+    if len(sim._hook_heap) != owned + transient:
         raise SnapshotError(
             f"{len(sim._hook_heap)} commit-boundary hooks pending but state "
-            f"clients account for {owned}; hooks scheduled directly via "
-            "Simulator.call_at cannot be captured"
+            f"clients account for {owned} (+{transient} transient); hooks "
+            "scheduled directly via Simulator.call_at cannot be captured"
         )
     index_of = {id(c): i for i, c in enumerate(sim._components)}
     wake_heap = sorted(
@@ -170,7 +176,10 @@ def restore_simulator(sim, tree: dict) -> None:
     sim.cycles_fast_forwarded = kernel["cycles_fast_forwarded"]
     # Clients re-arm their commit-boundary hooks from their own state;
     # anything the fresh build armed (e.g. a schedule's first firings)
-    # is dropped wholesale first.
+    # is dropped wholesale first.  Transient hooks (telemetry taps, live
+    # pause requests) belong to the execution, not the state: they are
+    # dropped too, and their owners re-arm themselves.
     sim._hook_heap.clear()
+    sim._transient_hooks = 0
     for name, client_state in state["clients"].items():
         sim._state_clients[name].state_restore(client_state)

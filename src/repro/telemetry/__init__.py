@@ -1,0 +1,55 @@
+"""Live telemetry: stream, watch, and steer a running simulation.
+
+The package is an *execution-side* observability layer (DESIGN.md
+section 12): :class:`ProbeTap` publishes commit-boundary probe samples
+to in-process consumers, :class:`TelemetryServer` streams them as
+length-prefixed JSON frames to socket clients and accepts pause /
+inspect / knob-write / checkpoint / resume commands, and
+:class:`TelemetryClient` + the sinks/display helpers power the
+``repro watch`` CLI.  Nothing in here is simulated state — attaching,
+watching, pausing, and detaching never change a single observable.
+"""
+
+from repro.telemetry.client import (
+    TelemetryClient,
+    TelemetryClientError,
+    parse_target,
+)
+from repro.telemetry.display import Dashboard, sparkline
+from repro.telemetry.sinks import CsvSink, JsonlSink, MemorySink, open_sink
+from repro.telemetry.server import TelemetryError, TelemetryServer
+from repro.telemetry.tap import ProbeTap, TapError, TapFrame, TapSubscription
+from repro.telemetry.wire import (
+    MAX_MESSAGE,
+    MessageDecoder,
+    WireError,
+    encode_message,
+    encode_payload,
+    recv_message,
+    send_message,
+)
+
+__all__ = [
+    "CsvSink",
+    "Dashboard",
+    "JsonlSink",
+    "MAX_MESSAGE",
+    "MemorySink",
+    "MessageDecoder",
+    "ProbeTap",
+    "TapError",
+    "TapFrame",
+    "TapSubscription",
+    "TelemetryClient",
+    "TelemetryClientError",
+    "TelemetryError",
+    "TelemetryServer",
+    "WireError",
+    "encode_message",
+    "encode_payload",
+    "open_sink",
+    "parse_target",
+    "recv_message",
+    "send_message",
+    "sparkline",
+]

@@ -1,0 +1,245 @@
+"""Blocking-socket telemetry client (the library behind ``repro watch``).
+
+A deliberately boring counterpart to the asyncio server: one socket,
+one receive buffer, synchronous request/reply correlated by a
+monotonically increasing ``id``.  Frames and other unsolicited events
+that arrive while a reply is awaited are buffered and handed out later
+by :meth:`TelemetryClient.events` / :meth:`TelemetryClient.frames`, so
+interleaving can never drop a frame.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.telemetry.wire import (
+    MessageDecoder,
+    WireError,
+    recv_message,
+    send_message,
+)
+
+
+class TelemetryClientError(Exception):
+    """Connection failure, protocol violation, or a server-side error."""
+
+
+class TelemetryClient:
+    """Talk to a :class:`~repro.telemetry.server.TelemetryServer`."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.hello: Optional[dict] = None
+        self._sock: Optional[socket.socket] = None
+        self._decoder = MessageDecoder()
+        self._events: list[dict] = []
+        self._request_seq = 0
+        self._ended = False
+
+    # ------------------------------------------------------------------
+    # connection
+    # ------------------------------------------------------------------
+    def connect(self, *, retries: int = 0, delay: float = 0.2) -> dict:
+        """Connect and consume the server's hello; returns it.
+
+        *retries* extra attempts (spaced *delay* seconds) cover the
+        race of a watch client starting before ``run --telemetry`` has
+        bound its port.
+        """
+        last: Optional[Exception] = None
+        for attempt in range(retries + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                break
+            except OSError as exc:
+                last = exc
+                self._sock = None
+                if attempt < retries:
+                    time.sleep(delay)
+        if self._sock is None:
+            raise TelemetryClientError(
+                f"cannot connect to {self.host}:{self.port}: {last}"
+            )
+        hello = self._next()
+        if hello is None or hello.get("type") != "hello":
+            self.close()
+            raise TelemetryClientError(
+                f"expected a hello message, got {hello!r}"
+            )
+        self.hello = hello
+        return hello
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "TelemetryClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+    def _next(self) -> Optional[dict]:
+        """Next message from the wire, ``None`` on clean EOF."""
+        if self._sock is None:
+            raise TelemetryClientError("not connected")
+        try:
+            return recv_message(self._sock, self._decoder)
+        except WireError as exc:
+            raise TelemetryClientError(str(exc)) from exc
+
+    def request(self, message: dict) -> dict:
+        """Send *message* and block for its correlated reply.
+
+        Unsolicited messages received meanwhile are buffered for
+        :meth:`events`/:meth:`frames`.  A server-side ``error`` reply
+        raises; an ``end``/``bye`` before the reply raises too (the
+        request can no longer be answered).
+        """
+        if self._sock is None:
+            raise TelemetryClientError("not connected")
+        self._request_seq += 1
+        request_id = self._request_seq
+        message = dict(message)
+        message["id"] = request_id
+        try:
+            send_message(self._sock, message)
+        except WireError as exc:
+            raise TelemetryClientError(str(exc)) from exc
+        while True:
+            reply = self._next()
+            if reply is None:
+                raise TelemetryClientError(
+                    "connection closed awaiting a reply"
+                )
+            if reply.get("id") == request_id:
+                if reply.get("type") == "error":
+                    raise TelemetryClientError(reply.get("message", "error"))
+                return reply
+            kind = reply.get("type")
+            self._events.append(reply)
+            if kind in ("end", "bye"):
+                raise TelemetryClientError(
+                    f"stream ended ({kind}) before the reply arrived"
+                )
+
+    def events(self) -> Iterator[dict]:
+        """Yield every message (frames included) until EOF or ``bye``."""
+        while True:
+            if self._events:
+                message = self._events.pop(0)
+            else:
+                if self._ended:
+                    return
+                message = self._next()
+                if message is None:
+                    return
+            yield message
+            if message.get("type") == "bye":
+                self._ended = True
+                return
+
+    def frames(self, count: Optional[int] = None) -> Iterator[dict]:
+        """Yield ``frame`` messages (at most *count*); stops at the end
+        of the current point (``end``) or the stream (``bye``/EOF)."""
+        seen = 0
+        for message in self.events():
+            kind = message.get("type")
+            if kind == "frame":
+                yield message
+                seen += 1
+                if count is not None and seen >= count:
+                    return
+            elif kind == "end":
+                return
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+    def watch(
+        self,
+        sample: Sequence[str] = (),
+        *,
+        every: Optional[int] = None,
+        start: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> dict:
+        """Subscribe to frames: bare = the point's ``[probes]`` stream,
+        with *sample* patterns = a private custom-cadence stream."""
+        message: dict[str, Any] = {"type": "watch"}
+        if sample:
+            message["sample"] = list(sample)
+        if every is not None:
+            message["every"] = every
+        if start is not None:
+            message["start"] = start
+        if label is not None:
+            message["label"] = label
+        return self.request(message)
+
+    def unwatch(self, label: Optional[str] = None) -> dict:
+        message: dict[str, Any] = {"type": "unwatch"}
+        if label is not None:
+            message["label"] = label
+        return self.request(message)
+
+    def sample(self, *patterns: str) -> dict:
+        message: dict[str, Any] = {"type": "sample"}
+        if patterns:
+            message["sample"] = list(patterns)
+        return self.request(message)
+
+    def get(self, path: str) -> Any:
+        return self.request({"type": "get", "path": path})["value"]
+
+    def set(self, path: str, value: Any) -> dict:
+        """Write a knob; legal only while the simulation is paused."""
+        return self.request({"type": "set", "path": path, "value": value})
+
+    def pause(self, at: Optional[int] = None) -> dict:
+        """Pause at the next commit boundary (or the boundary of *at*).
+
+        Blocks until the pause lands; the reply's ``cycle`` is the next
+        cycle to execute — ``at + 1``, the instant a ``schedule.at(at)``
+        rule would observe.
+        """
+        message: dict[str, Any] = {"type": "pause"}
+        if at is not None:
+            message["at"] = at
+        return self.request(message)
+
+    def resume(self) -> dict:
+        return self.request({"type": "resume"})
+
+    def checkpoint(self, path: str) -> dict:
+        """Write a checkpoint file server-side; requires a paused run."""
+        return self.request({"type": "checkpoint", "path": str(path)})
+
+
+def parse_target(target: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT`` for localhost) -> address pair."""
+    host, sep, port = target.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", target
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise TelemetryClientError(
+            f"malformed telemetry target {target!r}; expected HOST:PORT"
+        ) from None

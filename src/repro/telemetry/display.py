@@ -1,0 +1,93 @@
+"""Terminal gauges for the ``repro watch`` client.
+
+Pure string rendering over ANSI escapes — no curses, no dependencies.
+The :class:`Dashboard` keeps a bounded history per probe and redraws
+in place by moving the cursor up over its own previous output, so the
+stream reads as a live gauge panel on a TTY and degrades to plain
+per-frame lines when redrawing is disabled (pipes, CI logs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, TextIO
+
+#: Eight block glyphs from "just above zero" to "full cell".
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Iterable[int], width: int = 32) -> str:
+    """Render the last *width* values as a unicode sparkline.
+
+    Scaling is min..max over the rendered window; a flat series renders
+    as a run of the lowest block so quiet probes stay visually quiet.
+    """
+    window = list(values)[-width:]
+    if not window:
+        return ""
+    lo = min(window)
+    hi = max(window)
+    if hi == lo:
+        return SPARK_BLOCKS[0] * len(window)
+    span = hi - lo
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[(value - lo) * top // span] for value in window
+    )
+
+
+class Dashboard:
+    """In-place redrawing gauge panel: one row per probe.
+
+    Feed decoded ``frame`` payloads with :meth:`update`; each call
+    repaints.  With ``redraw=False`` every frame prints as one plain
+    line instead (non-TTY mode).
+    """
+
+    def __init__(
+        self,
+        stream: TextIO,
+        *,
+        width: int = 32,
+        redraw: bool = True,
+        history: int = 256,
+    ) -> None:
+        self.stream = stream
+        self.width = width
+        self.redraw = redraw
+        self._history: dict[str, deque] = {}
+        self._history_len = max(history, width)
+        self._drawn_lines = 0
+        self._point: Optional[str] = None
+
+    def update(self, frame: dict) -> None:
+        cycle = frame["cycle"]
+        values = frame["values"]
+        point = frame.get("point")
+        for path, value in values.items():
+            self._history.setdefault(
+                path, deque(maxlen=self._history_len)
+            ).append(value)
+        if not self.redraw:
+            pairs = " ".join(f"{p}={v}" for p, v in values.items())
+            self.stream.write(f"[{cycle}] {pairs}\n")
+            self.stream.flush()
+            return
+        lines = []
+        if point != self._point:
+            self._point = point
+        title = f"point {point!r} @ cycle {cycle}" if point \
+            else f"cycle {cycle}"
+        lines.append(title)
+        name_width = max((len(p) for p in self._history), default=0)
+        for path, history in self._history.items():
+            spark = sparkline(history, self.width)
+            lines.append(
+                f"  {path:<{name_width}} {history[-1]:>12d} {spark}"
+            )
+        if self._drawn_lines:
+            # Cursor up over the previous panel, clearing each line.
+            self.stream.write(f"\x1b[{self._drawn_lines}A")
+        self.stream.write("".join(f"\x1b[2K{line}\n" for line in lines))
+        self.stream.flush()
+        self._drawn_lines = len(lines)

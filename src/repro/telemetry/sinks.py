@@ -1,0 +1,118 @@
+"""File sinks for telemetry frames: CSV rows and JSON lines.
+
+Both sinks accept either a :class:`~repro.telemetry.tap.TapFrame`
+(in-process consumers) or a decoded ``frame`` wire message (socket
+clients), and both write the exact shapes the post-hoc report layer
+emits, so a live capture of a point is diffable against its recorded
+artefacts:
+
+* :class:`CsvSink` writes the ``label,rule,cycle,probe,value`` rows of
+  :meth:`repro.scenario.report.CampaignResult.write_timeseries_csv`;
+* :class:`JsonlSink` writes one compact ``{"cycle": ..., "values":
+  {...}}`` object per line — byte-identical to the entries of the
+  point's ``[probes]`` timeseries.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, TextIO, Union
+
+from repro.telemetry.tap import TapFrame
+from repro.telemetry.wire import encode_payload
+
+FrameLike = Union[TapFrame, dict]
+
+
+def frame_parts(
+    frame: FrameLike, point: str = ""
+) -> tuple[str, str, int, dict[str, Any]]:
+    """Normalize a frame to ``(point, rule, cycle, values)``."""
+    if isinstance(frame, TapFrame):
+        return point, frame.label, frame.cycle, frame.values
+    return (
+        frame.get("point", point),
+        frame.get("label", "probes"),
+        frame["cycle"],
+        frame["values"],
+    )
+
+
+class _FileSink:
+    """Shared open/close plumbing (path or already-open stream)."""
+
+    def __init__(self, target: Union[str, TextIO], *,
+                 point: str = "") -> None:
+        self.point = point
+        if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+            self._stream: TextIO = open(target, "w", newline="",
+                                        encoding="utf-8")
+            self._owned = True
+        else:
+            self._stream = target
+            self._owned = False
+
+    def close(self) -> None:
+        if self._owned:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CsvSink(_FileSink):
+    """Long-form CSV: one ``label,rule,cycle,probe,value`` row per
+    sampled probe value (the ``write_timeseries_csv`` layout)."""
+
+    def __init__(self, target: Union[str, TextIO], *,
+                 point: str = "") -> None:
+        super().__init__(target, point=point)
+        self._writer = csv.writer(self._stream)
+        self._writer.writerow(["label", "rule", "cycle", "probe", "value"])
+
+    def __call__(self, frame: FrameLike) -> None:
+        point, rule, cycle, values = frame_parts(frame, self.point)
+        for probe, value in values.items():
+            self._writer.writerow([point, rule, cycle, probe, value])
+
+
+class JsonlSink(_FileSink):
+    """One compact ``{"cycle", "values"}`` JSON object per line."""
+
+    def __call__(self, frame: FrameLike) -> None:
+        _, _, cycle, values = frame_parts(frame, self.point)
+        payload = {"cycle": cycle, "values": values}
+        self._stream.write(encode_payload(payload).decode("utf-8") + "\n")
+
+
+class MemorySink:
+    """Collect frame payloads in memory (tests, equivalence checks)."""
+
+    def __init__(self) -> None:
+        self.frames: list[dict[str, Any]] = []
+
+    def __call__(self, frame: FrameLike) -> None:
+        _, _, cycle, values = frame_parts(frame)
+        self.frames.append({"cycle": cycle, "values": dict(values)})
+
+    def dumps(self) -> str:
+        """Compact JSON of the payload list — directly comparable to
+        ``json.dumps(series, separators=(",", ":"))`` of a recorded
+        timeseries."""
+        return encode_payload(self.frames).decode("utf-8")
+
+
+def open_sink(
+    kind: str, target: Union[str, TextIO], *, point: str = ""
+) -> _FileSink:
+    """Factory for the CLI: ``kind`` is ``csv`` or ``jsonl``."""
+    if kind == "csv":
+        return CsvSink(target, point=point)
+    if kind == "jsonl":
+        return JsonlSink(target, point=point)
+    raise ValueError(f"unknown sink kind {kind!r}")

@@ -45,8 +45,15 @@ def test_percentile_interpolates():
 def test_performance_percent():
     assert performance_percent(100, 100) == 100.0
     assert performance_percent(100, 200) == 50.0
+    # Zero cycles is a measurement, not a missing value: an instant run
+    # against an instant baseline matches it, against a positive one it
+    # is infinitely fast.  Only negative counts are rejected.
+    assert performance_percent(0, 0) == 100.0
+    assert performance_percent(100, 0) == float("inf")
     with pytest.raises(ValueError):
-        performance_percent(100, 0)
+        performance_percent(-1, 100)
+    with pytest.raises(ValueError):
+        performance_percent(100, -1)
 
 
 def test_bytes_per_cycle():

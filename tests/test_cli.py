@@ -315,3 +315,101 @@ def test_run_fork_flag_falls_back_cleanly(tiny_scenario, capsys):
     assert "base" in out and "gapped" in out
     # No provable shared prefix here: no fork-point banner printed.
     assert "fork-point execution" not in out
+
+
+# ----------------------------------------------------------------------
+# live telemetry
+# ----------------------------------------------------------------------
+TELEMETRY_SCENARIO = """
+[scenario]
+name = "live"
+seed = 7
+
+[run]
+horizon = 20_000
+
+[topology]
+[[topology.managers]]
+name = "hog"
+
+[[topology.memories]]
+name = "mem"
+kind = "sram"
+base = 0x0
+size = 0x1_0000
+
+[traffic.hog]
+kind = "hog"
+window = 0x8000
+beats = 16
+
+[probes]
+every = 200
+sample = ["traffic.hog.bytes_stolen"]
+"""
+
+
+def test_run_telemetry_without_clients_is_invisible(tmp_path, capsys):
+    """--telemetry 0 with nobody watching: the run completes normally
+    and the report is byte-identical to an unserved run."""
+    path = tmp_path / "live.toml"
+    path.write_text(TELEMETRY_SCENARIO)
+    served = tmp_path / "served.json"
+    plain = tmp_path / "plain.json"
+    assert main(["run", str(path), "--telemetry", "0",
+                 "--json", str(served)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry: listening on 127.0.0.1:" in out
+    assert main(["run", str(path), "--json", str(plain)]) == 0
+    assert served.read_text() == plain.read_text()
+
+
+def test_watch_bad_target_exits_1(capsys):
+    assert main(["watch", "no-port-here"]) == 1
+    assert "watch error" in capsys.readouterr().err
+
+
+def test_watch_connection_refused_exits_1(capsys):
+    # Port 1 on localhost is never listening; --retry 0 fails fast.
+    assert main(["watch", "127.0.0.1:1", "--retry", "0"]) == 1
+    assert "watch error" in capsys.readouterr().err
+
+
+def test_run_telemetry_watch_once_end_to_end(tmp_path):
+    """The CI smoke flow: `run --telemetry --telemetry-wait` in one
+    process, `watch --once` in another, one valid frame on stdout."""
+    path = tmp_path / "live.toml"
+    path.write_text(TELEMETRY_SCENARIO)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    run_proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "run", str(path),
+         "--telemetry", "0", "--telemetry-wait"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        # The bound port is announced before the run starts (and the
+        # run then blocks on --telemetry-wait until the watcher shows).
+        line = run_proc.stdout.readline()
+        assert "telemetry: listening on" in line, line
+        target = line.rsplit(" ", 1)[-1].strip()
+        watch_proc = subprocess.run(
+            [sys.executable, "-m", "repro", "watch", target,
+             "--once", "--retry", "50"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert watch_proc.returncode == 0, watch_proc.stderr
+        frame = json.loads(watch_proc.stdout)
+        assert frame["type"] == "frame"
+        assert frame["point"] == "live"
+        assert frame["cycle"] % 200 == 0
+        assert "traffic.hog.bytes_stolen" in frame["values"]
+        out, err = run_proc.communicate(timeout=120)
+        assert run_proc.returncode == 0, err
+        assert "live" in out  # the campaign table still prints
+    finally:
+        if run_proc.poll() is None:
+            run_proc.kill()
+            run_proc.communicate()

@@ -82,6 +82,44 @@ def test_probe_channel_source_counters_and_events(sim):
         reg.attach("port.q.*", tr)
 
 
+def test_probe_detach_mirrors_attach(sim):
+    """detach returns the matched paths and raises on a zero-match
+    pattern, exactly like attach — a typo'd detach can no longer leave
+    a tracer silently attached."""
+    reg = ProbeRegistry()
+    ch_a = Channel(sim, "data")
+    ch_b = Channel(sim, "data")
+    reg.register_channel("port.a.data", ch_a)
+    reg.register_channel("port.b.data", ch_b)
+    tr = Tracer(sim)
+    assert reg.attach("port.*.data", tr) == ["port.a.data", "port.b.data"]
+    assert reg.detach("port.*.data", tr) == ["port.a.data", "port.b.data"]
+    ch_a.send("x")
+    assert len(tr) == 0  # actually detached
+    with pytest.raises(ProbeError, match="no probe event source"):
+        reg.detach("port.typo.*", tr)
+    # Exact (non-glob) paths resolve too, and re-attach round-trips.
+    assert reg.attach("port.a.data", tr) == ["port.a.data"]
+    assert reg.detach("port.a.data", tr) == ["port.a.data"]
+
+
+def test_register_channel_is_atomic(sim):
+    """A sub-path collision aborts register_channel before any probe or
+    source is published — no half-registered channel survives."""
+    reg = ProbeRegistry()
+    reg.register("port.m.data.occupancy", lambda: 0, doc="squatter")
+    ch = Channel(sim, "data")
+    with pytest.raises(ProbeError, match="registered twice"):
+        reg.register_channel("port.m.data", ch)
+    assert reg.source_paths() == []
+    # None of the sibling sub-probes leaked in before the clash.
+    assert reg.paths() == ["port.m.data.occupancy"]
+    # The registry is still fully usable under a different path.
+    assert reg.attach  # sanity: object not corrupted
+    reg.register_channel("port.n.data", ch)
+    assert reg.source_paths() == ["port.n.data"]
+
+
 # ----------------------------------------------------------------------
 # knob registry
 # ----------------------------------------------------------------------

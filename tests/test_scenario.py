@@ -378,3 +378,43 @@ def test_baseline_regulator_kinds_elaborate_and_run():
         raw["topology"]["managers"][0]["regulator"] = regulator
         result = run_point(expand(validate(raw))[0])
         assert result.sim_cycles == 200
+
+
+def test_zero_execution_cycles_is_a_number_not_missing(tmp_path):
+    """A primary manager finishing in 0 execution cycles is a real
+    measurement: relative perf must be computed (not skipped by a falsy
+    check) and every artefact must render the 0 instead of '-'."""
+    from repro.scenario.report import CampaignResult, PointResult
+
+    def point(label: str, cycles: int) -> PointResult:
+        return PointResult(
+            label=label, index=0, seed=1, sim_cycles=10,
+            primary_manager="hog", execution_cycles=cycles,
+            observables={"sim_cycles": 10},
+        )
+
+    result = CampaignResult(
+        name="zero", description="", seed=1, active_set=True,
+        baseline_label="base",
+        points=[point("base", 0), point("also-zero", 0),
+                point("busy", 50)],
+    )
+    result._fill_relative()
+    base, also_zero, busy = result.points
+    assert base.perf_percent == 100.0
+    assert also_zero.perf_percent == 100.0
+    assert busy.perf_percent == 0.0  # slower than a 0-cycle baseline
+
+    table = result.format_table()
+    base_row = table.splitlines()[1]
+    assert "       0" in base_row and " - " not in base_row
+
+    json_path = tmp_path / "report.json"
+    csv_path = tmp_path / "report.csv"
+    result.write_json(json_path)
+    result.write_csv(csv_path)
+    report = json.loads(json_path.read_text())
+    assert report["points"][0]["execution_cycles"] == 0
+    assert report["points"][0]["perf_percent"] == 100.0
+    rows = csv_path.read_text().splitlines()
+    assert rows[1].startswith("base,1,10,0,100.0")
