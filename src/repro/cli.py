@@ -528,6 +528,12 @@ def _run_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "fig6a": _run_fig6a,
     "fig6b": _run_fig6b,
@@ -538,6 +544,7 @@ _COMMANDS = {
     "watch": _run_watch,
     "probes": _run_probes,
     "knobs": _run_knobs,
+    "lint": _run_lint,
 }
 
 
@@ -750,6 +757,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
     sub.add_parser("table1", help="SoC area decomposition (Table I)")
     sub.add_parser("table2", help="area-model coefficients (Table II)")
+    lint_parser = sub.add_parser(
+        "lint",
+        help="AST determinism & state-contract checks (DESIGN.md §13); "
+        "exit 1 on any finding",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     return parser
 
 

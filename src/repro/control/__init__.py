@@ -30,6 +30,14 @@ from repro.control.knobs import (
     KnobRegistry,
     RegfilePort,
 )
+from repro.control.paths import (
+    PATH_ROOTS,
+    PATH_TEMPLATES,
+    check_dotted_path,
+    is_path_segment,
+    looks_like_path,
+    validate_path,
+)
 from repro.control.plane import ControlPlane
 from repro.control.probes import Probe, ProbeError, ProbeRegistry
 from repro.control.schedule import (
@@ -47,6 +55,8 @@ __all__ = [
     "Knob",
     "KnobError",
     "KnobRegistry",
+    "PATH_ROOTS",
+    "PATH_TEMPLATES",
     "Probe",
     "ProbeError",
     "ProbeRegistry",
@@ -54,6 +64,10 @@ __all__ = [
     "Rule",
     "Schedule",
     "ScheduleError",
+    "check_dotted_path",
+    "is_path_segment",
+    "looks_like_path",
     "register_system",
     "register_traffic",
+    "validate_path",
 ]

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Any, Callable, Iterable, Optional
 
-from repro.control.probes import check_dotted_path
+from repro.control.paths import check_dotted_path
 from repro.realm.bus_guard import BusGuardError
 from repro.realm.register_file import RegisterError
 

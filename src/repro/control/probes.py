@@ -29,6 +29,13 @@ from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Any, Callable, Iterable, Optional
 
+from repro.control.paths import check_dotted_path
+
+__all__ = [
+    "PROBE_KINDS", "Probe", "ProbeError", "ProbeRegistry",
+    "check_dotted_path",
+]
+
 PROBE_KINDS = ("counter", "gauge", "flag")
 
 
@@ -50,16 +57,6 @@ class Probe:
 
     def value(self) -> int:
         return self.read()
-
-
-def check_dotted_path(path: str, error: type, what: str) -> str:
-    """Shared dotted-path grammar check for probe and knob registries."""
-    if not path or not all(
-        seg and all(c.isalnum() or c in "_-" for c in seg)
-        for seg in path.split(".")
-    ):
-        raise error(f"malformed {what} path {path!r}")
-    return path
 
 
 def _check_path(path: str) -> str:

@@ -126,6 +126,7 @@ class Schedule:
         self.rules: list[Rule] = []
         #: label -> [{"cycle": c, "values": {path: value}}, ...]
         self.series: dict[str, list[dict[str, Any]]] = {}
+        # repro: lint-ok[snapshot-coverage] arm-order tiebreaker; state_restore re-arms every rule in captured order, rebuilding it
         self._arm_seq = 0
         # A simulator reset drops the hook heap; re-arm every rule so a
         # reset-and-rerun fires the same schedule as a fresh build.

@@ -128,7 +128,7 @@ class AxiCrossbar(Component):
         # Active express orders for burst middles (batched datapath).
         self._w_express: dict[int, ExpressRoute] = {}
         self._r_express: dict[int, ExpressRoute] = {}
-        self._batch_mode = False
+        self._batch_mode = False  # repro: lint-ok[snapshot-coverage] recomputed from the kernel's datapath mode every tick
 
         # Statistics.
         self.aw_forwarded = 0

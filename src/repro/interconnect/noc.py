@@ -326,6 +326,7 @@ class AxiNoc(Component):
         self.addr_map = addr_map
         self.idmap = IdMap(inner_id_bits)
         self._sub_nodes = list(subordinates.keys())
+        # repro: lint-ok[snapshot-coverage] topology wiring, immutable after build
         self._mgr_index = {node: i for i, node in enumerate(managers)}
         self._mgr_nodes = list(managers.keys())
         # Manager NI state: W routing FIFO (dest per issued AW).

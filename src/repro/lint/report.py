@@ -1,0 +1,40 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from repro.lint.core import Finding, Rule
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    findings: Sequence[Finding], *, files_checked: int
+) -> str:
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"{len(findings)} {noun} in {files_checked} file"
+        f"{'' if files_checked == 1 else 's'}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int,
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    payload = {
+        "version": 1,
+        "files_checked": files_checked,
+        "rules": [
+            {"id": rule.id, "description": rule.description}
+            for rule in rules or ()
+        ],
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

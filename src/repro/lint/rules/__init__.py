@@ -1,0 +1,47 @@
+"""The shipped lint rules.
+
+Each module exports one :class:`repro.lint.core.Rule` subclass; this
+package is the registry the CLI and tests enumerate.  Adding a rule is
+adding a module here and listing its class in :data:`RULE_CLASSES`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import Rule
+from repro.lint.rules.codec import CodecRegistrationRule
+from repro.lint.rules.nondeterminism import NondeterminismRule
+from repro.lint.rules.optional_int import OptionalIntTruthinessRule
+from repro.lint.rules.phase import PhaseDisciplineRule
+from repro.lint.rules.probe_paths import ProbePathLiteralRule
+from repro.lint.rules.snapshot import SnapshotCoverageRule
+
+__all__ = [
+    "RULE_CLASSES",
+    "all_rules",
+    "rule_ids",
+    "CodecRegistrationRule",
+    "NondeterminismRule",
+    "OptionalIntTruthinessRule",
+    "PhaseDisciplineRule",
+    "ProbePathLiteralRule",
+    "SnapshotCoverageRule",
+]
+
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    SnapshotCoverageRule,
+    CodecRegistrationRule,
+    NondeterminismRule,
+    OptionalIntTruthinessRule,
+    PhaseDisciplineRule,
+    ProbePathLiteralRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule (rules carry per-run
+    ``prepare`` state, so callers get new objects each time)."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rule_ids() -> list[str]:
+    return [cls.id for cls in RULE_CLASSES]

@@ -1,0 +1,85 @@
+"""codec-registration: captured objects must be StateCodec-encodable.
+
+``state_capture`` returns a tree the :class:`repro.snapshot.codec.
+StateCodec` must encode; any *instance* constructed inside a capture
+body whose type isn't registered with the default codec will fail at
+snapshot time.  This rule fails it at lint time instead: every
+constructor-shaped call (``CapWord(...)``) inside a ``state_capture``
+body must name a codec-registered type.
+
+The registered set is read from the live default codec
+(:func:`repro.snapshot.codec.default_codec`), so registering a new
+dataclass in ``_build_default_codec`` automatically teaches the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+#: CapWord callables that are containers/plumbing, not captured objects.
+_BENIGN = frozenset((
+    "OrderedDict", "Counter", "Decimal", "Fraction", "Path",
+    "KeyError", "ValueError", "TypeError", "RuntimeError",
+))
+
+
+def _registered_type_names() -> frozenset[str]:
+    from repro.snapshot.codec import default_codec
+
+    codec = default_codec()
+    return frozenset(cls.__name__ for cls in codec.registered_types())
+
+
+class CodecRegistrationRule(Rule):
+    id = "codec-registration"
+    description = (
+        "types constructed inside state_capture must be registered "
+        "with the default StateCodec"
+    )
+
+    def __init__(self) -> None:
+        self._registered = _registered_type_names()
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "state_capture"
+            ):
+                findings.extend(self._check_capture(module, node))
+        return findings
+
+    def _check_capture(
+        self, module: ModuleInfo, func: ast.FunctionDef
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        raised = {
+            (node.exc.lineno, node.exc.col_offset)
+            for node in ast.walk(func)
+            if isinstance(node, ast.Raise) and node.exc is not None
+        }
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if (node.lineno, node.col_offset) in raised:
+                continue  # raised exceptions never enter the capture tree
+            callee = node.func
+            if isinstance(callee, ast.Name):
+                name = callee.id
+            elif isinstance(callee, ast.Attribute):
+                name = callee.attr
+            else:
+                continue
+            if not (name[:1].isupper() and not name.isupper()):
+                continue  # only constructor-shaped CapWord calls
+            if name in self._registered or name in _BENIGN:
+                continue
+            findings.append(Finding(
+                module.path, node.lineno, node.col_offset, self.id,
+                f"state_capture constructs {name}(...) but {name!r} is "
+                f"not registered with the default StateCodec",
+            ))
+        return findings

@@ -1,0 +1,128 @@
+"""nondeterminism-sources: ban ambient entropy in simulation code.
+
+Everything downstream of the simulator — golden digests, snapshots,
+campaign reports — is bit-reproducible only because no code path reads
+ambient entropy.  This rule bans the sources outright:
+
+* wall clocks: ``time.time`` / ``time_ns`` / ``datetime.now`` /
+  ``utcnow`` / ``today`` (``time.perf_counter`` stays legal — it only
+  feeds benchmark timings, never simulated state);
+* the process-global RNG (``random.random()``, ``random.randint``,
+  ...) and *unseeded* ``random.Random()`` — seeded
+  ``random.Random(seed)`` instances are the sanctioned idiom;
+* ``os.urandom``, ``uuid.uuid1``/``uuid4``, anything from ``secrets``;
+* ``id()`` — CPython address-dependent, so never digest-safe (its one
+  legitimate use, keying identity maps during a single capture pass,
+  carries an inline suppression);
+* iterating a set literal / ``set()`` call directly — set order is
+  hash-seed dependent; sort first or use a dict/list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+_WALL_CLOCK = {
+    ("time", "time"): "wall-clock read",
+    ("time", "time_ns"): "wall-clock read",
+    ("datetime", "now"): "wall-clock read",
+    ("datetime", "utcnow"): "wall-clock read",
+    ("datetime", "today"): "wall-clock read",
+    ("date", "today"): "wall-clock read",
+    ("os", "urandom"): "OS entropy read",
+    ("uuid", "uuid1"): "host/time-dependent UUID",
+    ("uuid", "uuid4"): "entropy-backed UUID",
+}
+
+
+def _dotted_tail(node: ast.expr) -> Optional[tuple[str, str]]:
+    """``a.b.c`` -> ("b", "c"); plain ``a.b`` -> ("a", "b")."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    base = node.value
+    if isinstance(base, ast.Name):
+        return (base.id, node.attr)
+    if isinstance(base, ast.Attribute):
+        return (base.attr, node.attr)
+    return None
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class NondeterminismRule(Rule):
+    id = "nondeterminism-sources"
+    description = (
+        "no wall clocks, global/unseeded RNGs, OS entropy, id(), or "
+        "bare set iteration in simulation code (DESIGN.md §8/§11)"
+    )
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        tree = module.tree
+        path = module.path
+
+        def flag(node: ast.AST, message: str) -> None:
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, self.id, message,
+            ))
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node, flag)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    flag(node.iter,
+                         "iterating a set directly — order is hash-seed "
+                         "dependent; sort it or use a dict/list")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        flag(gen.iter,
+                             "iterating a set directly — order is "
+                             "hash-seed dependent; sort it or use a "
+                             "dict/list")
+        return findings
+
+    def _check_call(self, node: ast.Call, flag) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "id":
+                flag(node, "id() is CPython-address dependent — never "
+                           "digest- or capture-safe")
+            return
+        tail = _dotted_tail(func)
+        if tail is None:
+            return
+        base, attr = tail
+        why = _WALL_CLOCK.get((base, attr))
+        if why is not None:
+            flag(node, f"{base}.{attr}() is a {why} — banned in "
+                       f"simulation code")
+            return
+        if base == "secrets":
+            flag(node, f"secrets.{attr}() reads OS entropy — banned")
+            return
+        if base == "random":
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    flag(node, "random.Random() without a seed falls "
+                               "back to OS entropy — pass a derived seed")
+                return
+            if attr == "SystemRandom":
+                flag(node, "random.SystemRandom reads OS entropy — "
+                           "banned")
+                return
+            flag(node, f"random.{attr}() uses the process-global RNG — "
+                       f"use a seeded random.Random instance")

@@ -1,0 +1,154 @@
+"""phase-discipline: components stay on the sanctioned seams.
+
+Commit-boundary determinism (DESIGN.md §8/§11) holds because every
+cross-component interaction goes through two narrow seams: the
+:class:`~repro.sim.channel.Channel` batch API (``send``/``recv``/
+``send_many``/``recv_up_to``/``move_to``/``peek``) and, for REALM
+configuration, the memory-mapped register file via
+:class:`~repro.control.knobs.KnobRegistry`.  Code that reaches around
+them — mutating another channel's ``_queue``, reading its ``_pending``
+uncommitted beats, or poking a ``RealmRegisterFile`` directly — can see
+intra-cycle state and break replay.
+
+What the rule enforces in component packages:
+
+* no access at all to another object's ``_pending`` / ``_snapshot`` /
+  ``_tracer`` / listener lists (uncommitted intra-cycle state);
+* ``._queue`` may be *read* (the sanctioned O(1) linearity-probe peek
+  used by span-replay and the batch datapath) but never mutated —
+  mutation must go through the batch API;
+* no ``RealmRegisterFile`` construction or ``.regfile`` access outside
+  ``realm/``, ``control/``, ``system/`` — reconfiguration routes
+  through the KnobRegistry so bus-guard semantics stay faithful.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+#: Component packages held to channel-seam discipline (sim/ is the
+#: Channel's home and scenario/ only touches registries).
+COMPONENT_PACKAGES = (
+    "realm", "mem", "interconnect", "traffic", "baselines", "soc",
+)
+
+#: Packages allowed to touch the register file directly: the unit that
+#: owns it, the control plane that wraps it, and system/SoC assembly.
+REGFILE_PACKAGES = ("realm", "control", "system", "snapshot", "soc")
+
+#: Channel internals that are intra-cycle state — never visible to
+#: other components, not even read-only.
+_FORBIDDEN_INTERNALS = frozenset((
+    "_pending", "_snapshot", "_tracer", "_recv_listeners",
+    "_send_listeners",
+))
+
+#: In-place mutators on the committed deque.
+_QUEUE_MUTATORS = frozenset((
+    "append", "appendleft", "extend", "extendleft", "pop", "popleft",
+    "clear", "insert", "remove", "rotate", "reverse", "sort",
+))
+
+
+def _base_is_self(node: ast.Attribute) -> bool:
+    return isinstance(node.value, ast.Name) and node.value.id == "self"
+
+
+class PhaseDisciplineRule(Rule):
+    id = "phase-discipline"
+    description = (
+        "component code must use the Channel batch API and KnobRegistry "
+        "seams, not Channel/RealmRegisterFile internals (DESIGN.md §8)"
+    )
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        if module.in_packages(*COMPONENT_PACKAGES):
+            findings.extend(self._check_channel_seam(module))
+        if not module.in_packages(*REGFILE_PACKAGES):
+            findings.extend(self._check_regfile_seam(module))
+        return findings
+
+    # ------------------------------------------------------------------
+    # channel internals
+    # ------------------------------------------------------------------
+    def _check_channel_seam(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        mutated_queues = self._queue_mutations(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if _base_is_self(node):
+                continue  # an object's own attributes are its business
+            if node.attr in _FORBIDDEN_INTERNALS:
+                findings.append(Finding(
+                    module.path, node.lineno, node.col_offset, self.id,
+                    f"access to channel internal {node.attr!r} — "
+                    f"uncommitted intra-cycle state; use the batch API",
+                ))
+            elif (node.attr == "_queue"
+                  and (node.lineno, node.col_offset) in mutated_queues):
+                findings.append(Finding(
+                    module.path, node.lineno, node.col_offset, self.id,
+                    "mutation of a channel's '_queue' — route beats "
+                    "through send/recv/move_to, not the deque",
+                ))
+        return findings
+
+    def _queue_mutations(self, tree: ast.Module) -> set[tuple[int, int]]:
+        """Source positions of ``X._queue`` attributes that are mutated
+        (assignment / del / augmented target, subscript store, or a
+        mutator method call)."""
+        mutated: set[tuple[int, int]] = set()
+
+        def mark(node: Optional[ast.expr]) -> None:
+            if isinstance(node, ast.Attribute) and node.attr == "_queue":
+                mutated.add((node.lineno, node.col_offset))
+            elif isinstance(node, (ast.Subscript, ast.Starred)):
+                mark(node.value)
+            elif isinstance(node, (ast.Tuple, ast.List)):
+                for element in node.elts:
+                    mark(element)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    mark(target)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                mark(node.target)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    mark(target)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _QUEUE_MUTATORS):
+                    mark(func.value)
+        return mutated
+
+    # ------------------------------------------------------------------
+    # register-file pokes
+    # ------------------------------------------------------------------
+    def _check_regfile_seam(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr == "regfile"
+                    and not _base_is_self(node)):
+                findings.append(Finding(
+                    module.path, node.lineno, node.col_offset, self.id,
+                    "direct '.regfile' access — reconfigure through the "
+                    "KnobRegistry so bus-guard semantics apply",
+                ))
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "RealmRegisterFile"):
+                findings.append(Finding(
+                    module.path, node.lineno, node.col_offset, self.id,
+                    "RealmRegisterFile constructed outside realm/control/"
+                    "system — the unit owns its register file",
+                ))
+        return findings

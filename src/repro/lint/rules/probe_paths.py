@@ -1,0 +1,76 @@
+"""probe-path-literal: dotted probe/knob strings must fit the grammar.
+
+Probe and knob paths are resolved by string at runtime — a typo'd
+``realm.dma.regoin0.total_bytes`` in a schedule, test, or telemetry
+call only fails when that line executes (and pattern-matching APIs can
+silently match nothing).  This rule validates every string literal
+that *looks like* a control-plane path (rooted at a grammar root,
+dotted, path charset) against the shared structural grammar in
+:mod:`repro.control.paths` — the same source of truth the registries
+are wired from.
+
+Manager/memory names are free identifiers, so ``realm.<anything>.…``
+passes; what the grammar pins down is the root, the fixed middle
+segments (``ctrl``, ``region<N>``, ``r<X>c<Y>``, AXI channel names)
+and the leaf field names.  Glob patterns are validated on their
+literal prefix.  Docstrings are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.control.paths import GLOB_CHARS, looks_like_path, validate_path
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+
+def _skipped_positions(tree: ast.Module) -> set[tuple[int, int]]:
+    """Positions of string constants the rule must not judge:
+    docstrings, and f-string fragments (an f-string chunk like
+    ``"noc.r"`` in ``f"noc.r{x}c{y}..."`` is a path under construction,
+    not a path literal)."""
+    out: set[tuple[int, int]] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = node.body
+            if (body and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)):
+                const = body[0].value
+                out.add((const.lineno, const.col_offset))
+        elif isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.Constant):
+                    out.add((value.lineno, value.col_offset))
+    return out
+
+
+class ProbePathLiteralRule(Rule):
+    id = "probe-path-literal"
+    description = (
+        "dotted probe/knob string literals must match the registry "
+        "path grammar (repro.control.paths)"
+    )
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        skipped = _skipped_positions(module.tree)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)):
+                continue
+            if (node.lineno, node.col_offset) in skipped:
+                continue
+            text = node.value
+            if not looks_like_path(text):
+                continue
+            is_pattern = any(c in GLOB_CHARS for c in text)
+            error = validate_path(text, pattern=is_pattern)
+            if error is not None:
+                findings.append(Finding(
+                    module.path, node.lineno, node.col_offset, self.id,
+                    f"path literal {text!r} does not fit the registry "
+                    f"grammar: {error}",
+                ))
+        return findings

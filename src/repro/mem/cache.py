@@ -83,9 +83,10 @@ class CacheLLC(Component):
         self._staged_wait = 0
         self._staged_ready = 0  # batched: lookup-complete cycle
         self._now = 0
-        self._batch_mode = False
+        self._batch_mode = False  # repro: lint-ok[snapshot-coverage] recomputed from the kernel's datapath mode every tick
         # Miss-handling scratch.
         self._wb_addr = 0
+        # repro: lint-ok[snapshot-coverage] captured as the 'wb_live' flag; restore re-aliases the resident set entry (see state_capture)
         self._wb_line: Optional[_Line] = None
         self._wb_widx = 0
         self._refill_addr = 0

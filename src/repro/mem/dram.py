@@ -70,7 +70,7 @@ class DramModel(Component):
         self._w_done = False
         self._w_error = False
         self._rr_read_first = True  # alternate read/write service
-        self._batch_mode = False
+        self._batch_mode = False  # repro: lint-ok[snapshot-coverage] recomputed from the kernel's datapath mode every tick
 
         # Statistics.
         self.row_hits = 0

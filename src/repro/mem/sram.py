@@ -57,7 +57,7 @@ class SramMemory(Component):
         self._wr_ready = 0  # batched: B-response cycle (event-driven)
         self._wr_error = False
         self._wr_done = False
-        self._batch_mode = False
+        self._batch_mode = False  # repro: lint-ok[snapshot-coverage] recomputed from the kernel's datapath mode every tick
         # Pending read-data response of an atomic operation (old value).
         self._atomic_r: Optional[RBeat] = None
 

@@ -103,6 +103,23 @@ class RegbusAdapter(Component):
         self.accesses = 0
         self.errors = 0
 
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "pending": self._pending,
+            "wait": self._wait,
+            "accesses": self.accesses,
+            "errors": self.errors,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self._pending = state["pending"]
+        self._wait = state["wait"]
+        self.accesses = state["accesses"]
+        self.errors = state["errors"]
+
 
 class RegbusRequester(Component):
     """Scripted requester for tests and boot-flow models."""
@@ -152,3 +169,18 @@ class RegbusRequester(Component):
         self._queue.clear()
         self.responses.clear()
         self._next_tag = 0
+
+    # ------------------------------------------------------------------
+    # snapshot contract
+    # ------------------------------------------------------------------
+    def state_capture(self) -> dict:
+        return {
+            "queue": list(self._queue),
+            "next_tag": self._next_tag,
+            "responses": list(self.responses),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self._queue = list(state["queue"])
+        self._next_tag = state["next_tag"]
+        self.responses = list(state["responses"])

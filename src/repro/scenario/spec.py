@@ -27,6 +27,7 @@ import difflib
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
 
+from repro.control.paths import is_path_segment
 from repro.mem.dram import DramTiming
 from repro.realm.config import RealmUnitParams
 from repro.realm.regions import RegionConfig, UNLIMITED
@@ -126,7 +127,9 @@ def _reject_unknown(table: dict, known: Sequence[str], path: str) -> None:
 
 
 def _check_name(name: str, path: str) -> str:
-    if not name or not all(c.isalnum() or c in "_-" for c in name):
+    # Names become dotted-path segments (probe/knob paths), so they must
+    # satisfy the shared control-plane segment charset.
+    if not is_path_segment(name):
         raise ScenarioError(
             f"name must be alphanumeric/_/- (no dots), got {name!r}", path=path
         )

@@ -85,7 +85,7 @@ class Component:
 
     def __init__(self, name: str = "") -> None:
         self.name = name or type(self).__name__
-        self._sim: Optional["Simulator"] = None
+        self._sim: Optional["Simulator"] = None  # repro: lint-ok[snapshot-coverage] kernel registration back-reference, rebuilt by Simulator.add
 
     def tick(self, cycle: int) -> None:
         """Evaluate one clock cycle.  Override in subclasses."""
@@ -180,6 +180,7 @@ class SimulationError(RuntimeError):
     """Raised for protocol violations and kernel misuse."""
 
 
+# repro: lint-ok[snapshot-coverage] kernel state is captured wholesale by snapshot.state.capture_simulator, not state hooks
 class Simulator:
     """Owns the clock, the components, and the channels.
 

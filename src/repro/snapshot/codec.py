@@ -80,6 +80,11 @@ class StateCodec:
     def register_enum(self, cls: type, tag: str) -> None:
         self.register(cls, tag, lambda e: e.value, cls)
 
+    def registered_types(self) -> tuple[type, ...]:
+        """Every registered type, in registration order (the lint rule
+        ``codec-registration`` audits capture bodies against this)."""
+        return tuple(self._by_type)
+
     # ------------------------------------------------------------------
     # encode / decode
     # ------------------------------------------------------------------
@@ -151,6 +156,7 @@ def _build_default_codec() -> StateCodec:
     from repro.interconnect.noc import Flit
     from repro.mem.cache import _Line
     from repro.realm.isolation import IsolationMode
+    from repro.realm.regbus import RegbusReq, RegbusRsp
     from repro.traffic.driver import Op
 
     codec = StateCodec()
@@ -165,6 +171,8 @@ def _build_default_codec() -> StateCodec:
     codec.register_dataclass(RBeat, "r")
     codec.register_dataclass(Flit, "flit")
     codec.register_dataclass(Op, "op")
+    codec.register_dataclass(RegbusReq, "regreq")
+    codec.register_dataclass(RegbusRsp, "regrsp")
     codec.register(
         _Line,
         "line",

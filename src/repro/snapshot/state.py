@@ -68,13 +68,13 @@ def capture_simulator(sim) -> dict:
             f"clients account for {owned} (+{transient} transient); hooks "
             "scheduled directly via Simulator.call_at cannot be captured"
         )
-    index_of = {id(c): i for i, c in enumerate(sim._components)}
+    index_of = {id(c): i for i, c in enumerate(sim._components)}  # repro: lint-ok[nondeterminism-sources] id() keys an identity map within one capture pass; only registration indices are persisted
     wake_heap = sorted(
-        (cycle, seq, index_of[id(component)])
+        (cycle, seq, index_of[id(component)])  # repro: lint-ok[nondeterminism-sources] id() keys an identity map within one capture pass; only registration indices are persisted
         for cycle, seq, component in sim._wake_heap
         if component._sim is sim
     )
-    channel_index = {id(ch): i for i, ch in enumerate(sim._channels)}
+    channel_index = {id(ch): i for i, ch in enumerate(sim._channels)}  # repro: lint-ok[nondeterminism-sources] id() keys an identity map within one capture pass; only registration indices are persisted
     raw = {
         "format": SNAPSHOT_FORMAT,
         "flags": {
@@ -88,14 +88,14 @@ def capture_simulator(sim) -> dict:
         "components": [c.state_capture() for c in sim._components],
         "kernel": {
             "active": sorted(
-                index_of[id(c)] for c in sim._active if id(c) in index_of
+                index_of[id(c)] for c in sim._active if id(c) in index_of  # repro: lint-ok[nondeterminism-sources] id() keys an identity map within one capture pass; only registration indices are persisted
             ),
             "wake_heap": wake_heap,
             "wake_seq": sim._wake_seq,
             "hot": sorted(
-                channel_index[id(ch)]
+                channel_index[id(ch)]  # repro: lint-ok[nondeterminism-sources] id() keys an identity map within one capture pass; only registration indices are persisted
                 for ch in sim._hot_channels
-                if id(ch) in channel_index
+                if id(ch) in channel_index  # repro: lint-ok[nondeterminism-sources] id() keys an identity map within one capture pass; only registration indices are persisted
             ),
             "ticks_executed": sim.ticks_executed,
             "ticks_skipped": sim.ticks_skipped,

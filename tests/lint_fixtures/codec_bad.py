@@ -1,0 +1,20 @@
+# repro: lint-treat-as realm/fixture.py
+"""codec-registration fixture: capture builds an unregistered type."""
+
+
+class Scratchpad:
+    """Not registered with the default StateCodec."""
+
+    def __init__(self, words):
+        self.words = words
+
+
+class Holder:
+    def __init__(self) -> None:
+        self.pad_words = []
+
+    def state_capture(self) -> dict:
+        return {"pad": Scratchpad(list(self.pad_words))}
+
+    def state_restore(self, state: dict) -> None:
+        self.pad_words = list(state["pad"].words)

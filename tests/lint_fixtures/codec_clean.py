@@ -1,0 +1,19 @@
+# repro: lint-treat-as realm/fixture.py
+"""codec-registration fixture: registered types and raised errors are
+both fine inside a capture body."""
+
+from repro.axi.beats import AWBeat
+from repro.snapshot.codec import SnapshotError
+
+
+class Holder:
+    def __init__(self) -> None:
+        self.addr = 0
+
+    def state_capture(self) -> dict:
+        if self.addr < 0:
+            raise SnapshotError("negative address")  # raised, not captured
+        return {"beat": AWBeat(addr=self.addr, length=1, tid=0)}
+
+    def state_restore(self, state: dict) -> None:
+        self.addr = state["beat"].addr

@@ -1,0 +1,20 @@
+# repro: lint-treat-as sim/fixture.py
+"""nondeterminism-sources fixture: the sanctioned idioms."""
+
+import random
+import time
+
+
+def profile(fn) -> float:
+    start = time.perf_counter()  # profiling clocks are fine
+    fn()
+    return time.perf_counter() - start
+
+
+def derive_stream(seed: int) -> list:
+    rng = random.Random(seed)  # seeded instance: sanctioned
+    return [rng.randrange(256) for _ in range(8)]
+
+
+def walk_managers(managers: set) -> list:
+    return [name for name in sorted(managers)]  # sorted set: fine

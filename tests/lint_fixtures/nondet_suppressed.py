@@ -1,0 +1,7 @@
+# repro: lint-treat-as sim/fixture.py
+"""nondeterminism-sources fixture: suppressed identity-map use."""
+
+
+def registration_index(components: list, target) -> int:
+    table = {id(c): i for i, c in enumerate(components)}  # repro: lint-ok[nondeterminism-sources] fixture: identity map inside one pass, indices persisted
+    return table[id(target)]  # repro: lint-ok[nondeterminism-sources] fixture: same identity map lookup

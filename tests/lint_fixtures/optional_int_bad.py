@@ -1,0 +1,21 @@
+# repro: lint-treat-as scenario/fixture.py
+"""optional-int-truthiness fixture: 0-conflating tests on Optional[int]."""
+
+from typing import Optional
+
+
+class PointOutcome:
+    execution_cycles: Optional[int] = None
+
+
+def summarize(outcome: PointOutcome, probe_value: Optional[int]) -> str:
+    if probe_value:  # 0 is a legitimate probe reading
+        return f"read {probe_value}"
+    cycles = outcome.execution_cycles or 1  # cycle 0 is a real finish
+    if not probe_value:
+        return f"{cycles} (unread)"
+    return str(cycles)
+
+
+def pick(first: Optional[int], fallback: int) -> int:
+    return first if first else fallback

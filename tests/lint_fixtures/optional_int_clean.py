@@ -1,0 +1,23 @@
+# repro: lint-treat-as scenario/fixture.py
+"""optional-int-truthiness fixture: explicit None checks everywhere."""
+
+from typing import Optional
+
+
+class PointOutcome:
+    execution_cycles: Optional[int] = None
+
+
+def summarize(outcome: PointOutcome, probe_value: Optional[int]) -> str:
+    if probe_value is not None:
+        return f"read {probe_value}"
+    cycles = (outcome.execution_cycles
+              if outcome.execution_cycles is not None else 1)
+    return str(cycles)
+
+
+def guarded(first: Optional[int]) -> int:
+    # `x is not None and x > 0` never truth-tests the Optional itself.
+    if first is not None and first > 0:
+        return first
+    return 0

@@ -1,0 +1,10 @@
+# repro: lint-treat-as scenario/fixture.py
+"""optional-int-truthiness fixture: a documented deliberate conflation."""
+
+from typing import Optional
+
+
+def progress_bar(remaining: Optional[int]) -> str:
+    if remaining:  # repro: lint-ok[optional-int-truthiness] fixture: display-only; 0 and None both render as done
+        return f"{remaining} left"
+    return "done"

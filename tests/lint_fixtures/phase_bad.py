@@ -1,0 +1,19 @@
+# repro: lint-treat-as traffic/fixture.py
+"""phase-discipline fixture: reaching around the sanctioned seams."""
+
+
+class PushyGenerator:
+    def __init__(self, port, regfile_owner) -> None:
+        self.port = port
+        self.owner = regfile_owner
+
+    def tick(self, cycle: int) -> None:
+        beat = self._make_beat(cycle)
+        ch = self.port.aw
+        ch._queue.append(beat)         # mutation: must use send()
+        if ch._pending:                # intra-cycle state: invisible
+            ch._queue.pop()
+        self.owner.regfile.write(0x10, 1, tid=7)  # knob seam bypass
+
+    def _make_beat(self, cycle: int):
+        return cycle

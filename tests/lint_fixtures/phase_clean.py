@@ -1,0 +1,20 @@
+# repro: lint-treat-as traffic/fixture.py
+"""phase-discipline fixture: the sanctioned seams and the read-only
+queue peek."""
+
+
+class PoliteGenerator:
+    def __init__(self, port, knobs) -> None:
+        self.port = port
+        self.knobs = knobs
+
+    def tick(self, cycle: int) -> None:
+        ch = self.port.aw
+        if ch.can_send():
+            ch.send(self._make_beat(cycle))
+        backlog = len(ch._queue)       # read-only peek: sanctioned
+        if backlog > 4:
+            self.knobs.set("traffic.dma.enabled", False)
+
+    def _make_beat(self, cycle: int):
+        return cycle

@@ -1,0 +1,13 @@
+# repro: lint-treat-as traffic/fixture.py
+"""phase-discipline fixture: a reasoned suppression on a pending read."""
+
+
+class InspectingGenerator:
+    def __init__(self, port) -> None:
+        self.port = port
+
+    def tick(self, cycle: int) -> None:
+        ch = self.port.aw
+        stalled = bool(ch._pending)  # repro: lint-ok[phase-discipline] fixture: commit-boundary diagnostics only
+        if stalled:
+            return

@@ -1,0 +1,13 @@
+# repro: lint-treat-as scenario/fixture.py
+"""probe-path-literal fixture: typo'd control-plane paths."""
+
+SAMPLES = [
+    "realm.dma.regoin0.total_bytes",     # region typo'd
+    "realm.dma.region0.totl_bytes",      # field typo'd
+    "port.core.ax.sent",                 # no such AXI channel
+    "driver.core.complete",              # field is 'completed'
+]
+
+
+def watch(probes):
+    return probes.match("realm.dma.regoin0.*")  # glob with a typo'd prefix

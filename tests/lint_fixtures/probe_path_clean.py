@@ -1,0 +1,19 @@
+# repro: lint-treat-as scenario/fixture.py
+"""probe-path-literal fixture: grammatical paths and patterns."""
+
+SAMPLES = [
+    "realm.dma.region0.total_bytes",
+    "realm.any-manager_2.ctrl.regulation",
+    "port.core.ar.sent",
+    "noc.r1c0.occupancy",
+    "mem.main.row_hits",
+    "traffic.dma.enabled",
+    "realm.*.region0.budget_remaining",  # pattern: literal prefix fits
+    "port.core.*",
+]
+
+NOT_PATHS = [
+    "realm",                 # no dot: ignored
+    "memory.bandwidth",      # unknown root: ignored
+    "e.g. this sentence",    # prose: ignored
+]

@@ -1,0 +1,4 @@
+# repro: lint-treat-as scenario/fixture.py
+"""probe-path-literal fixture: a negative-test literal, suppressed."""
+
+BAD_ON_PURPOSE = "realm.dma.region0.no_such_field"  # repro: lint-ok[probe-path-literal] fixture: negative-test input for registry error handling

@@ -1,0 +1,44 @@
+# repro: lint-treat-as realm/fixture.py
+"""snapshot-coverage fixture: three distinct violation shapes."""
+
+
+class MissingCapture:
+    """Assigns state in reset but has no state_capture at all."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.backlog = []
+
+
+class UncoveredAttr:
+    """Has hooks, but `dropped` never appears in the capture body."""
+
+    def __init__(self) -> None:
+        self.kept = 0
+        self.dropped = 0
+
+    def reset(self) -> None:
+        self.kept = 0
+        self.dropped = 0
+
+    def state_capture(self) -> dict:
+        return {"kept": self.kept}
+
+    def state_restore(self, state: dict) -> None:
+        self.kept = state["kept"]
+
+
+class AsymmetricKeys:
+    """Capture emits 'extra'; restore consumes 'phantom' instead."""
+
+    def __init__(self) -> None:
+        self.extra = 0
+
+    def state_capture(self) -> dict:
+        return {"extra": self.extra}
+
+    def state_restore(self, state: dict) -> None:
+        self.extra = state["phantom"]

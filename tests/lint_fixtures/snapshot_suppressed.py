@@ -1,0 +1,29 @@
+# repro: lint-treat-as realm/fixture.py
+"""snapshot-coverage fixture: violations silenced by reasoned
+suppressions (same shapes as snapshot_bad.py)."""
+
+
+# repro: lint-ok[snapshot-coverage] fixture: captured wholesale by its parent
+class MissingCapture:
+    def __init__(self) -> None:
+        self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.backlog = []
+
+
+class UncoveredAttr:
+    def __init__(self) -> None:
+        self.kept = 0
+        self.dropped = 0  # repro: lint-ok[snapshot-coverage] fixture: derived cache, rebuilt on restore
+
+    def reset(self) -> None:
+        self.kept = 0
+        self.dropped = 0
+
+    def state_capture(self) -> dict:
+        return {"kept": self.kept}
+
+    def state_restore(self, state: dict) -> None:
+        self.kept = state["kept"]
