@@ -1,19 +1,29 @@
 #!/usr/bin/env python3
 """Perf-regression gate over ``BENCH_snapshot.json``.
 
-Compares the freshest fork-sweep datapoint against the committed
-baseline and fails (exit 1) when the fork-vs-scratch *speedup* ratio
-regressed by more than ``LIMIT_PERCENT``.  Like
-``check_datapath_regression.py``, the gate compares ratios rather than
-absolute seconds: both sides of a ratio come from the same machine in
-the same run, so the committed baseline stays meaningful across CI
-runner generations and developer laptops.
+The history mixes two kinds of fork-sweep datapoints, told apart by
+their ``"sweep"`` tag (entries predating the tag are ``flat``):
+
+* **flat** — single shared prefix (PR 5).  Gated like
+  ``check_datapath_regression.py``: the freshest datapoint's
+  fork-vs-scratch *speedup* must not regress by more than
+  ``LIMIT_PERCENT`` against the baseline.  Ratios are compared rather
+  than absolute seconds — both sides of a ratio come from the same
+  machine in the same run, so the committed baseline stays meaningful
+  across CI runner generations and developer laptops.
+
+* **grouped** — the fork-tree sweep (budget x burst).  Gated by an
+  *absolute floor*: the measured speedup must stay at or above
+  ``GROUPED_FLOOR`` (the ISSUE's acceptance bar — 2 groups x 4 budgets
+  with an 80% prefix has a 2.5x ideal, so the floor keeps real margin).
+  The relative gate also applies when the baseline has a grouped
+  datapoint to compare against.
 
 Usage:  python benchmarks/check_snapshot_regression.py FRESH [BASELINE]
 
-*FRESH* is a datapoint history whose last entry is the new measurement;
-*BASELINE* (default: the same file's second-to-last entry) is the
-history whose last entry to compare against.
+*FRESH* is a datapoint history whose last entry per kind is the new
+measurement; *BASELINE* (default: the same file, skipping the freshest
+entry of each kind) supplies the entries to compare against.
 """
 
 from __future__ import annotations
@@ -21,15 +31,36 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
+from typing import Optional
 
 LIMIT_PERCENT = 15.0
+GROUPED_FLOOR = 2.0
 
 
-def _last_entry(path: Path, offset: int = 1) -> dict:
+def _by_kind(path: Path) -> dict[str, list[dict]]:
     history = json.loads(path.read_text(encoding="utf-8"))
-    if len(history) < offset:
-        raise SystemExit(f"{path}: needs at least {offset} datapoints")
-    return history[-offset]
+    kinds: dict[str, list[dict]] = {}
+    for entry in history:
+        kinds.setdefault(entry.get("sweep", "flat"), []).append(entry)
+    return kinds
+
+
+def _check_ratio(kind: str, baseline: Optional[dict],
+                 fresh: dict) -> bool:
+    """Print the relative verdict for one kind; True when it failed."""
+    if baseline is None:
+        print(f"{kind + '-sweep':<14}no baseline datapoint; "
+              "relative gate skipped")
+        return False
+    was, now = baseline["speedup"], fresh["speedup"]
+    drop = 100.0 * (was - now) / was
+    failed = drop > LIMIT_PERCENT
+    verdict = f"REGRESSION (> {LIMIT_PERCENT:.0f}%)" if failed else "ok"
+    print(
+        f"{kind + '-sweep':<14}baseline {was:.2f}x -> fresh {now:.2f}x "
+        f"({-drop:+.1f}%)  {verdict}"
+    )
+    return failed
 
 
 def main(argv: list[str]) -> int:
@@ -37,23 +68,27 @@ def main(argv: list[str]) -> int:
         print(__doc__)
         return 2
     fresh_path = Path(argv[1])
-    fresh = _last_entry(fresh_path)
+    fresh_kinds = _by_kind(fresh_path)
     if len(argv) > 2:
-        baseline = _last_entry(Path(argv[2]))
+        base_kinds = _by_kind(Path(argv[2]))
     else:
-        baseline = _last_entry(fresh_path, offset=2)
+        # Self-comparison: everything but the freshest entry per kind.
+        base_kinds = {
+            kind: entries[:-1] for kind, entries in fresh_kinds.items()
+        }
 
-    was, now = baseline["speedup"], fresh["speedup"]
-    drop = 100.0 * (was - now) / was
-    verdict = "ok"
     failed = False
-    if drop > LIMIT_PERCENT:
-        verdict = f"REGRESSION (> {LIMIT_PERCENT:.0f}%)"
-        failed = True
-    print(
-        f"fork-sweep    baseline {was:.2f}x -> fresh {now:.2f}x "
-        f"({-drop:+.1f}%)  {verdict}"
-    )
+    for kind, entries in sorted(fresh_kinds.items()):
+        fresh = entries[-1]
+        base_entries = base_kinds.get(kind, [])
+        baseline = base_entries[-1] if base_entries else None
+        failed |= _check_ratio(kind, baseline, fresh)
+        if kind == "grouped" and fresh["speedup"] < GROUPED_FLOOR:
+            print(
+                f"{'grouped-sweep':<14}absolute floor violated: "
+                f"{fresh['speedup']:.2f}x < {GROUPED_FLOOR:.1f}x  FLOOR"
+            )
+            failed = True
     return 1 if failed else 0
 
 

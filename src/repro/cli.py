@@ -15,6 +15,7 @@ Usage::
         --set realm.dma.region0.budget_bytes=4096   # live reconfiguration
     python -m repro probes scenarios/fig6a.toml     # control-plane probes
     python -m repro knobs scenarios/fig6a.toml      # control-plane knobs
+    python -m repro plan scenarios/budget_grid.toml # fork tree, no run
     python -m repro fig6a            # fragmentation sweep
     python -m repro fig6b            # budget-imbalance sweep
     python -m repro table1           # SoC area decomposition
@@ -138,6 +139,7 @@ def _emit_campaign(result, args: argparse.Namespace) -> None:
     else:
         print(f"# {result.name}")
     print(result.format_table())
+    _emit_fork_stats(result, verbose=getattr(args, "profile", False))
     if getattr(args, "profile", False):
         _emit_profile(result)
     if args.json:
@@ -149,6 +151,43 @@ def _emit_campaign(result, args: argparse.Namespace) -> None:
     if args.timeseries:
         result.write_timeseries_csv(args.timeseries)
         print(f"timeseries written to {args.timeseries}")
+
+
+def _emit_fork_stats(result, verbose: bool = False) -> None:
+    """Fork-tree amortization summary (DESIGN.md section 14).
+
+    Printed after the result table whenever the campaign ran fork-tree
+    execution, so the sharing is observable instead of inferred;
+    ``--profile`` adds the per-node breakdown.
+    """
+    stats = getattr(result, "fork_stats", None)
+    if not stats:
+        if result.fork_cycle is not None:
+            print(f"fork-point execution: shared prefix of "
+                  f"{result.fork_cycle} cycles simulated once")
+        return
+    planned = stats["planned"]
+    executed = stats["executed"]
+    print(
+        f"fork-tree execution: {planned['snapshot_nodes']} snapshot "
+        f"node(s) over {planned['points']} points; "
+        f"{executed['prefix_cycles']} prefix cycles simulated once, "
+        f"{executed['saved_cycles']} point-cycles saved"
+    )
+    for fallback in planned["fallbacks"]:
+        paths = ", ".join(fallback["paths"])
+        print(
+            f"  scratch split into {fallback['groups']} group(s) of "
+            f"{fallback['points']} points: {paths} diverges from cycle 0"
+        )
+    if verbose:
+        for node in planned["snapshots"]:
+            labels = ", ".join(str(label) for label in node["labels"])
+            print(
+                f"  snapshot @{node['cycle']} "
+                f"({', '.join(node['divergent'])}) -> "
+                f"{node['points']} point(s): {labels}"
+            )
 
 
 def _emit_profile(result) -> None:
@@ -248,9 +287,6 @@ def _run_scenario(args: argparse.Namespace) -> int:
         if server is not None:
             server.stop()
     _emit_campaign(result, args)
-    if result.fork_cycle is not None:
-        print(f"fork-point execution: shared prefix of {result.fork_cycle} "
-              "cycles simulated once")
     return 0
 
 
@@ -361,9 +397,6 @@ def _run_sweep(args: argparse.Namespace) -> int:
         if server is not None:
             server.stop()
     _emit_campaign(result, args)
-    if result.fork_cycle is not None:
-        print(f"fork-point execution: shared prefix of {result.fork_cycle} "
-              "cycles simulated once")
     return 0
 
 
@@ -457,6 +490,65 @@ def _watch_subscribe(client, args: argparse.Namespace):
     raise last  # type: ignore[misc]
 
 
+def _render_plan_node(node, labels, indent: int = 0) -> None:
+    pad = "  " * indent
+    if node.is_leaf:
+        print(f"{pad}point {labels[node.points[0]]!r}")
+        return
+    if node.cycle is None:
+        paths = ", ".join(node.fallback) or "(identical points)"
+        print(f"{pad}scratch split into {len(node.children)} group(s): "
+              f"{paths}" + (" diverges from cycle 0" if node.fallback
+                            else ""))
+    else:
+        print(f"{pad}snapshot @cycle {node.cycle} "
+              f"({', '.join(node.divergent)}) -> {len(node.points)} points")
+    for child in node.children:
+        _render_plan_node(child, labels, indent + 1)
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    """Print a campaign's fork tree without running it — the
+    discoverability sibling of ``probes``/``knobs``."""
+    from repro.scenario import (
+        ScenarioError,
+        apply_smoke,
+        axis_schedule_settable,
+        expand,
+        plan_fork_tree,
+    )
+
+    try:
+        spec = _load_scenario(args)
+        if args.smoke:
+            spec = apply_smoke(spec)
+        points = expand(spec)
+        tree = plan_fork_tree(points)
+    except ScenarioError as exc:
+        print(f"repro: scenario error: {exc}", file=sys.stderr)
+        return 1
+    summary = tree.describe()
+    print(f"# {spec.name}: {summary['points']} points, "
+          f"{summary['snapshot_nodes']} snapshot node(s)")
+    for axis in spec.campaign.sweep:
+        fields = ", ".join(axis.fields)
+        kind = ("schedule-settable (forks below a snapshot)"
+                if axis_schedule_settable(axis)
+                else "not schedule-settable (splits groups at cycle 0)")
+        print(f"axis {fields}: {len(axis.values)} values, {kind}")
+    print()
+    _render_plan_node(tree.root, tree.labels)
+    print()
+    if tree.shares_prefix:
+        print(f"predicted with --fork: {summary['prefix_cycles']} prefix "
+              f"cycles simulated once, {summary['saved_cycles']} "
+              "point-cycles saved vs scratch")
+    else:
+        print("no provable shared prefix: --fork would fall back to "
+              "scratch execution")
+    return 0
+
+
 def _run_watch(args: argparse.Namespace) -> int:
     from repro.telemetry import (
         Dashboard,
@@ -542,6 +634,7 @@ _COMMANDS = {
     "run": _run_scenario,
     "sweep": _run_sweep,
     "watch": _run_watch,
+    "plan": _run_plan,
     "probes": _run_probes,
     "knobs": _run_knobs,
     "lint": _run_lint,
@@ -742,6 +835,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--fragmentations", type=lambda s: [int(v) for v in s.split(",")],
         default=argparse.SUPPRESS,
         help="comma-separated fragmentation sizes (e.g. 256,16,1)",
+    )
+    plan_parser = sub.add_parser(
+        "plan",
+        help="print a campaign's fork tree — snapshot nodes, scratch "
+        "groups, predicted cycles saved under `run --fork` — without "
+        "running anything",
+    )
+    plan_parser.add_argument("file", help="scenario file (.toml or .json)")
+    plan_parser.add_argument(
+        "--smoke", action="store_true",
+        help="plan the scenario's [smoke] scale instead of full scale",
+    )
+    plan_parser.add_argument(
+        "--set", action="append", metavar="FIELD=VALUE",
+        help="override a scenario field (dotted path), repeatable",
     )
     for command, what in (("probes", "probes"), ("knobs", "knobs")):
         list_parser = sub.add_parser(

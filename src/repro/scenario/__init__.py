@@ -17,7 +17,13 @@ Typical use::
 """
 
 from repro.scenario.errors import ScenarioError
-from repro.scenario.fork import ForkPlan, plan_fork
+from repro.scenario.fork import (
+    ForkNode,
+    ForkPlan,
+    ForkTree,
+    plan_fork,
+    plan_fork_tree,
+)
 from repro.scenario.loader import dumps, load_file, loads
 from repro.scenario.report import CampaignResult, PointResult
 from repro.scenario.runner import (
@@ -50,6 +56,7 @@ from repro.scenario.sweep import (
     ExpandedPoint,
     apply_overrides,
     apply_smoke,
+    axis_schedule_settable,
     derive_seed,
     expand,
     set_by_path,
@@ -61,7 +68,9 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "ExpandedPoint",
+    "ForkNode",
     "ForkPlan",
+    "ForkTree",
     "ManagerScenario",
     "MemoryScenario",
     "PointResult",
@@ -78,6 +87,7 @@ __all__ = [
     "apply_overrides",
     "apply_smoke",
     "attach_traffic",
+    "axis_schedule_settable",
     "build_system",
     "collect_observables",
     "derive_seed",
@@ -87,6 +97,7 @@ __all__ = [
     "load_file",
     "loads",
     "plan_fork",
+    "plan_fork_tree",
     "realm_params_to_dict",
     "run_campaign",
     "run_point",

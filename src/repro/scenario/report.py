@@ -109,11 +109,18 @@ class CampaignResult:
     baseline_label: str
     points: list[PointResult]
     batched: Optional[bool] = None
-    # Cycle the shared prefix was snapshotted at when the campaign ran
-    # fork-point execution; None for scratch runs.  Informational only:
+    # Cycle the shared root prefix was snapshotted at when the campaign
+    # ran fork-tree execution and the whole sweep shares one prefix;
+    # None for scratch runs and grouped trees.  Informational only:
     # deliberately kept out of to_json_dict()/digest() so reports and
     # goldens are byte-identical between fork and scratch execution.
     fork_cycle: Optional[int] = None
+    # Fork-tree amortization statistics ({"planned": plan summary,
+    # "executed": actual prefix/saved cycles}) when the campaign ran
+    # fork-tree execution; None otherwise.  Informational like
+    # fork_cycle: excluded from to_json_dict()/digest() so fork-tree
+    # reports stay byte-identical to scratch reports.
+    fork_stats: Optional[dict] = None
 
     @classmethod
     def from_points(

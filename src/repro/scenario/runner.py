@@ -676,26 +676,54 @@ def _run_expanded(args: tuple) -> PointResult:
     )
 
 
+def _run_forked(args: tuple) -> PointResult:
+    """Process-pool entry for one fork-tree leaf: load the nearest
+    ancestor snapshot from the checkpoint store (the handoff encoding —
+    DESIGN.md section 14) and finish the point's remaining suffix."""
+    (point, active_set, batched, profile, ckpt_path, checkpoint_every,
+     checkpoint_dir, scenario_name) = args
+    resume_state = None
+    if ckpt_path is not None:
+        from repro.snapshot import load_checkpoint
+
+        _, resume_state = load_checkpoint(ckpt_path)
+    return run_point(
+        point, active_set=active_set, batched=batched, profile=profile,
+        resume_state=resume_state, checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir, scenario_name=scenario_name,
+    )
+
+
 def _run_prefix(
     point: ExpandedPoint,
     fork_cycle: int,
     *,
     active_set: Optional[bool],
     batched: Optional[bool],
+    resume_state: Optional[Any] = None,
 ) -> tuple[Any, int]:
-    """Execute the shared campaign prefix once; returns the snapshot
-    tree and the cycle it was captured at.
+    """Execute one shared campaign prefix edge once; returns the
+    snapshot tree and the cycle it was captured at.
 
     The prefix stops at ``fork_cycle`` — the commit boundary *before*
     the first divergent schedule firing — or earlier if the run's own
     stop condition is met first (in which case the forks finish
     immediately, exactly like their scratch runs would).
+    *resume_state* continues from a previously captured ancestor
+    snapshot, so an interior fork-tree edge simulates only the cycles
+    between its parent's snapshot and its own.
     """
-    from repro.snapshot import capture_simulator
+    from repro.snapshot import SnapshotError, capture_simulator
 
     system, generators = _elaborate_point(
         point, active_set=active_set, batched=batched
     )
+    if resume_state is not None:
+        try:
+            system.restore(resume_state)
+        except SnapshotError as exc:
+            raise ScenarioError(f"cannot restore snapshot: {exc}",
+                                path="fork") from exc
     try:
         _execute_run(
             system, point.spec, point.label, generators, stop_at=fork_cycle
@@ -703,6 +731,114 @@ def _run_prefix(
     except (ScheduleError, KnobError, ProbeError) as exc:
         raise ScenarioError(f"control plane: {exc}", path="schedule") from exc
     return capture_simulator(system.sim), system.sim.cycle
+
+
+def _run_fork_tree(
+    spec: ScenarioSpec,
+    points: list[ExpandedPoint],
+    tree: Any,
+    *,
+    jobs: int,
+    active_set: Optional[bool],
+    batched: Optional[bool],
+    profile: bool,
+    checkpoint_every: Optional[int],
+    checkpoint_dir: Optional[str],
+    telemetry: Optional[Any],
+) -> CampaignResult:
+    """Execute a campaign along its fork tree (DESIGN.md section 14).
+
+    Depth-first walk: every edge between snapshot nodes is simulated
+    exactly once, each interior node's state is captured in memory at
+    its commit boundary, and every child — interior or leaf — restores
+    from its *nearest ancestor* snapshot.  Leaves produce the point
+    results; with ``jobs > 1`` the interior edges still run here (each
+    is proved once) while the leaf suffixes fan out over a process
+    pool, handed (ancestor checkpoint, remaining point) pairs via the
+    snapshot store.  Reports are byte-identical to scratch execution
+    either way.
+    """
+    results: dict[int, PointResult] = {}
+    tasks: list[tuple[int, Optional[str]]] = []  # pooled leaf handoffs
+    executed = {"prefix_cycles": 0, "saved_cycles": 0}
+    root_capture: list[Optional[int]] = [None]
+    pooled = jobs > 1 and len(points) > 1
+    spill_dir: Optional[Any] = None
+    spill_count = [0]
+
+    def spill(state: Any, cycle: int) -> str:
+        from repro.snapshot import save_checkpoint
+
+        nonlocal spill_dir
+        if spill_dir is None:
+            import tempfile
+
+            spill_dir = tempfile.TemporaryDirectory(prefix="repro-fork-")
+        from pathlib import Path
+
+        spill_count[0] += 1
+        path = Path(spill_dir.name) / f"node{spill_count[0]}-c{cycle}.ckpt"
+        save_checkpoint(path, state, meta={"cycle": cycle})
+        return str(path)
+
+    def walk(node, state, state_path, floor: int) -> None:
+        if node.is_leaf:
+            index = node.points[0]
+            if pooled:
+                tasks.append((index, state_path))
+            else:
+                results[index] = run_point(
+                    points[index], active_set=active_set, batched=batched,
+                    profile=profile, resume_state=state,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_dir=checkpoint_dir, scenario_name=spec.name,
+                    telemetry=telemetry,
+                )
+            return
+        if node.cycle is None:  # structural: no snapshot of its own
+            for child in node.children:
+                walk(child, state, state_path, floor)
+            return
+        new_state, captured = _run_prefix(
+            points[node.points[0]], node.cycle,
+            active_set=active_set, batched=batched, resume_state=state,
+        )
+        edge = captured - floor
+        executed["prefix_cycles"] += edge
+        executed["saved_cycles"] += edge * (len(node.points) - 1)
+        if node is tree.root:
+            root_capture[0] = captured
+        new_path = spill(new_state, captured) if pooled else None
+        for child in node.children:
+            walk(child, new_state, new_path, captured)
+
+    try:
+        walk(tree.root, None, None, 0)
+        if pooled:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(
+                    pool.map(
+                        _run_forked,
+                        [
+                            (points[i], active_set, batched, profile, path,
+                             checkpoint_every, checkpoint_dir, spec.name)
+                            for i, path in tasks
+                        ],
+                    )
+                )
+            for (i, _), outcome in zip(tasks, outcomes):
+                results[i] = outcome
+    finally:
+        if spill_dir is not None:
+            spill_dir.cleanup()
+
+    ordered = [results[i] for i in sorted(results)]
+    result = CampaignResult.from_points(
+        spec, ordered, active_set=active_set, batched=batched
+    )
+    result.fork_cycle = root_capture[0]
+    result.fork_stats = {"planned": tree.describe(), "executed": executed}
+    return result
 
 
 def run_campaign(
@@ -724,15 +860,16 @@ def run_campaign(
     derived from (master seed, index, label) before dispatch, so the
     parallel run is bit-identical to the sequential one.
 
-    ``fork=True`` enables fork-point execution: when every point is
-    identical up to the first divergent ``[[schedule]]`` action (see
-    :func:`repro.scenario.fork.plan_fork`), the shared prefix is
-    simulated once, snapshotted, and every point is restored from the
-    snapshot instead of re-simulating it — sequentially or across the
-    process pool.  Results are bit-identical to scratch execution;
-    campaigns without a provable shared prefix silently fall back.
+    ``fork=True`` enables fork-tree execution: the campaign's points
+    are clustered into a prefix tree by their divergences (see
+    :func:`repro.scenario.fork.plan_fork_tree`) — every provably
+    shared prefix edge is simulated once and snapshotted, and each
+    point is restored from its nearest ancestor snapshot instead of
+    re-simulating the prefix — sequentially or across the process
+    pool.  Results are bit-identical to scratch execution; campaigns
+    where nothing is shareable silently fall back.
     """
-    from repro.scenario.fork import plan_fork
+    from repro.scenario.fork import plan_fork_tree
 
     if telemetry is not None and jobs > 1:
         raise ScenarioError(
@@ -743,14 +880,14 @@ def run_campaign(
     if smoke:
         spec = apply_smoke(spec)
     points = expand(spec)
-    resume_state = None
-    fork_cycle = None
     if fork and len(points) > 1:
-        plan = plan_fork(points)
-        if plan is not None:
-            resume_state, fork_cycle = _run_prefix(
-                points[0], plan.fork_cycle,
-                active_set=active_set, batched=batched,
+        tree = plan_fork_tree(points)
+        if tree.shares_prefix:
+            return _run_fork_tree(
+                spec, points, tree, jobs=jobs,
+                active_set=active_set, batched=batched, profile=profile,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir, telemetry=telemetry,
             )
     if jobs > 1 and len(points) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -758,7 +895,7 @@ def run_campaign(
                 pool.map(
                     _run_expanded,
                     [
-                        (p, active_set, batched, profile, resume_state,
+                        (p, active_set, batched, profile, None,
                          checkpoint_every, checkpoint_dir, spec.name)
                         for p in points
                     ],
@@ -768,14 +905,12 @@ def run_campaign(
         results = [
             run_point(
                 p, active_set=active_set, batched=batched, profile=profile,
-                resume_state=resume_state, checkpoint_every=checkpoint_every,
+                checkpoint_every=checkpoint_every,
                 checkpoint_dir=checkpoint_dir, scenario_name=spec.name,
                 telemetry=telemetry,
             )
             for p in points
         ]
-    result = CampaignResult.from_points(
+    return CampaignResult.from_points(
         spec, results, active_set=active_set, batched=batched
     )
-    result.fork_cycle = fork_cycle
-    return result

@@ -134,6 +134,26 @@ def apply_smoke(spec: ScenarioSpec) -> ScenarioSpec:
     return apply_overrides(spec, spec.smoke)
 
 
+def axis_schedule_settable(axis: Any) -> bool:
+    """Whether every field an :class:`AxisSpec` writes is a
+    ``[[schedule]]`` rule's ``set`` value.
+
+    Schedule-set values are the only divergence the fork-tree planner
+    can place *below* a snapshot node — they are invisible until the
+    rule's first firing.  Any other axis (topology, traffic, run
+    bounds, rule triggers) shapes behaviour from cycle 0 and therefore
+    partitions the campaign into scratch groups at the tree's root.
+    Expansion order is unaffected either way: point labels and derived
+    seeds follow the file's axis order, while the planner sorts
+    settable divergences deepest by activation cycle on its own
+    (DESIGN.md section 14).
+    """
+    return bool(axis.fields) and all(
+        field.startswith("schedule.") and ".set." in field
+        for field in axis.fields
+    )
+
+
 # ----------------------------------------------------------------------
 # expansion
 # ----------------------------------------------------------------------
