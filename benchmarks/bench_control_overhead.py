@@ -11,7 +11,10 @@ no idle stretches to fast-forward) three ways —
 * ``control=False``   (registries never built),
 * ``control=True``    (registries built, nothing scheduled),
 * ``control=True`` + a live telemetry server attached but unwatched
-  (the run-loop poll seam with an empty inbox), and
+  (the run-loop poll seam with an empty inbox),
+* ``control=False`` + an attached flight recorder with the journal
+  disabled (the recorded kernel path: wake attribution, occupancy,
+  phase timing — the cost `run --profile` pays), and
 * ``control=True`` + a periodic sampler (informational),
 
 interleaving the runs in per-variant ABBA quads (baseline, variant,
@@ -20,9 +23,10 @@ interference on a shared machine is bursty upper-tail noise the median
 drops, and interleaving spreads both populations evenly across any
 slow drift; the quads' drift-cancelled ``(v1+v2)/(b1+b2)`` ratios ride
 along in the payload as a second opinion.
-The smoke assertions bound the unconfigured overhead AND the
-served-but-unwatched telemetry overhead at <2 % each and append the
-datapoint to ``BENCH_control.json``.
+The smoke assertions bound the unconfigured overhead, the
+served-but-unwatched telemetry overhead, AND the recorder-attached
+overhead at <2 % each and append the datapoint to
+``BENCH_control.json``.
 
 Run:  python benchmarks/bench_control_overhead.py [output.json]
 """
@@ -75,8 +79,8 @@ def _build(control: bool):
     return system
 
 
-def _run_once(control: bool, sampler: bool,
-              server=None) -> tuple[float, int]:
+def _run_once(control: bool, sampler: bool, server=None,
+              recorder: bool = False) -> tuple[float, int]:
     from contextlib import nullcontext
 
     system = _build(control)
@@ -85,6 +89,13 @@ def _run_once(control: bool, sampler: bool,
             ["realm.dma.region0.total_bytes", "traffic.hog.bytes_stolen"],
             every=SAMPLER_EVERY,
         )
+    if recorder:
+        # Flight recorder attached, journal disabled — the kernel's
+        # recorded step path (wake-cause attribution, occupancy,
+        # phase timing), i.e. what every `--profile` run pays.
+        from repro.obs import FlightRecorder
+
+        FlightRecorder().attach(system.sim)
     live = nullcontext()
     if server is not None:
         # Telemetry attached, nobody watching: the timed loop carries
@@ -115,19 +126,22 @@ def measure() -> dict:
     server = TelemetryServer()
     server.start()
     best = {"off": float("inf"), "on": float("inf"),
-            "served": float("inf"), "sampled": float("inf")}
-    samples = {"off": [], "on": [], "served": [], "sampled": []}
-    ratios = {"on": [], "served": [], "sampled": []}
+            "served": float("inf"), "recorded": float("inf"),
+            "sampled": float("inf")}
+    samples = {"off": [], "on": [], "served": [], "recorded": [],
+               "sampled": []}
+    ratios = {"on": [], "served": [], "recorded": [], "sampled": []}
     ticks = {}
     variants = (
-        ("off", False, False, None),
-        ("on", True, False, None),
-        ("served", True, False, server),
-        ("sampled", True, True, None),
+        ("off", False, False, None, False),
+        ("on", True, False, None, False),
+        ("served", True, False, server, False),
+        ("recorded", False, False, None, True),
+        ("sampled", True, True, None, False),
     )
     try:
-        for key, control, sampler, srv in variants:  # warm-up, untimed
-            _run_once(control, sampler, srv)
+        for key, control, sampler, srv, rec in variants:  # warm-up
+            _run_once(control, sampler, srv, rec)
         for _ in range(ROUNDS):
             # Interleaved so no variant owns the warm caches.  Each
             # variant's ratio comes from an ABBA quad — baseline,
@@ -136,12 +150,12 @@ def measure() -> dict:
             # thermal ramp) cancels exactly from (v1+v2)/(b1+b2); a
             # single shared baseline per round would bias the later
             # variants by whatever the clock did in between.
-            for key, control, sampler, srv in variants:
+            for key, control, sampler, srv, rec in variants:
                 if key == "off":
                     continue
                 b1, executed_off = _run_once(False, False, None)
-                v1, executed = _run_once(control, sampler, srv)
-                v2, _ = _run_once(control, sampler, srv)
+                v1, executed = _run_once(control, sampler, srv, rec)
+                v2, _ = _run_once(control, sampler, srv, rec)
                 b2, _ = _run_once(False, False, None)
                 best["off"] = min(best["off"], b1, b2)
                 best[key] = min(best[key], v1, v2)
@@ -153,7 +167,7 @@ def measure() -> dict:
     finally:
         server.stop()
     assert (ticks["off"] == ticks["on"] == ticks["served"]
-            == ticks["sampled"]), (
+            == ticks["recorded"] == ticks["sampled"]), (
         "the control plane changed scheduling on an identical workload"
     )
     # Gate on the ratio of pooled medians.  Interference on a shared
@@ -166,6 +180,8 @@ def measure() -> dict:
     overhead = 100.0 * (median(samples["on"]) / median(samples["off"]) - 1.0)
     served_overhead = 100.0 * (
         median(samples["served"]) / median(samples["off"]) - 1.0)
+    recorded_overhead = 100.0 * (
+        median(samples["recorded"]) / median(samples["off"]) - 1.0)
     sampled_overhead = 100.0 * (
         median(samples["sampled"]) / median(samples["off"]) - 1.0)
     return {
@@ -180,14 +196,18 @@ def measure() -> dict:
         "no_control_seconds": round(best["off"], 5),
         "unconfigured_seconds": round(best["on"], 5),
         "served_seconds": round(best["served"], 5),
+        "recorded_seconds": round(best["recorded"], 5),
         "sampled_seconds": round(best["sampled"], 5),
         "unconfigured_overhead_percent": round(overhead, 3),
         "served_overhead_percent": round(served_overhead, 3),
+        "recorded_overhead_percent": round(recorded_overhead, 3),
         "sampled_overhead_percent": round(sampled_overhead, 3),
         "unconfigured_overhead_median_percent": round(
             100.0 * (median(ratios["on"]) - 1.0), 3),
         "served_overhead_median_percent": round(
             100.0 * (median(ratios["served"]) - 1.0), 3),
+        "recorded_overhead_median_percent": round(
+            100.0 * (median(ratios["recorded"]) - 1.0), 3),
         "sampled_overhead_median_percent": round(
             100.0 * (median(ratios["sampled"]) - 1.0), 3),
         "limit_percent": OVERHEAD_LIMIT_PERCENT,
@@ -196,7 +216,9 @@ def measure() -> dict:
 
 def _gates_pass(payload: dict) -> bool:
     return (payload["unconfigured_overhead_percent"] < OVERHEAD_LIMIT_PERCENT
-            and payload["served_overhead_percent"] < OVERHEAD_LIMIT_PERCENT)
+            and payload["served_overhead_percent"] < OVERHEAD_LIMIT_PERCENT
+            and payload["recorded_overhead_percent"]
+            < OVERHEAD_LIMIT_PERCENT)
 
 
 def _measure_in_subprocess() -> dict:
@@ -264,6 +286,8 @@ def test_control_plane_hot_path_overhead():
             f"({payload['unconfigured_overhead_percent']:+.2f} %)",
             f"telemetry, unwatched : {payload['served_seconds']:.5f} s "
             f"({payload['served_overhead_percent']:+.2f} %)",
+            f"flight recorder      : {payload['recorded_seconds']:.5f} s "
+            f"({payload['recorded_overhead_percent']:+.2f} %)",
             f"with {CYCLES // SAMPLER_EVERY}-sample probe series  : "
             f"{payload['sampled_seconds']:.5f} s "
             f"({payload['sampled_overhead_percent']:+.2f} %)",
@@ -278,6 +302,11 @@ def test_control_plane_hot_path_overhead():
     assert payload["served_overhead_percent"] < OVERHEAD_LIMIT_PERCENT, (
         "an unwatched telemetry server taxes the tick hot path: "
         f"{payload['served_overhead_percent']:.2f}% "
+        f">= {OVERHEAD_LIMIT_PERCENT}%"
+    )
+    assert payload["recorded_overhead_percent"] < OVERHEAD_LIMIT_PERCENT, (
+        "an attached flight recorder (journal off) taxes the tick hot "
+        f"path: {payload['recorded_overhead_percent']:.2f}% "
         f">= {OVERHEAD_LIMIT_PERCENT}%"
     )
 
@@ -299,6 +328,9 @@ def main(argv: list[str]) -> int:
         return 1
     if payload["served_overhead_percent"] >= OVERHEAD_LIMIT_PERCENT:
         print(f"FATAL: telemetry overhead exceeds {OVERHEAD_LIMIT_PERCENT}%")
+        return 1
+    if payload["recorded_overhead_percent"] >= OVERHEAD_LIMIT_PERCENT:
+        print(f"FATAL: recorder overhead exceeds {OVERHEAD_LIMIT_PERCENT}%")
         return 1
     return 0
 

@@ -26,6 +26,10 @@ does not admit.
 *FRESH* is a datapoint history whose last entry is the new measurement;
 *BASELINE* (default: the same file's second-to-last entry) is the
 history whose last entry to compare against.
+
+The last stdout line is machine-readable — ``RESULT {...}`` with the
+check name, PASS/FAIL, and every measured ratio — so CI summaries and
+log scrapers can read the verdict without parsing the prose table.
 """
 
 from __future__ import annotations
@@ -63,14 +67,21 @@ def main(argv: list[str]) -> int:
         baseline = _last_entry(fresh_path, offset=2)
 
     failed = False
+    measured: dict[str, dict] = {}
     for name, entry in baseline["scenarios"].items():
         fresh_entry = fresh["scenarios"].get(name)
         if fresh_entry is None:
             print(f"{name}: MISSING from the fresh datapoint")
+            measured[name] = {"missing": True}
             failed = True
             continue
         was, now = entry["speedup"], fresh_entry["speedup"]
         drop = 100.0 * (was - now) / was
+        measured[name] = {
+            "baseline_speedup": round(was, 3),
+            "fresh_speedup": round(now, 3),
+            "drop_percent": round(drop, 2),
+        }
         verdict = "ok"
         if drop > LIMIT_PERCENT:
             verdict = f"REGRESSION (> {LIMIT_PERCENT:.0f}%)"
@@ -84,11 +95,18 @@ def main(argv: list[str]) -> int:
         if fresh_entry is None:
             continue  # absence is flagged above when the baseline has it
         now = fresh_entry["speedup"]
+        measured.setdefault(name, {})["floor"] = floor
         verdict = "ok"
         if now < floor:
             verdict = "BELOW FLOOR"
             failed = True
         print(f"{name:<14} floor {floor:.2f}x -> fresh {now:.2f}x  {verdict}")
+    print("RESULT " + json.dumps({
+        "check": "datapath_regression",
+        "status": "FAIL" if failed else "PASS",
+        "limit_percent": LIMIT_PERCENT,
+        "scenarios": measured,
+    }, sort_keys=True))
     return 1 if failed else 0
 
 

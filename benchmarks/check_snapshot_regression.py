@@ -24,6 +24,10 @@ Usage:  python benchmarks/check_snapshot_regression.py FRESH [BASELINE]
 *FRESH* is a datapoint history whose last entry per kind is the new
 measurement; *BASELINE* (default: the same file, skipping the freshest
 entry of each kind) supplies the entries to compare against.
+
+The last stdout line is machine-readable — ``RESULT {...}`` with the
+check name, PASS/FAIL, and every measured ratio — so CI summaries and
+log scrapers can read the verdict without parsing the prose table.
 """
 
 from __future__ import annotations
@@ -78,17 +82,33 @@ def main(argv: list[str]) -> int:
         }
 
     failed = False
+    measured: dict[str, dict] = {}
     for kind, entries in sorted(fresh_kinds.items()):
         fresh = entries[-1]
         base_entries = base_kinds.get(kind, [])
         baseline = base_entries[-1] if base_entries else None
         failed |= _check_ratio(kind, baseline, fresh)
-        if kind == "grouped" and fresh["speedup"] < GROUPED_FLOOR:
-            print(
-                f"{'grouped-sweep':<14}absolute floor violated: "
-                f"{fresh['speedup']:.2f}x < {GROUPED_FLOOR:.1f}x  FLOOR"
+        measured[kind] = {"fresh_speedup": round(fresh["speedup"], 3)}
+        if baseline is not None:
+            was = baseline["speedup"]
+            measured[kind]["baseline_speedup"] = round(was, 3)
+            measured[kind]["drop_percent"] = round(
+                100.0 * (was - fresh["speedup"]) / was, 2
             )
-            failed = True
+        if kind == "grouped":
+            measured[kind]["floor"] = GROUPED_FLOOR
+            if fresh["speedup"] < GROUPED_FLOOR:
+                print(
+                    f"{'grouped-sweep':<14}absolute floor violated: "
+                    f"{fresh['speedup']:.2f}x < {GROUPED_FLOOR:.1f}x  FLOOR"
+                )
+                failed = True
+    print("RESULT " + json.dumps({
+        "check": "snapshot_regression",
+        "status": "FAIL" if failed else "PASS",
+        "limit_percent": LIMIT_PERCENT,
+        "kinds": measured,
+    }, sort_keys=True))
     return 1 if failed else 0
 
 

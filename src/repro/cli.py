@@ -139,9 +139,7 @@ def _emit_campaign(result, args: argparse.Namespace) -> None:
     else:
         print(f"# {result.name}")
     print(result.format_table())
-    _emit_fork_stats(result, verbose=getattr(args, "profile", False))
-    if getattr(args, "profile", False):
-        _emit_profile(result)
+    _emit_execution_stats(result, verbose=getattr(args, "profile", False))
     if args.json:
         result.write_json(args.json)
         print(f"report written to {args.json}")
@@ -151,47 +149,57 @@ def _emit_campaign(result, args: argparse.Namespace) -> None:
     if args.timeseries:
         result.write_timeseries_csv(args.timeseries)
         print(f"timeseries written to {args.timeseries}")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs import write_trace
+
+        trace = write_trace(trace_out, result)
+        print(f"trace written to {trace_out} "
+              f"({len(trace['traceEvents'])} events; "
+              "load in ui.perfetto.dev or chrome://tracing)")
 
 
-def _emit_fork_stats(result, verbose: bool = False) -> None:
-    """Fork-tree amortization summary (DESIGN.md section 14).
+def _emit_execution_stats(result, verbose: bool = False) -> None:
+    """Execution-side statistics, all read from the flight-recorder
+    registry snapshots (``PointResult.metrics``) and the campaign's
+    fork-tree summary — the single emit path for ``--profile``,
+    span-replay, and fork-tree output (DESIGN.md sections 11/14/15).
 
-    Printed after the result table whenever the campaign ran fork-tree
-    execution, so the sharing is observable instead of inferred;
-    ``--profile`` adds the per-node breakdown.
+    Modelled observables (the result table, reports) never come through
+    here; everything printed below describes *how* the run executed.
     """
+    # Fork-tree amortization (present whenever the campaign forked,
+    # independent of the recorder; --profile adds the per-node plan).
     stats = getattr(result, "fork_stats", None)
-    if not stats:
-        if result.fork_cycle is not None:
-            print(f"fork-point execution: shared prefix of "
-                  f"{result.fork_cycle} cycles simulated once")
-        return
-    planned = stats["planned"]
-    executed = stats["executed"]
-    print(
-        f"fork-tree execution: {planned['snapshot_nodes']} snapshot "
-        f"node(s) over {planned['points']} points; "
-        f"{executed['prefix_cycles']} prefix cycles simulated once, "
-        f"{executed['saved_cycles']} point-cycles saved"
-    )
-    for fallback in planned["fallbacks"]:
-        paths = ", ".join(fallback["paths"])
+    if stats:
+        planned = stats["planned"]
+        executed = stats["executed"]
         print(
-            f"  scratch split into {fallback['groups']} group(s) of "
-            f"{fallback['points']} points: {paths} diverges from cycle 0"
+            f"fork-tree execution: {planned['snapshot_nodes']} snapshot "
+            f"node(s) over {planned['points']} points; "
+            f"{executed['prefix_cycles']} prefix cycles simulated once, "
+            f"{executed['saved_cycles']} point-cycles saved"
         )
-    if verbose:
-        for node in planned["snapshots"]:
-            labels = ", ".join(str(label) for label in node["labels"])
+        for fallback in planned["fallbacks"]:
+            paths = ", ".join(fallback["paths"])
             print(
-                f"  snapshot @{node['cycle']} "
-                f"({', '.join(node['divergent'])}) -> "
-                f"{node['points']} point(s): {labels}"
+                f"  scratch split into {fallback['groups']} group(s) of "
+                f"{fallback['points']} points: {paths} diverges from cycle 0"
             )
-
-
-def _emit_profile(result) -> None:
-    """Campaign-wide per-component share of wall-clock tick time."""
+        if verbose:
+            for node in planned["snapshots"]:
+                labels = ", ".join(str(label) for label in node["labels"])
+                print(
+                    f"  snapshot @{node['cycle']} "
+                    f"({', '.join(node['divergent'])}) -> "
+                    f"{node['points']} point(s): {labels}"
+                )
+    elif result.fork_cycle is not None:
+        print(f"fork-point execution: shared prefix of "
+              f"{result.fork_cycle} cycles simulated once")
+    if not verbose:
+        return
+    # Campaign-wide per-component share of wall-clock tick time.
     seconds: dict[str, float] = {}
     ticks: dict[str, int] = {}
     for point in result.points:
@@ -208,16 +216,12 @@ def _emit_profile(result) -> None:
     for name, secs in rows:
         print(f"{name:<28} {100 * secs / total:>6.1f}% {secs:>9.3f} "
               f"{ticks[name]:>10d}")
-    _emit_span_stats(result)
-
-
-def _emit_span_stats(result) -> None:
-    """Per-point span-replay statistics (DESIGN.md section 11)."""
-    stats = [(p, p.span_stats) for p in result.points if p.span_stats]
-    if not any(s["enabled"] for _, s in stats):
+    # Per-point span-replay statistics (DESIGN.md section 11).
+    span_stats = [(p, p.span_stats) for p in result.points if p.span_stats]
+    if not any(s["enabled"] for _, s in span_stats):
         return
     print("\n# span-replay (closed-form steady-state evolution)")
-    for point, s in stats:
+    for point, s in span_stats:
         replayed = s["span_cycles_replayed"]
         cycles = point.sim_cycles or 1
         aborts = ", ".join(
@@ -274,6 +278,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
             batched=False if args.per_beat else None,
             smoke=args.smoke,
             profile=args.profile,
+            record=bool(args.trace_out),
             fork=args.fork,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
@@ -320,6 +325,7 @@ def _resume_scenario(args: argparse.Namespace) -> int:
             active_set=active_set,
             batched=batched,
             profile=args.profile,
+            record=bool(args.trace_out),
             resume_state=state,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
@@ -384,6 +390,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             batched=False if args.per_beat else None,
             smoke=args.smoke,
             profile=args.profile,
+            record=bool(args.trace_out),
             fork=args.fork,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
@@ -433,12 +440,35 @@ def _run_probes(args: argparse.Namespace) -> int:
         print(f"repro: scenario error: {exc}", file=sys.stderr)
         return 1
     inventory = system.control.describe()["probes"]
+    if args.json:
+        _print_inventory_json(spec, "probes", inventory)
+        return 0
     print(f"# {spec.name}: {len(inventory)} probes")
     print(f"{'path':<44} {'kind':<8} {'value':>12}  doc")
     for entry in inventory:
         print(f"{entry['path']:<44} {entry['kind']:<8} "
               f"{entry['value']:>12}  {entry['doc']}")
     return 0
+
+
+def _print_inventory_json(spec, what: str, inventory) -> None:
+    """Machine-readable ``probes``/``knobs`` listing.
+
+    Same reporter conventions as ``repro lint --json``: a versioned
+    top-level object, stable key order, one-per-line entries under a
+    plural key — so CI scripts can parse either with the same idiom.
+    """
+    import json
+
+    print(json.dumps(
+        {
+            "version": 1,
+            "scenario": spec.name,
+            "count": len(inventory),
+            what: inventory,
+        },
+        indent=2,
+    ))
 
 
 def _run_knobs(args: argparse.Namespace) -> int:
@@ -451,6 +481,9 @@ def _run_knobs(args: argparse.Namespace) -> int:
         print(f"repro: scenario error: {exc}", file=sys.stderr)
         return 1
     inventory = system.control.describe()["knobs"]
+    if args.json:
+        _print_inventory_json(spec, "knobs", inventory)
+        return 0
     print(f"# {spec.name}: {len(inventory)} knobs")
     print(f"{'path':<44} {'kind':<6} {'value':>12}  doc")
     for entry in inventory:
@@ -596,7 +629,21 @@ def _run_watch(args: argparse.Namespace) -> int:
                     redraw=not args.raw and sys.stdout.isatty(),
                 )
             received = 0
-            for frame in client.frames(count):
+            # Iterate the raw event stream, not frames(): the server
+            # interleaves `health` status messages (cycles/sec, active
+            # set, span-replay share) that only the dashboard renders —
+            # sinks and --once see probe frames exclusively.
+            for message in client.events():
+                kind = message.get("type")
+                if kind == "health":
+                    if dashboard is not None:
+                        dashboard.update_health(message)
+                    continue
+                if kind == "end":
+                    break
+                if kind != "frame":
+                    continue
+                frame = message
                 received += 1
                 for sink in sinks:
                     sink(frame)
@@ -605,6 +652,8 @@ def _run_watch(args: argparse.Namespace) -> int:
                     print(encode_payload(frame).decode("utf-8"))
                 elif dashboard is not None:
                     dashboard.update(frame)
+                if count is not None and received >= count:
+                    break
             if args.once and not received:
                 print("repro: watch error: stream ended before a frame "
                       "arrived", file=sys.stderr)
@@ -701,6 +750,12 @@ def _add_campaign_options(
         "--telemetry-wait", action="store_true",
         help="with --telemetry: wait for a client to connect before "
         "starting the run (so the stream starts at cycle 0)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="record a flight-recorder event journal and write a Chrome "
+        "trace-event JSON file (load in ui.perfetto.dev or "
+        "chrome://tracing); reports and digests are unaffected",
     )
     parser.add_argument("--json", metavar="PATH",
                         help="write the campaign report as JSON")
@@ -862,6 +917,11 @@ def build_parser() -> argparse.ArgumentParser:
         list_parser.add_argument(
             "--set", action="append", metavar="FIELD=VALUE",
             help="override a scenario field (dotted path), repeatable",
+        )
+        list_parser.add_argument(
+            "--json", action="store_true",
+            help="print the inventory as versioned JSON on stdout "
+            "(same reporter conventions as `repro lint --json`)",
         )
     sub.add_parser("table1", help="SoC area decomposition (Table I)")
     sub.add_parser("table2", help="area-model coefficients (Table II)")

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.lint.core import Rule
 from repro.lint.rules.codec import CodecRegistrationRule
 from repro.lint.rules.nondeterminism import NondeterminismRule
+from repro.lint.rules.obs import ObsIsolationRule
 from repro.lint.rules.optional_int import OptionalIntTruthinessRule
 from repro.lint.rules.phase import PhaseDisciplineRule
 from repro.lint.rules.probe_paths import ProbePathLiteralRule
@@ -21,6 +22,7 @@ __all__ = [
     "rule_ids",
     "CodecRegistrationRule",
     "NondeterminismRule",
+    "ObsIsolationRule",
     "OptionalIntTruthinessRule",
     "PhaseDisciplineRule",
     "ProbePathLiteralRule",
@@ -34,6 +36,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     OptionalIntTruthinessRule,
     PhaseDisciplineRule,
     ProbePathLiteralRule,
+    ObsIsolationRule,
 )
 
 

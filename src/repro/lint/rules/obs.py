@@ -1,0 +1,94 @@
+"""obs-isolation: the flight recorder never enters the state contract.
+
+Execution observability (``repro.obs``) measures *how* a run executed —
+wake causes, occupancy, phase wall time, journalled events.  None of it
+is simulated state: two runs that differ only in recorder attachment
+must produce byte-identical snapshots, digests, and goldens (DESIGN.md
+section 15).  That guarantee dies the moment a ``state_capture`` /
+``state_restore`` hook smuggles a recorder, journal, or metrics
+registry into the captured tree — the snapshot codec would then encode
+wall-clock-dependent counters, and a restore would resurrect a stale
+observer.
+
+What the rule enforces, inside any function named ``state_capture`` or
+``state_restore`` (the snapshot-contract hooks, wherever they live):
+
+* no reference to the ``repro.obs`` types (``FlightRecorder``,
+  ``EventJournal``, ``MetricsRegistry``) and no ``repro.obs`` import;
+* no access to the kernel's recorder seam attributes (``_recorder``,
+  ``_rec_journal``) — a hook that reads them is making captured state
+  depend on whether observability is on.
+
+The seam attributes stay legal everywhere else: the kernel, channels,
+and the snapshot *driver* (which times captures for the recorder —
+observation of the snapshot, never part of it) all read them on the
+execution side.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Finding, ModuleInfo, Rule
+
+#: The observability types that must never appear in a state hook.
+_OBS_TYPES = frozenset((
+    "FlightRecorder", "EventJournal", "MetricsRegistry",
+))
+
+#: The kernel's recorder-seam attributes.
+_OBS_SEAMS = frozenset(("_recorder", "_rec_journal"))
+
+#: The snapshot-contract hook names (Component and state-client alike).
+_STATE_HOOKS = frozenset(("state_capture", "state_restore"))
+
+
+class ObsIsolationRule(Rule):
+    id = "obs-isolation"
+    description = (
+        "state_capture/state_restore hooks must not touch repro.obs "
+        "objects or the recorder seam (DESIGN.md section 15)"
+    )
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name in _STATE_HOOKS):
+                self._check_hook(module, node, findings)
+        return findings
+
+    def _check_hook(
+        self, module: ModuleInfo, hook: ast.AST, findings: list[Finding]
+    ) -> None:
+        name = hook.name
+        for node in ast.walk(hook):
+            if isinstance(node, ast.Name) and node.id in _OBS_TYPES:
+                findings.append(Finding(
+                    module.path, node.lineno, node.col_offset, self.id,
+                    f"{node.id} referenced in {name!r} — observability "
+                    f"objects are execution state, never captured state",
+                ))
+            elif isinstance(node, ast.Attribute) and node.attr in _OBS_SEAMS:
+                findings.append(Finding(
+                    module.path, node.lineno, node.col_offset, self.id,
+                    f"recorder seam {node.attr!r} read in {name!r} — "
+                    f"captured state must not depend on an attached "
+                    f"recorder",
+                ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.startswith("repro.obs"):
+                    findings.append(Finding(
+                        module.path, node.lineno, node.col_offset, self.id,
+                        f"repro.obs imported inside {name!r} — state "
+                        f"hooks must stay observability-free",
+                    ))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro.obs"):
+                        findings.append(Finding(
+                            module.path, node.lineno, node.col_offset,
+                            self.id,
+                            f"repro.obs imported inside {name!r} — state "
+                            f"hooks must stay observability-free",
+                        ))

@@ -1,0 +1,197 @@
+"""Chrome trace-event / Perfetto JSON export of flight-recorder data.
+
+Serializes the journals and metrics collected during a campaign into
+the Chrome trace-event *JSON object format* — loadable directly in
+``ui.perfetto.dev`` or ``chrome://tracing``:
+
+* one *process* (``pid``) per campaign point, one *thread* (``tid``)
+  per component, plus a ``kernel`` thread (tid 0) per point;
+* component awake stretches as ``"X"`` duration slices (opened by a
+  ``wake`` journal event, closed by ``sleep`` or the end of the run);
+* span replays as ``"X"`` slices and span aborts as ``"i"`` instants
+  (cause + refusing unit) on the kernel thread;
+* ExpressRoute installs/cancels and checkpoint captures/restores as
+  instants, quiescent fast-forwards as slices;
+* fork-tree edges as slices in a dedicated ``pid 0`` process, linked
+  to their children with ``"s"``/``"f"`` flow events;
+* per-point metrics snapshots (wake-cause counters, phase times,
+  occupancy histogram) under the top-level ``"metadata"`` key.
+
+Timestamps are **simulated cycles**, mapped 1:1 onto the format's
+microsecond axis — deterministic, and monotonic per track by
+construction (the journal is appended in cycle order and slices on one
+track never overlap).  Host wall time only ever appears inside ``args``
+payloads, never as an event timestamp.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = ["campaign_trace", "write_trace", "TRACE_VERSION"]
+
+TRACE_VERSION = 1
+
+#: tid of the per-point kernel thread (spans, aborts, express, ckpt, ff).
+KERNEL_TID = 0
+
+#: pid of the fork-tree process (edges + flow arrows); points are 1-based.
+FORK_PID = 0
+
+
+def _meta(pid: int, tid: Optional[int], name: str, value: str) -> dict:
+    event = {"ph": "M", "pid": pid, "name": name, "args": {"name": value}}
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _point_events(pid: int, label: str, trace: dict) -> list:
+    """Trace events for one point's journal dump."""
+    events: list = [_meta(pid, None, "process_name", f"point {label}")]
+    components = trace.get("components", [])
+    tids = {name: i + 1 for i, name in enumerate(components)}
+    events.append(_meta(pid, KERNEL_TID, "thread_name", "kernel"))
+    for name, tid in tids.items():
+        events.append(_meta(pid, tid, "thread_name", name))
+
+    end_cycle = trace.get("end_cycle", 0)
+    open_since: dict = {}
+    slices: list = []
+    kernel: list = []
+    for event in trace.get("events", ()):
+        cycle, kind = event[0], event[1]
+        if kind == "wake":
+            name, cause = event[2], event[3]
+            if name not in open_since:
+                open_since[name] = (cycle, cause)
+        elif kind == "sleep":
+            name = event[2]
+            opened = open_since.pop(name, None)
+            if opened is not None:
+                slices.append((name, opened[0], cycle, opened[1]))
+        elif kind == "span":
+            kernel.append({
+                "name": "span-replay", "ph": "X", "ts": cycle,
+                "dur": event[2], "pid": pid, "tid": KERNEL_TID,
+                "args": {"cycles": event[2], "participants": event[3]},
+            })
+        elif kind == "span_abort":
+            kernel.append({
+                "name": f"span-abort:{event[2]}", "ph": "i", "s": "t",
+                "ts": cycle, "pid": pid, "tid": KERNEL_TID,
+                "args": {"cause": event[2], "refused_by": event[3]},
+            })
+        elif kind == "express":
+            kernel.append({
+                "name": f"express-{event[2]}", "ph": "i", "s": "t",
+                "ts": cycle, "pid": pid, "tid": KERNEL_TID,
+                "args": {"owner": event[3]},
+            })
+        elif kind == "ckpt":
+            kernel.append({
+                "name": f"checkpoint-{event[2]}", "ph": "i", "s": "t",
+                "ts": cycle, "pid": pid, "tid": KERNEL_TID,
+                "args": {"host_seconds": event[3]},
+            })
+        elif kind == "ff":
+            kernel.append({
+                "name": "fast-forward", "ph": "X", "ts": cycle,
+                "dur": event[2], "pid": pid, "tid": KERNEL_TID,
+                "args": {"cycles": event[2]},
+            })
+    for name, (since, cause) in open_since.items():
+        slices.append((name, since, end_cycle, cause))
+
+    for name, start, end, cause in slices:
+        events.append({
+            "name": "awake", "ph": "X", "ts": start,
+            "dur": max(end - start, 0),
+            "pid": pid, "tid": tids.get(name, KERNEL_TID),
+            "args": {"woken_by": cause},
+        })
+    events.extend(kernel)
+    return events
+
+
+def _fork_events(fork_trace: list, point_pids: dict) -> list:
+    """Fork-tree edges as slices + flow arrows into restored children."""
+    events: list = [_meta(FORK_PID, None, "process_name", "fork-tree"),
+                    _meta(FORK_PID, KERNEL_TID, "thread_name", "edges")]
+    edge_end: dict = {}
+    flow_seq = 0
+    for entry in fork_trace:
+        if "leaf_index" not in entry:
+            edge_end[entry["id"]] = entry["to"]
+            events.append({
+                "name": entry["label"], "ph": "X", "ts": entry["from"],
+                "dur": max(entry["to"] - entry["from"], 0),
+                "pid": FORK_PID, "tid": KERNEL_TID,
+                "args": {"host_seconds": entry.get("wall_seconds")},
+            })
+    for entry in fork_trace:
+        parent = entry.get("parent")
+        if parent is None or parent not in edge_end:
+            continue
+        if "leaf_index" in entry:
+            pid = point_pids.get(entry["leaf_index"])
+            if pid is None:
+                continue
+            target = (pid, KERNEL_TID, entry["at"])
+        else:
+            target = (FORK_PID, KERNEL_TID, entry["from"])
+        flow_seq += 1
+        start_ts = edge_end[parent]
+        events.append({
+            "name": "fork", "cat": "fork", "ph": "s", "id": flow_seq,
+            "ts": start_ts, "pid": FORK_PID, "tid": KERNEL_TID,
+        })
+        events.append({
+            "name": "fork", "cat": "fork", "ph": "f", "bp": "e",
+            "id": flow_seq, "ts": max(target[2], start_ts),
+            "pid": target[0], "tid": target[1],
+        })
+    return events
+
+
+def campaign_trace(result) -> dict:
+    """Build the Chrome trace-event JSON object for a campaign result.
+
+    *result* is a :class:`~repro.scenario.report.CampaignResult` whose
+    points carry ``trace`` journal dumps (``run --trace-out``); points
+    without one contribute only their metadata entry.
+    """
+    trace_events: list = []
+    metadata: dict = {"points": {}, "dropped_events": 0}
+    point_pids: dict = {}
+    for offset, point in enumerate(result.points):
+        pid = offset + 1
+        point_pids[point.index] = pid
+        if point.metrics is not None:
+            metadata["points"][point.label] = point.metrics
+        if point.trace is not None:
+            metadata["dropped_events"] += point.trace.get("dropped", 0)
+            trace_events.extend(_point_events(pid, point.label, point.trace))
+    fork_trace = getattr(result, "fork_trace", None)
+    if fork_trace:
+        trace_events.extend(_fork_events(fork_trace, point_pids))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "version": TRACE_VERSION,
+            "scenario": result.name,
+            "ts_unit": "simulated cycles",
+            **metadata,
+        },
+    }
+
+
+def write_trace(path, result) -> dict:
+    """Serialize :func:`campaign_trace` to *path*; returns the object."""
+    trace = campaign_trace(result)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+    return trace

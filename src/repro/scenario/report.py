@@ -34,14 +34,45 @@ class PointResult:
     observables: dict[str, Any]
     latencies: dict[str, list[int]] = field(default_factory=dict)
     perf_percent: Optional[float] = None  # filled by CampaignResult
-    # Per-component (name, seconds, ticks) rows when the point ran with
-    # tick profiling enabled; None otherwise (not part of the digest).
-    profile: Optional[list] = None
-    # Span-replay execution statistics (spans entered, cycles replayed,
-    # abort causes, per-unit participation) when the point ran with
-    # profiling enabled; None otherwise (not part of the digest — the
-    # numbers describe the execution strategy, not the modelled SoC).
-    span_stats: Optional[dict] = None
+    # Flight-recorder registry snapshot ({"counters", "gauges",
+    # "histograms"} — repro.obs) when the point ran with profiling or
+    # trace recording enabled; None otherwise.  Execution-side only:
+    # deliberately excluded from to_dict()/digest() so reports and
+    # goldens are byte-identical with and without the recorder
+    # (DESIGN.md section 15).
+    metrics: Optional[dict] = None
+    # Journal dump for the Chrome-trace exporter (``--trace-out``);
+    # None when the journal was disabled.  Excluded from reports like
+    # ``metrics``.
+    trace: Optional[dict] = None
+
+    @property
+    def profile(self) -> Optional[list]:
+        """Per-component ``(name, seconds, ticks)`` rows, slowest first.
+
+        Read from the metrics registry; None unless the point ran with
+        tick profiling enabled (``--profile``).
+        """
+        metrics = self.metrics
+        if metrics is None or not metrics["gauges"].get("profile.enabled"):
+            return None
+        from repro.obs import profile_rows
+
+        return profile_rows(metrics)
+
+    @property
+    def span_stats(self) -> Optional[dict]:
+        """Span-replay execution statistics, read from the registry.
+
+        None when the point ran without the flight recorder (the
+        numbers describe the execution strategy, not the modelled SoC).
+        """
+        metrics = self.metrics
+        if metrics is None:
+            return None
+        from repro.obs import span_stats_view
+
+        return span_stats_view(metrics)
 
     @cached_property
     def latency(self) -> LatencyStats:
@@ -121,6 +152,14 @@ class CampaignResult:
     # fork_cycle: excluded from to_json_dict()/digest() so fork-tree
     # reports stay byte-identical to scratch reports.
     fork_stats: Optional[dict] = None
+    # Fork-tree edge records for the trace exporter (node ids, spans of
+    # simulated cycles, host seconds per edge) when the campaign ran
+    # fork-tree execution with recording enabled; None otherwise.
+    # Execution-side like fork_stats: excluded from reports/digests,
+    # and deliberately not part of fork_stats (whose executed summary
+    # is asserted identical across pooled and sequential runs — wall
+    # seconds are not).
+    fork_trace: Optional[list] = None
 
     @classmethod
     def from_points(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.baselines import AbeEqualizer, AbuRegulator, CutForwardUnit
@@ -531,6 +532,7 @@ def run_point(
     active_set: Optional[bool] = None,
     batched: Optional[bool] = None,
     profile: bool = False,
+    record: bool = False,
     resume_state: Optional[Any] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
@@ -538,6 +540,13 @@ def run_point(
     telemetry: Optional[Any] = None,
 ) -> PointResult:
     """Simulate one expanded campaign point and digest its observables.
+
+    With *profile* or *record*, a flight recorder (:mod:`repro.obs`)
+    rides the run and the result carries its registry snapshot in
+    ``metrics``; *record* additionally journals execution events for
+    ``--trace-out`` (``trace``).  Both are execution-side: observables,
+    reports, and golden digests are byte-identical either way
+    (DESIGN.md section 15).
 
     *resume_state* restores a previously captured snapshot (an encoded
     tree) into the freshly built system before running — used by the
@@ -560,6 +569,11 @@ def run_point(
     system, generators = _elaborate_point(
         point, active_set=active_set, batched=batched, profile=profile
     )
+    recorder = None
+    if profile or record:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(journal=record).attach(system.sim)
     if resume_state is not None:
         try:
             system.restore(resume_state)
@@ -632,24 +646,19 @@ def run_point(
         ),
         observables=collect_observables(system, spec, generators),
         latencies=latencies,
-        profile=system.sim.profile_report() if profile else None,
-        span_stats=_span_stats(system) if profile else None,
+        metrics=(
+            recorder.snapshot(units=_span_units(system))
+            if recorder is not None else None
+        ),
+        trace=recorder.trace_dump() if recorder is not None else None,
     )
 
 
-def _span_stats(system: System) -> dict:
-    """Span-replay execution statistics for ``--profile`` output."""
-    sim = system.sim
+def _span_units(system: System) -> dict:
+    """Per-REALM-unit span participation for the metrics registry."""
     return {
-        "enabled": sim.span_replay_enabled,
-        "spans_entered": sim.spans_entered,
-        "span_cycles_replayed": sim.span_cycles_replayed,
-        "aborts": dict(sorted(sim.span_aborts.items())),
-        "units": {
-            name: {"span_hits": unit.span_hits,
-                   "span_cycles": unit.span_cycles}
-            for name, unit in system.realms.items()
-        },
+        name: (unit.span_hits, unit.span_cycles)
+        for name, unit in system.realms.items()
     }
 
 
@@ -667,11 +676,12 @@ def _primary_core(
 
 
 def _run_expanded(args: tuple) -> PointResult:
-    (point, active_set, batched, profile, resume_state, checkpoint_every,
-     checkpoint_dir, scenario_name) = args
+    (point, active_set, batched, profile, record, resume_state,
+     checkpoint_every, checkpoint_dir, scenario_name) = args
     return run_point(
         point, active_set=active_set, batched=batched, profile=profile,
-        resume_state=resume_state, checkpoint_every=checkpoint_every,
+        record=record, resume_state=resume_state,
+        checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir, scenario_name=scenario_name,
     )
 
@@ -680,8 +690,8 @@ def _run_forked(args: tuple) -> PointResult:
     """Process-pool entry for one fork-tree leaf: load the nearest
     ancestor snapshot from the checkpoint store (the handoff encoding —
     DESIGN.md section 14) and finish the point's remaining suffix."""
-    (point, active_set, batched, profile, ckpt_path, checkpoint_every,
-     checkpoint_dir, scenario_name) = args
+    (point, active_set, batched, profile, record, ckpt_path,
+     checkpoint_every, checkpoint_dir, scenario_name) = args
     resume_state = None
     if ckpt_path is not None:
         from repro.snapshot import load_checkpoint
@@ -689,7 +699,8 @@ def _run_forked(args: tuple) -> PointResult:
         _, resume_state = load_checkpoint(ckpt_path)
     return run_point(
         point, active_set=active_set, batched=batched, profile=profile,
-        resume_state=resume_state, checkpoint_every=checkpoint_every,
+        record=record, resume_state=resume_state,
+        checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir, scenario_name=scenario_name,
     )
 
@@ -742,6 +753,7 @@ def _run_fork_tree(
     active_set: Optional[bool],
     batched: Optional[bool],
     profile: bool,
+    record: bool,
     checkpoint_every: Optional[int],
     checkpoint_dir: Optional[str],
     telemetry: Optional[Any],
@@ -761,6 +773,11 @@ def _run_fork_tree(
     results: dict[int, PointResult] = {}
     tasks: list[tuple[int, Optional[str]]] = []  # pooled leaf handoffs
     executed = {"prefix_cycles": 0, "saved_cycles": 0}
+    # Edge records for the trace exporter (ids, cycle spans, host
+    # seconds) — collected only when recording; kept out of fork_stats
+    # because wall time differs between pooled and sequential runs.
+    fork_trace: Optional[list] = [] if record else None
+    edge_ids = [0]
     root_capture: list[Optional[int]] = [None]
     pooled = jobs > 1 and len(points) > 1
     spill_dir: Optional[Any] = None
@@ -781,15 +798,20 @@ def _run_fork_tree(
         save_checkpoint(path, state, meta={"cycle": cycle})
         return str(path)
 
-    def walk(node, state, state_path, floor: int) -> None:
+    def walk(node, state, state_path, floor: int, parent: Optional[int]
+             ) -> None:
         if node.is_leaf:
             index = node.points[0]
+            if fork_trace is not None:
+                fork_trace.append(
+                    {"leaf_index": index, "parent": parent, "at": floor}
+                )
             if pooled:
                 tasks.append((index, state_path))
             else:
                 results[index] = run_point(
                     points[index], active_set=active_set, batched=batched,
-                    profile=profile, resume_state=state,
+                    profile=profile, record=record, resume_state=state,
                     checkpoint_every=checkpoint_every,
                     checkpoint_dir=checkpoint_dir, scenario_name=spec.name,
                     telemetry=telemetry,
@@ -797,8 +819,9 @@ def _run_fork_tree(
             return
         if node.cycle is None:  # structural: no snapshot of its own
             for child in node.children:
-                walk(child, state, state_path, floor)
+                walk(child, state, state_path, floor, parent)
             return
+        t0 = perf_counter()
         new_state, captured = _run_prefix(
             points[node.points[0]], node.cycle,
             active_set=active_set, batched=batched, resume_state=state,
@@ -806,22 +829,35 @@ def _run_fork_tree(
         edge = captured - floor
         executed["prefix_cycles"] += edge
         executed["saved_cycles"] += edge * (len(node.points) - 1)
+        edge_id = parent
+        if fork_trace is not None:
+            edge_ids[0] += 1
+            edge_id = edge_ids[0]
+            fork_trace.append({
+                "id": edge_id,
+                "parent": parent,
+                "label": f"prefix x{len(node.points)}",
+                "from": floor,
+                "to": captured,
+                "wall_seconds": perf_counter() - t0,
+            })
         if node is tree.root:
             root_capture[0] = captured
         new_path = spill(new_state, captured) if pooled else None
         for child in node.children:
-            walk(child, new_state, new_path, captured)
+            walk(child, new_state, new_path, captured, edge_id)
 
     try:
-        walk(tree.root, None, None, 0)
+        walk(tree.root, None, None, 0, None)
         if pooled:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 outcomes = list(
                     pool.map(
                         _run_forked,
                         [
-                            (points[i], active_set, batched, profile, path,
-                             checkpoint_every, checkpoint_dir, spec.name)
+                            (points[i], active_set, batched, profile, record,
+                             path, checkpoint_every, checkpoint_dir,
+                             spec.name)
                             for i, path in tasks
                         ],
                     )
@@ -838,6 +874,7 @@ def _run_fork_tree(
     )
     result.fork_cycle = root_capture[0]
     result.fork_stats = {"planned": tree.describe(), "executed": executed}
+    result.fork_trace = fork_trace
     return result
 
 
@@ -849,12 +886,18 @@ def run_campaign(
     batched: Optional[bool] = None,
     smoke: bool = False,
     profile: bool = False,
+    record: bool = False,
     fork: bool = False,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     telemetry: Optional[Any] = None,
 ) -> CampaignResult:
     """Expand and execute a whole campaign.
+
+    ``record=True`` attaches a flight recorder with an event journal to
+    every point (``--trace-out``); results carry ``metrics`` and
+    ``trace`` payloads for :mod:`repro.obs.trace_export` while reports
+    and digests stay byte-identical (DESIGN.md section 15).
 
     ``jobs > 1`` fans points out over a process pool; per-point seeds are
     derived from (master seed, index, label) before dispatch, so the
@@ -886,7 +929,7 @@ def run_campaign(
             return _run_fork_tree(
                 spec, points, tree, jobs=jobs,
                 active_set=active_set, batched=batched, profile=profile,
-                checkpoint_every=checkpoint_every,
+                record=record, checkpoint_every=checkpoint_every,
                 checkpoint_dir=checkpoint_dir, telemetry=telemetry,
             )
     if jobs > 1 and len(points) > 1:
@@ -895,7 +938,7 @@ def run_campaign(
                 pool.map(
                     _run_expanded,
                     [
-                        (p, active_set, batched, profile, None,
+                        (p, active_set, batched, profile, record, None,
                          checkpoint_every, checkpoint_dir, spec.name)
                         for p in points
                     ],
@@ -905,7 +948,7 @@ def run_campaign(
         results = [
             run_point(
                 p, active_set=active_set, batched=batched, profile=profile,
-                checkpoint_every=checkpoint_every,
+                record=record, checkpoint_every=checkpoint_every,
                 checkpoint_dir=checkpoint_dir, scenario_name=spec.name,
                 telemetry=telemetry,
             )

@@ -243,14 +243,49 @@ class Channel(Generic[T]):
         self._snapshot = occupancy
         if occupancy:
             self._busy_cycles += 1
+        # Recorded path: same wake() semantics inlined (foreign-sim
+        # listeners skipped, adds idempotent), but only genuine
+        # asleep -> awake transitions reach the recorder — the counters
+        # measure scheduling work, not redundant wake requests.  These
+        # transitions are per-cycle-frequent on churny workloads, so
+        # the accounting is two subscripts into a dict the recorder
+        # pre-seeded with every component — no method call, no .get().
         if new_beats and self._recv_listeners:
-            wake = self._sim.wake
-            for component in self._recv_listeners:
-                wake(component)
+            sim = self._sim
+            rec = sim._recorder
+            if rec is None:
+                wake = sim.wake
+                for component in self._recv_listeners:
+                    wake(component)
+            else:
+                active = sim._active
+                for component in self._recv_listeners:
+                    if component._sim is sim and component not in active:
+                        active.add(component)
+                        rec._channel_wakes[component] += 1
+                        journal = sim._rec_journal
+                        if journal is not None:
+                            journal.append(
+                                (sim.cycle, "wake", component.name, "channel")
+                            )
         if space_freed and self._send_listeners:
-            wake = self._sim.wake
-            for component in self._send_listeners:
-                wake(component)
+            sim = self._sim
+            rec = sim._recorder
+            if rec is None:
+                wake = sim.wake
+                for component in self._send_listeners:
+                    wake(component)
+            else:
+                active = sim._active
+                for component in self._send_listeners:
+                    if component._sim is sim and component not in active:
+                        active.add(component)
+                        rec._channel_wakes[component] += 1
+                        journal = sim._rec_journal
+                        if journal is not None:
+                            journal.append(
+                                (sim.cycle, "wake", component.name, "channel")
+                            )
 
     def reset(self) -> None:
         self._queue.clear()

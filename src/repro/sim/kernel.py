@@ -68,6 +68,7 @@ beat it does not own, which re-wakes the owner for per-beat stepping.
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from time import perf_counter
 from typing import Callable, Iterable, Optional
 
@@ -241,6 +242,20 @@ class Simulator:
         # default) keeps the detached hot path to the same single test.
         self._poll_fn: Optional[Callable[[], None]] = None
         self._poll_gate: object = None
+        # Flight-recorder seam (repro.obs): execution-side metrics and
+        # event journal, attached via attach_recorder().  None (the
+        # default) keeps every hot path to a single ``is None`` test —
+        # the same discipline as the poll seam above.  The recorder is
+        # never part of the snapshot contract (DESIGN.md section 15).
+        self._recorder = None
+        # The attached recorder's journal (or None), mirrored here so
+        # per-event journal tests on frequent paths (span aborts) cost
+        # one attribute load — the same price the detached path pays
+        # for its ``_recorder is None`` test.
+        self._rec_journal = None
+        # True while _fire_hooks drains, so recorded wake() calls can
+        # attribute hook-raised transitions to the "hook" cause.
+        self._in_hooks = False
         # Snapshot state clients: objects owning commit-boundary hooks
         # (the schedule engine) or other non-component state (the bus
         # guard); captured/restored alongside the kernel by name.
@@ -286,6 +301,14 @@ class Simulator:
         self._components.append(component)
         component._sim = self
         self._active.add(component)
+        rec = self._recorder
+        if rec is not None:
+            # Keep the preallocated occupancy histogram large enough for
+            # the grown active set (the recorded step indexes it bare)
+            # and the channel-wake counters guaranteed-hit (commit
+            # updates them with a bare subscript).
+            rec._occupancy.append(0)
+            rec._channel_wakes[component] = 0
         return component
 
     def add_all(self, components: Iterable[Component]) -> None:
@@ -357,8 +380,27 @@ class Simulator:
     # ------------------------------------------------------------------
     def wake(self, component: Component) -> None:
         """Make *component* tick again from the next tick phase onward."""
-        if component._sim is self:
+        if component._sim is not self:
+            return
+        rec = self._recorder
+        if rec is None:
             self._active.add(component)
+            return
+        # Recorded: attribute genuine asleep -> awake transitions.
+        # Wakes raised while commit-boundary hooks run belong to the
+        # "hook" cause; any other direct call (an express-route
+        # boundary wake, an API write) is "direct".  Channel and timer
+        # wakes never pass through here while recorded — their sites
+        # attribute inline — so every transition is counted exactly
+        # once and the sleep counter can be derived from the total.
+        active = self._active
+        if component not in active:
+            active.add(component)
+            rec.wake_event(
+                component.name,
+                "hook" if self._in_hooks else "direct",
+                self.cycle,
+            )
 
     def wake_at(self, component: Component, cycle: int) -> None:
         """Schedule *component* to re-enter the active set at *cycle*."""
@@ -375,6 +417,35 @@ class Simulator:
         self._hot_channels.add(channel)
 
     # ------------------------------------------------------------------
+    # flight recorder (repro.obs)
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Attach a flight recorder (one at a time; DESIGN.md section 15).
+
+        The recorder collects execution-side metrics (wake causes,
+        occupancy, phase wall time) and optionally journals events.  It
+        is never captured by snapshots and never influences simulated
+        state or digests; while detached the hot path pays exactly one
+        ``is None`` test per step.
+        """
+        if self._recorder is not None:
+            raise SimulationError("a flight recorder is already attached")
+        self._recorder = recorder
+        recorder.on_attach(self)
+        self._rec_journal = recorder.journal
+        # Shadow the class method with a bound partial so ``sim.step()``
+        # lands directly in the recorded body — the recorded path then
+        # pays no dispatch test at all, and the detached path keeps its
+        # single ``is None`` test in the class method.
+        self.step = partial(self._step_recorded, recorder)
+
+    def detach_recorder(self) -> None:
+        """Detach the flight recorder (no-op when none is attached)."""
+        self._recorder = None
+        self._rec_journal = None
+        self.__dict__.pop("step", None)
+
+    # ------------------------------------------------------------------
     # express routes (batched datapath)
     # ------------------------------------------------------------------
     def install_express(self, order) -> None:
@@ -385,13 +456,19 @@ class Simulator:
         """
         if order not in self._express:
             self._express.append(order)
+            rec = self._recorder
+            if rec is not None:
+                rec.express_event("install", order, self.cycle)
 
     def remove_express(self, order) -> None:
         """Drop an express order (no-op if it is not installed)."""
         try:
             self._express.remove(order)
         except ValueError:
-            pass
+            return
+        rec = self._recorder
+        if rec is not None:
+            rec.express_event("cancel", order, self.cycle)
 
     def _run_express(self) -> None:
         # Orders may cancel themselves (and thereby mutate the registry)
@@ -518,15 +595,33 @@ class Simulator:
         due = []
         while heap and heap[0][0] <= committed:
             due.append(heapq.heappop(heap))
-        for _, _, fn in due:
-            fn(committed)
+        rec = self._recorder
+        if rec is None:
+            for _, _, fn in due:
+                fn(committed)
+        else:
+            # While the drain runs, wake() attributes transitions to
+            # the "hook" cause (see Simulator.wake); the flag costs one
+            # attribute read per recorded transition, and only on
+            # boundaries that had hooks due.
+            rec._hooks_fired += len(due)
+            self._in_hooks = True
+            try:
+                for _, _, fn in due:
+                    fn(committed)
+            finally:
+                self._in_hooks = False
 
     def _process_due_wakes(self, cycle: int) -> None:
         heap = self._wake_heap
+        rec = self._recorder
+        active = self._active
         while heap and heap[0][0] <= cycle:
             _, _, component = heapq.heappop(heap)
             if component._sim is self:
-                self._active.add(component)
+                if rec is not None and component not in active:
+                    rec.wake_event(component.name, "timer", cycle)
+                active.add(component)
 
     def _quiescent(self) -> bool:
         """True when nothing will change until a timed wake-up (or never)."""
@@ -542,6 +637,10 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by exactly one cycle."""
+        rec = self._recorder
+        if rec is not None:
+            self._step_recorded(rec)
+            return
         cycle = self.cycle
         profiled = self._tick_seconds is not None
         if self._active_set_enabled:
@@ -598,6 +697,103 @@ class Simulator:
         if self._hook_heap:
             self._fire_hooks(cycle)
 
+    def _step_recorded(self, rec) -> None:
+        """One cycle with a flight recorder attached (``repro.obs``).
+
+        A shadow of :meth:`step` with observation points: active-set
+        occupancy, phase-split wall time, and sleep journal events.
+        Kept separate so the unrecorded hot path pays exactly one
+        ``is None`` test per step; any change to :meth:`step` must be
+        mirrored here (the digest-neutrality tests in ``test_obs.py``
+        lock the equivalence).
+        """
+        cycle = self.cycle
+        profiled = self._tick_seconds is not None
+        journal = rec.journal
+        # Phase wall-time is stride-sampled (1 in PHASE_STRIDE stepped
+        # cycles): four perf_counter calls on every step would alone
+        # breach the recorder's <2% overhead gate, and phase *shares*
+        # are stable under uniform sampling.
+        timed = not cycle & rec._phase_mask
+        occupancy = rec._occupancy
+        clock = perf_counter
+        t0 = clock() if timed else 0.0
+        if self._active_set_enabled:
+            if self._wake_heap:
+                self._process_due_wakes(cycle)
+            active = self._active
+            # Inline occupancy observation: the list is preallocated to
+            # len(components) + 2 on attach, and the active set can
+            # never outgrow the component list.
+            occupancy[len(active)] += 1
+            if active:
+                for component in self._components:
+                    if component in active:
+                        if profiled:
+                            self._timed_tick(component, cycle)
+                        else:
+                            component.tick(cycle)
+                        self.ticks_executed += 1
+                        if component.is_idle():
+                            # No sleep counter here: sleeps happen about
+                            # as often as wakes (~2 per cycle on a churny
+                            # workload), so the registry derives the
+                            # count from wake attribution at snapshot
+                            # time instead of paying a store per event.
+                            active.discard(component)
+                            if journal is not None:
+                                journal.append(
+                                    (cycle, "sleep", component.name)
+                                )
+                    else:
+                        self.ticks_skipped += 1
+            else:
+                self.ticks_skipped += len(self._components)
+            t1 = clock() if timed else 0.0
+            if self._express:
+                self._run_express()
+            t2 = clock() if timed else 0.0
+            hot = self._hot_channels
+            if hot:
+                cold = None
+                for channel in hot:
+                    channel.commit()
+                    if not channel._queue:
+                        if cold is None:
+                            cold = [channel]
+                        else:
+                            cold.append(channel)
+                if cold is not None:
+                    hot.difference_update(cold)
+        else:
+            occupancy[len(self._components)] += 1
+            for component in self._components:
+                if profiled:
+                    self._timed_tick(component, cycle)
+                else:
+                    component.tick(cycle)
+                self.ticks_executed += 1
+            t1 = clock() if timed else 0.0
+            if self._express:
+                self._run_express()
+            t2 = clock() if timed else 0.0
+            for channel in self._channels:
+                channel.commit()
+        if self._express:
+            for order in tuple(self._express):
+                order.after_commit()
+        self.cycle = cycle + 1
+        for watcher in self._watchers:
+            watcher(cycle)
+        if self._hook_heap:
+            self._fire_hooks(cycle)
+        if timed:
+            t3 = clock()
+            phase = rec._phase
+            phase[0] += t1 - t0
+            phase[1] += t2 - t1
+            phase[2] += t3 - t2
+
     def _fast_forward(self, target: int) -> None:
         """Jump the clock to *target* while the system is quiescent.
 
@@ -628,6 +824,9 @@ class Simulator:
                     channel._busy_cycles += skipped
             self.cycles_fast_forwarded += skipped
             self.ticks_skipped += skipped * len(self._components)
+            rec = self._recorder
+            if rec is not None:
+                rec.fast_forward(start, skipped)
         if self._hook_heap:
             # _next_stop capped the jump at the earliest hook's boundary,
             # so at most the hooks of the just-committed cycle are due.

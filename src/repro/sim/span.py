@@ -106,9 +106,22 @@ class SpanOffer:
     apply: Callable[[int], None]
 
 
-def _abort(sim, cause: str) -> bool:
+def _abort(sim, cause: str, refuser=None) -> bool:
     aborts = sim.span_aborts
     aborts[cause] = aborts.get(cause, 0) + 1
+    # The abort-cause counters live on the simulator (folded into the
+    # metrics registry at snapshot time); the recorder only needs to
+    # hear about aborts when its journal wants the per-event taxonomy —
+    # negotiation failures are per-cycle-frequent, so a journal-less
+    # recorder must not pay more than the one test the detached path
+    # already pays (``sim._rec_journal`` mirrors the journal exactly
+    # for this reason).
+    journal = sim._rec_journal
+    if journal is not None:
+        journal.append(
+            (sim.cycle, "span_abort", cause,
+             refuser.name if refuser is not None else None)
+        )
     return False
 
 
@@ -144,7 +157,7 @@ def attempt_span(sim, limit: int) -> bool:
     # interconnect) vetoes the span for this cycle.
     for component in active:
         if not hasattr(component, "span_offer"):
-            return _abort(sim, "opaque")
+            return _abort(sim, "opaque", component)
 
     # The component that refused last time is the most likely refuser
     # now (boundary churn lasts several cycles); asking it first makes a
@@ -152,7 +165,7 @@ def attempt_span(sim, limit: int) -> bool:
     probe = sim._span_probe
     if probe is not None and probe in active:
         if probe.span_offer(cycle, n_max) is None:
-            return _abort(sim, "no_offer")
+            return _abort(sim, "no_offer", probe)
         sim._span_probe = None
 
     offers = []
@@ -164,7 +177,7 @@ def attempt_span(sim, limit: int) -> bool:
         offer = component.span_offer(cycle, horizon)
         if offer is None:
             sim._span_probe = component
-            return _abort(sim, "no_offer")
+            return _abort(sim, "no_offer", component)
         offers.append(offer)
         participants.add(component)
         if offer.horizon < horizon:
@@ -218,10 +231,10 @@ def attempt_span(sim, limit: int) -> bool:
                 return _abort(sim, "stitch")
         for listener in channel._recv_listeners:
             if listener not in participants:
-                return _abort(sim, "listener")
+                return _abort(sim, "listener", listener)
         for listener in channel._send_listeners:
             if listener not in participants:
-                return _abort(sim, "listener")
+                return _abort(sim, "listener", listener)
 
     # --- commit the span -------------------------------------------------
     n = horizon
@@ -240,6 +253,9 @@ def attempt_span(sim, limit: int) -> bool:
     sim.ticks_skipped += n * len(sim._components)
     sim.spans_entered += 1
     sim.span_cycles_replayed += n
+    rec = sim._recorder
+    if rec is not None:
+        rec.span_commit(cycle, n, len(participants))
     if sim._hook_heap:
         # n_max capped the span at the earliest hook's boundary, so at
         # most the hooks of the just-committed cycle are due.

@@ -36,6 +36,7 @@ What is captured where (the ownership contract, DESIGN.md section 10):
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any
 
 from repro.snapshot.codec import SnapshotError, decode_state, encode_state
@@ -52,6 +53,11 @@ def _client_pending_hooks(client: Any) -> int:
 
 def capture_simulator(sim) -> dict:
     """Capture *sim* into an encoded plain tree (commit boundaries only)."""
+    # The flight recorder is execution-side: it observes the capture
+    # (timing + journal event) but is never part of the captured tree —
+    # the explicit field list below is the whole snapshot contract.
+    rec = sim._recorder
+    t0 = perf_counter() if rec is not None else 0.0
     for channel in sim._channels:
         if channel._pending:
             raise SnapshotError(
@@ -106,7 +112,10 @@ def capture_simulator(sim) -> dict:
             for name, client in sim._state_clients.items()
         },
     }
-    return encode_state(raw)
+    tree = encode_state(raw)
+    if rec is not None:
+        rec.snapshot_event("capture", sim.cycle, perf_counter() - t0)
+    return tree
 
 
 def _check(condition: bool, message: str) -> None:
@@ -116,6 +125,8 @@ def _check(condition: bool, message: str) -> None:
 
 def restore_simulator(sim, tree: dict) -> None:
     """Restore an encoded tree into *sim* (structure must match)."""
+    rec = sim._recorder
+    t0 = perf_counter() if rec is not None else 0.0
     state = decode_state(tree)
     _check(isinstance(state, dict), "snapshot tree is not a mapping")
     _check(
@@ -183,3 +194,5 @@ def restore_simulator(sim, tree: dict) -> None:
     sim._transient_hooks = 0
     for name, client_state in state["clients"].items():
         sim._state_clients[name].state_restore(client_state)
+    if rec is not None:
+        rec.snapshot_event("restore", sim.cycle, perf_counter() - t0)

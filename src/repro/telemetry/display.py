@@ -59,11 +59,14 @@ class Dashboard:
         self._history_len = max(history, width)
         self._drawn_lines = 0
         self._point: Optional[str] = None
+        self._cycle: Optional[int] = None
+        self._health: Optional[dict] = None
 
     def update(self, frame: dict) -> None:
         cycle = frame["cycle"]
         values = frame["values"]
-        point = frame.get("point")
+        self._cycle = cycle
+        self._point = frame.get("point")
         for path, value in values.items():
             self._history.setdefault(
                 path, deque(maxlen=self._history_len)
@@ -73,18 +76,42 @@ class Dashboard:
             self.stream.write(f"[{cycle}] {pairs}\n")
             self.stream.flush()
             return
-        lines = []
-        if point != self._point:
-            self._point = point
-        title = f"point {point!r} @ cycle {cycle}" if point \
-            else f"cycle {cycle}"
-        lines.append(title)
+        self._paint()
+
+    def update_health(self, message: dict) -> None:
+        """Feed a ``health`` frame (host-side execution status).
+
+        Rendered as one status line under the gauges; in plain mode it
+        prints as its own ``health`` line instead.
+        """
+        self._health = message
+        if not self.redraw:
+            self.stream.write(f"[{message['cycle']}] "
+                              f"{self._health_line(message)}\n")
+            self.stream.flush()
+            return
+        self._paint()
+
+    @staticmethod
+    def _health_line(message: dict) -> str:
+        rate = message.get("cycles_per_sec")
+        rendered = f"{rate:,.0f} cyc/s" if rate else "— cyc/s"
+        return (f"health: {rendered}  active {message['active']}  "
+                f"span-replay {message['span_replay_percent']:.1f}%")
+
+    def _paint(self) -> None:
+        point = self._point
+        title = f"point {point!r} @ cycle {self._cycle}" if point \
+            else f"cycle {self._cycle}"
+        lines = [title]
         name_width = max((len(p) for p in self._history), default=0)
         for path, history in self._history.items():
             spark = sparkline(history, self.width)
             lines.append(
                 f"  {path:<{name_width}} {history[-1]:>12d} {spark}"
             )
+        if self._health is not None:
+            lines.append(f"  {self._health_line(self._health)}")
         if self._drawn_lines:
             # Cursor up over the previous panel, clearing each line.
             self.stream.write(f"\x1b[{self._drawn_lines}A")

@@ -36,6 +36,7 @@ import asyncio
 import threading
 from collections import deque
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Any, Callable, Optional, Sequence
 
 from repro.control.knobs import KnobError
@@ -324,6 +325,9 @@ class _LiveSession:
         self._pause_waiters: list[tuple[_Client, Any]] = []
         self.default_paths: tuple[str, ...] = ()
         self._default_sub = None
+        # (host time, cycle) of the last health frame, for the
+        # cycles/sec rate; None until the first frame goes out.
+        self._health_prev: Optional[tuple[float, int]] = None
         if default_watch is not None:
             patterns, every, start = default_watch
             self._default_sub = self.tap.subscribe(
@@ -393,9 +397,40 @@ class _LiveSession:
             "values": frame.values,
         }
         data = encode_message(message)
-        for client in self.server.clients():
-            if client.watching:
-                self.server.post(client, data)
+        watchers = [c for c in self.server.clients() if c.watching]
+        for client in watchers:
+            self.server.post(client, data)
+        if watchers:
+            health = encode_message(self._health_message(frame.cycle))
+            for client in watchers:
+                self.server.post(client, health)
+
+    def _health_message(self, cycle: int) -> dict:
+        """Execution-health frame, piggybacked on the probe stream.
+
+        Host-side throughput and kernel-strategy numbers (DESIGN.md
+        section 15) — never probe values, never part of any digest.
+        The first frame of a point has no rate yet
+        (``cycles_per_sec`` is None until two samples exist).
+        """
+        now = perf_counter()
+        sim = self.sim
+        rate = None
+        prev = self._health_prev
+        if prev is not None:
+            elapsed = now - prev[0]
+            if elapsed > 0.0:
+                rate = (cycle - prev[1]) / elapsed
+        self._health_prev = (now, cycle)
+        replay = 100.0 * sim.span_cycles_replayed / cycle if cycle else 0.0
+        return {
+            "type": "health",
+            "point": self.label,
+            "cycle": cycle,
+            "cycles_per_sec": rate,
+            "active": len(sim._active),
+            "span_replay_percent": replay,
+        }
 
     def _reply(self, client: _Client, request_id: Any,
                message: dict) -> None:

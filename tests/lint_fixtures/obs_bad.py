@@ -1,0 +1,22 @@
+# repro: lint-treat-as soc/fixture.py
+"""obs-isolation fixture: a component smuggling the recorder into state."""
+
+
+class LeakyComponent:
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.count = 0
+
+    def state_capture(self) -> dict:
+        from repro.obs import FlightRecorder
+        recorder = self.sim._recorder
+        return {
+            "count": self.count,
+            "recorder": recorder,
+            "factory": FlightRecorder,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.count = state["count"]
+        self.sim._recorder = state["recorder"]
+        self.sim._rec_journal = None

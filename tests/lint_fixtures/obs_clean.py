@@ -1,0 +1,15 @@
+# repro: lint-treat-as soc/fixture.py
+"""obs-isolation fixture: a well-behaved state hook (no obs objects)."""
+
+
+class TidyComponent:
+    def __init__(self) -> None:
+        self.count = 0
+        self.window = 16
+
+    def state_capture(self) -> dict:
+        return {"count": self.count, "window": self.window}
+
+    def state_restore(self, state: dict) -> None:
+        self.count = state["count"]
+        self.window = state["window"]

@@ -1,0 +1,17 @@
+# repro: lint-treat-as soc/fixture.py
+"""obs-isolation fixture: a reasoned suppression on a diagnostic read."""
+
+
+class AuditingComponent:
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.count = 0
+
+    def state_capture(self) -> dict:
+        attached = self.sim._recorder is not None  # repro: lint-ok[obs-isolation] fixture: capture-time diagnostics, value never captured
+        if attached:
+            pass
+        return {"count": self.count}
+
+    def state_restore(self, state: dict) -> None:
+        self.count = state["count"]

@@ -69,6 +69,13 @@ GOLDEN = {
         ("phase-discipline", 15),  # _queue.pop
         ("phase-discipline", 16),  # .regfile poke
     ],
+    "obs_bad.py": [
+        ("obs-isolation", 11),  # repro.obs import inside state_capture
+        ("obs-isolation", 12),  # sim._recorder read
+        ("obs-isolation", 16),  # FlightRecorder() constructed
+        ("obs-isolation", 21),  # sim._recorder write in state_restore
+        ("obs-isolation", 22),  # sim._rec_journal write
+    ],
     "probe_path_bad.py": [
         ("probe-path-literal", 5),   # regoin0
         ("probe-path-literal", 6),   # totl_bytes
@@ -94,6 +101,7 @@ def test_every_shipped_rule_has_a_failing_fixture():
 @pytest.mark.parametrize("fixture", [
     "snapshot_clean.py", "codec_clean.py", "nondet_clean.py",
     "optional_int_clean.py", "phase_clean.py", "probe_path_clean.py",
+    "obs_clean.py",
 ])
 def test_clean_fixture_has_no_findings(fixture):
     assert lint_fixture(fixture) == []
@@ -102,7 +110,7 @@ def test_clean_fixture_has_no_findings(fixture):
 @pytest.mark.parametrize("fixture", [
     "snapshot_suppressed.py", "nondet_suppressed.py",
     "optional_int_suppressed.py", "phase_suppressed.py",
-    "probe_path_suppressed.py",
+    "probe_path_suppressed.py", "obs_suppressed.py",
 ])
 def test_suppressed_fixture_has_no_findings(fixture):
     assert lint_fixture(fixture) == []
